@@ -1,0 +1,26 @@
+"""Reporting helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+__all__ = ["attach_table", "attach_series"]
+
+
+def attach_table(benchmark, table, reference=None) -> None:
+    """Attach a reproduced table (and its paper comparison) to the benchmark."""
+    benchmark.extra_info["table"] = table.to_dict()
+    if reference is not None:
+        comparison = table.compare(reference)
+        benchmark.extra_info["vs_paper"] = comparison.summary()
+
+
+def attach_series(benchmark, series_by_label, reference=None) -> None:
+    """Attach reproduced figure series to the benchmark."""
+    benchmark.extra_info["series"] = {
+        label: {str(int(x)): v for x, v in zip(s.xs(), s.values())}
+        for label, s in series_by_label.items()
+    }
+    if reference is not None:
+        benchmark.extra_info["paper"] = {
+            label: {f"{k[0]}x{k[1]}": v for k, v in values.items()}
+            for label, values in reference.items()
+        }

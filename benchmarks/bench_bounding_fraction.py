@@ -1,0 +1,43 @@
+"""Benchmark of the preliminary experiment: time share of the bounding operator.
+
+The paper measures that ~98.5 % of the serial B&B runtime goes into lower
+bound evaluation on the m=20 instances.  The benchmark runs the instrumented
+serial engine on a Taillard-style 20x20 instance (with a node budget so the
+run stays short) and asserts that bounding dominates here too.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import measure_bounding_fraction
+from repro.flowshop import taillard_instance
+
+
+def test_bounding_fraction_20x20(benchmark):
+    instance = taillard_instance(20, 20, index=1)
+
+    def run():
+        return measure_bounding_fraction(instance=instance, max_nodes=400)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["bounding_fraction"] = result.fraction
+    benchmark.extra_info["paper_fraction"] = result.paper_fraction
+    benchmark.extra_info["nodes_bounded"] = result.nodes_bounded
+    assert result.fraction > 0.90
+
+
+def test_bounding_fraction_grows_with_machines(benchmark):
+    """The O(m^2 n log n) bound cost makes the fraction rise with m."""
+
+    def run():
+        narrow = measure_bounding_fraction(
+            instance=taillard_instance(12, 5, index=1), max_nodes=300
+        )
+        wide = measure_bounding_fraction(
+            instance=taillard_instance(12, 20, index=1), max_nodes=300
+        )
+        return narrow, wide
+
+    narrow, wide = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["fraction_m5"] = narrow.fraction
+    benchmark.extra_info["fraction_m20"] = wide.fraction
+    assert wide.fraction >= narrow.fraction

@@ -1,0 +1,49 @@
+"""Extension benchmark: scaling over a simulated cluster of GPU nodes.
+
+The paper's conclusion announces an extension "to a cluster of
+GPU-accelerated multi-core processors"; this benchmark exercises the
+reproduction's implementation of that extension (`repro.core.cluster`) and
+records how the distributed bounding step scales with the node count for a
+large and a small pool.
+"""
+
+from __future__ import annotations
+
+from repro.core.cluster import ClusterSimulator, ClusterSpec
+from repro.flowshop.bounds import DataStructureComplexity
+
+NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def test_cluster_scaling_200x20(benchmark):
+    complexity = DataStructureComplexity(n=200, m=20)
+    simulator = ClusterSimulator(ClusterSpec(n_nodes=8))
+
+    def sweep():
+        return {
+            "large_pool": simulator.scaling_efficiency(complexity, 262144, NODE_COUNTS),
+            "small_pool": simulator.scaling_efficiency(complexity, 4096, NODE_COUNTS),
+        }
+
+    results = benchmark(sweep)
+    benchmark.extra_info["efficiency"] = results
+
+    large, small = results["large_pool"], results["small_pool"]
+    # near-linear scaling for the big pool up to 8 nodes...
+    assert large[8] > 0.7
+    # ...and clearly degraded scaling when the pool is small
+    assert small[16] < large[16]
+    # efficiency never exceeds ~1 (no super-linear artefacts)
+    assert all(v <= 1.05 for v in large.values())
+
+
+def test_cluster_engine_step_time(benchmark):
+    """Time of one distributed bounding step (the harness itself, measured)."""
+    complexity = DataStructureComplexity(n=100, m=20)
+
+    def step():
+        return ClusterSimulator(ClusterSpec(n_nodes=4)).evaluate_pool(complexity, 65536)
+
+    timing = benchmark(step)
+    assert timing.total_s > 0
+    benchmark.extra_info["simulated_step_s"] = timing.total_s

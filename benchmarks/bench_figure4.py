@@ -1,0 +1,34 @@
+"""Benchmark / regeneration of Figure 4 (global vs shared placement).
+
+Reproduces the two curves of Figure 4 (speed-up per instance class at pool
+size 262144 for the all-global and shared-PTM-JM placements) and checks the
+figure's two qualitative claims: the shared placement always wins, and its
+advantage grows with the instance size.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import attach_series
+
+from repro.experiments import PAPER_FIGURE4, figure4
+
+
+def test_figure4_series(benchmark, protocol):
+    series = benchmark(figure4, protocol=protocol)
+    attach_series(benchmark, series, PAPER_FIGURE4)
+
+    shared = series["shared_ptm_jm"]
+    global_ = series["all_global"]
+
+    # claim 1: shared placement dominates for every instance class
+    for x in shared.points:
+        assert shared.points[x] > global_.points[x]
+
+    # claim 2: both curves increase with the instance size, and the gap widens
+    assert shared.values() == sorted(shared.values())
+    assert global_.values() == sorted(global_.values())
+    gaps = [shared.points[x] - global_.points[x] for x in sorted(shared.points)]
+    assert gaps[-1] > gaps[0]
+
+    # magnitude: the largest class reaches ~x100 with the shared placement
+    assert 85 <= shared.points[200] <= 115

@@ -1,0 +1,33 @@
+"""Benchmark / regeneration of Figure 5 (GPU vs multi-threaded at ~500 GFLOPS).
+
+Reproduces the two bars of Figure 5 per instance class and checks the
+section's headline claims: at equal theoretical computational power the GPU
+B&B wins by roughly an order of magnitude, the gap grows with the instance
+size, and the multi-threaded baseline stays roughly flat across classes.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import attach_series
+
+from repro.experiments import PAPER_FIGURE5, figure5
+
+
+def test_figure5_series(benchmark, protocol):
+    series = benchmark(figure5, protocol=protocol)
+    attach_series(benchmark, series, PAPER_FIGURE5)
+
+    gpu = series["gpu"]
+    cpu = series["multithreaded"]
+    xs = sorted(gpu.points)
+
+    # the GPU wins everywhere, by ~x5-18 (the paper reports ~x6.7-11.5)
+    ratios = [gpu.points[x] / cpu.points[x] for x in xs]
+    assert all(5.0 <= r <= 18.0 for r in ratios)
+    benchmark.extra_info["gpu_over_multithreaded"] = dict(zip(map(int, xs), ratios))
+
+    # the GPU advantage grows with the instance size ...
+    assert ratios == sorted(ratios)
+    assert gpu.values() == sorted(gpu.values())
+    # ... while the multi-threaded speed-up is roughly flat (within ~15%)
+    assert max(cpu.values()) / min(cpu.values()) < 1.15

@@ -1,0 +1,75 @@
+"""Ablation: every candidate data placement, not just the paper's two.
+
+DESIGN.md calls out the data placement as a key design choice; this ablation
+ranks all candidate placements (all-global, PTM+JM, JM only, PTM only, LM
+only, PTM+LM, JM+LM) by the speed-up they yield on the largest instance
+class and checks that the paper's recommendation is the best *feasible* one.
+"""
+
+from __future__ import annotations
+
+from repro.core.mapping import default_candidates
+from repro.experiments.protocol import ExperimentProtocol
+from repro.experiments.table2 import speedup_table
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.gpu.memory import MemoryHierarchy
+from repro.gpu.placement import DataPlacement
+
+INSTANCE = (200, 20)
+POOL = 262144
+
+
+def test_placement_ablation_200x20(benchmark, protocol: ExperimentProtocol):
+    complexity = DataStructureComplexity(n=INSTANCE[0], m=INSTANCE[1])
+
+    def sweep():
+        results = {}
+        for placement in default_candidates():
+            hierarchy = MemoryHierarchy(protocol.device, placement.cache_config)
+            if not placement.fits(complexity, hierarchy):
+                continue
+            table = speedup_table(
+                placement,
+                f"ablation {placement.name}",
+                instances=(INSTANCE,),
+                pool_sizes=(POOL,),
+                protocol=protocol,
+                add_average=False,
+            )
+            results[placement.name] = table.get(INSTANCE, POOL)
+        return results
+
+    results = benchmark(sweep)
+    benchmark.extra_info["speedups"] = results
+
+    assert "shared-PTM-JM" in results
+    assert "all-global" in results
+    best = max(results, key=lambda name: results[name])
+    assert best == "shared-PTM-JM"
+    # placements that waste shared memory on LM (lower access frequency) are
+    # never better than the paper's choice
+    for name, value in results.items():
+        if "LM" in name:
+            assert value <= results["shared-PTM-JM"]
+
+
+def test_cache_config_matters_for_all_global(benchmark, protocol: ExperimentProtocol):
+    """Keeping 48 KB of L1 (PREFER_L1) is the right call for the all-global
+    placement — flipping the Fermi split to 48 KB shared hurts it."""
+    complexity = DataStructureComplexity(n=INSTANCE[0], m=INSTANCE[1])
+
+    def sweep():
+        from repro.gpu.memory import FermiCacheConfig
+        from repro.gpu.simulator import GpuSimulator
+
+        out = {}
+        for config in (FermiCacheConfig.PREFER_L1, FermiCacheConfig.PREFER_SHARED):
+            placement = DataPlacement(assignment={}, cache_config=config, name=f"global-{config.value}")
+            sim = GpuSimulator(device=protocol.device, placement=placement,
+                               cost_model=protocol.cost_model)
+            out[config.value] = sim.evaluate_pool(complexity, POOL).total_s
+        return out
+
+    times = benchmark(sweep)
+    benchmark.extra_info["pool_times_s"] = times
+    assert times["prefer_l1"] <= times["prefer_shared"]

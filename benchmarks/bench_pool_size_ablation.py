@@ -1,0 +1,34 @@
+"""Ablation: the off-load pool size, and the auto-tuner's choice.
+
+The pool size is the paper's dominant tuning knob (Tables II/III) and its
+conclusion calls for determining it at runtime.  This ablation checks the
+auto-tuner against the paper's observation: small instances prefer moderate
+pools, large instances the biggest pool.
+"""
+
+from __future__ import annotations
+
+from repro.core import GpuBBConfig, PoolSizeAutotuner
+from repro.experiments.paper_values import PAPER_BEST_POOL_SIZE
+from repro.flowshop import taillard_instance
+
+
+def test_autotuner_tracks_paper_optimum(benchmark):
+    def tune_all():
+        choices = {}
+        for n_jobs, n_machines in ((20, 20), (50, 20), (100, 20), (200, 20)):
+            instance = taillard_instance(n_jobs, n_machines, index=1)
+            report = PoolSizeAutotuner(instance, GpuBBConfig(), mode="model").run()
+            choices[(n_jobs, n_machines)] = report.best_pool_size
+        return choices
+
+    choices = benchmark(tune_all)
+    benchmark.extra_info["chosen_pool_sizes"] = {f"{k[0]}x{k[1]}": v for k, v in choices.items()}
+    benchmark.extra_info["paper_best"] = {f"{k[0]}x{k[1]}": v for k, v in PAPER_BEST_POOL_SIZE.items()}
+
+    # shape: the chosen pool size never decreases with the instance size,
+    # small instances stay at moderate pools, large instances go big.
+    ordered = [choices[k] for k in ((20, 20), (50, 20), (100, 20), (200, 20))]
+    assert ordered == sorted(ordered)
+    assert choices[(20, 20)] <= 32768
+    assert choices[(200, 20)] >= 65536

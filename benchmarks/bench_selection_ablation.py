@@ -1,0 +1,50 @@
+"""Ablation: selection strategy (best-first vs depth-first vs FIFO).
+
+The paper selects nodes best-first before off-loading them.  This ablation
+solves the same instance with the three strategies on both the serial and
+the GPU engine and reports the explored-node counts — best-first should
+never explore more nodes than FIFO, and all strategies must agree on the
+optimum.
+"""
+
+from __future__ import annotations
+
+from repro.bb import SequentialBranchAndBound
+from repro.core import GpuBBConfig, GpuBranchAndBound
+from repro.flowshop import random_instance
+
+STRATEGIES = ("best-first", "depth-first", "fifo")
+
+
+def test_selection_ablation_serial(benchmark):
+    instance = random_instance(9, 6, seed=4)
+
+    def sweep():
+        return {
+            strategy: SequentialBranchAndBound(instance, selection=strategy).solve()
+            for strategy in STRATEGIES
+        }
+
+    results = benchmark(sweep)
+    makespans = {s: r.best_makespan for s, r in results.items()}
+    nodes = {s: r.stats.nodes_bounded for s, r in results.items()}
+    benchmark.extra_info["nodes_bounded"] = nodes
+    assert len(set(makespans.values())) == 1
+    assert nodes["best-first"] <= nodes["fifo"]
+
+
+def test_selection_ablation_gpu_engine(benchmark):
+    instance = random_instance(8, 5, seed=4)
+
+    def sweep():
+        return {
+            strategy: GpuBranchAndBound(
+                instance, GpuBBConfig(pool_size=64, selection=strategy)
+            ).solve()
+            for strategy in STRATEGIES
+        }
+
+    results = benchmark(sweep)
+    makespans = {s: r.best_makespan for s, r in results.items()}
+    benchmark.extra_info["pools"] = {s: r.stats.pools_evaluated for s, r in results.items()}
+    assert len(set(makespans.values())) == 1

@@ -1,0 +1,39 @@
+"""Benchmark / regeneration of Table I (data-structure complexity).
+
+Table I is analytical; the benchmark times its computation for the largest
+instance class and checks the exact values the paper quotes (38 KB for JM
+and LM, 4 KB for PTM on 200x20).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import table1
+
+
+def test_table1_200x20(benchmark):
+    rows = benchmark(table1, 200, 20)
+    by_name = {r.structure: r for r in rows}
+    assert by_name["JM"].size_bytes_packed == 38000
+    assert by_name["LM"].size_bytes_packed == 38000
+    assert by_name["PTM"].size_bytes_packed == 4000
+    assert by_name["PTM"].accesses == 200 * 20 * 19
+    benchmark.extra_info["rows"] = [
+        {
+            "structure": r.structure,
+            "size": r.size_elements,
+            "accesses": r.accesses,
+            "packed_bytes": r.size_bytes_packed,
+        }
+        for r in rows
+    ]
+
+
+def test_table1_all_paper_classes(benchmark):
+    def build_all():
+        return {n: table1(n, 20) for n in (20, 50, 100, 200)}
+
+    tables = benchmark(build_all)
+    # the shared-memory capacity argument: JM+PTM fit in 48 KB for every class
+    for n, rows in tables.items():
+        by_name = {r.structure: r for r in rows}
+        assert by_name["JM"].size_bytes_packed + by_name["PTM"].size_bytes_packed <= 48 * 1024

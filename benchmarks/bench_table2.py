@@ -1,0 +1,35 @@
+"""Benchmark / regeneration of Table II (all matrices in global memory).
+
+Regenerates the full instance x pool-size speed-up sweep with the simulated
+Tesla C2050 and compares every cell against the published values.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import attach_table
+
+from repro.experiments import PAPER_TABLE2, table2
+from repro.experiments.paper_values import PAPER_BEST_POOL_SIZE, PAPER_INSTANCES
+
+
+def test_table2_full_sweep(benchmark, protocol):
+    table = benchmark(table2, protocol=protocol)
+    attach_table(benchmark, table, PAPER_TABLE2)
+
+    comparison = table.compare(PAPER_TABLE2)
+    assert comparison.mean_absolute_relative_error < 0.15
+
+    # shape: speed-up grows with instance size at the largest pool
+    column = [table.get(k, 262144) for k in ((20, 20), (50, 20), (100, 20), (200, 20))]
+    assert column == sorted(column)
+    # shape: the best pool size grows with the instance size
+    assert table.best_column((200, 20)) >= 65536
+    assert table.best_column((20, 20)) <= 32768
+
+
+def test_table2_row_200x20(benchmark, protocol):
+    """The headline row: up to ~x77 for 200x20 with global memory only."""
+    table = benchmark(table2, instances=((200, 20),), protocol=protocol)
+    attach_table(benchmark, table, {(200, 20): PAPER_TABLE2[(200, 20)]})
+    peak = max(table.row_values((200, 20)))
+    assert 60 <= peak <= 95

@@ -1,0 +1,34 @@
+"""Benchmark / regeneration of Table III (PTM and JM in shared memory)."""
+
+from __future__ import annotations
+
+from _bench_utils import attach_table
+
+from repro.experiments import PAPER_TABLE2, PAPER_TABLE3, table2, table3
+from repro.experiments.paper_values import PAPER_INSTANCES, PAPER_POOL_SIZES
+
+
+def test_table3_full_sweep(benchmark, protocol):
+    table = benchmark(table3, protocol=protocol)
+    attach_table(benchmark, table, PAPER_TABLE3)
+
+    comparison = table.compare(PAPER_TABLE3)
+    assert comparison.mean_absolute_relative_error < 0.15
+    # the x100 headline number for 200x20 at the largest pool
+    assert 85 <= table.get((200, 20), 262144) <= 115
+
+
+def test_table3_improvement_over_table2(benchmark, protocol):
+    """The paper's 23% claim: the shared-memory placement improves the
+    largest instance/pool cell by ~20-30% and never hurts."""
+
+    def build_both():
+        return table2(protocol=protocol), table3(protocol=protocol)
+
+    t2, t3 = benchmark(build_both)
+    for klass in PAPER_INSTANCES:
+        for pool in PAPER_POOL_SIZES:
+            assert t3.get(klass, pool) > t2.get(klass, pool)
+    gain = t3.get((200, 20), 262144) / t2.get((200, 20), 262144)
+    benchmark.extra_info["gain_200x20_largest_pool"] = gain
+    assert 1.10 <= gain <= 1.45

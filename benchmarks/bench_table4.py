@@ -1,0 +1,46 @@
+"""Benchmark / regeneration of Table IV (multi-threaded CPU B&B speed-ups).
+
+Two parts:
+
+* the modelled table (the calibrated scaling model, compared cell-by-cell
+  against the published values), and
+* a *measured* multi-core run on this host (process backend) showing that
+  the real engine also scales, albeit on a much smaller instance than the
+  paper's protocol uses.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import attach_table
+
+from repro.bb import MulticoreBranchAndBound, SequentialBranchAndBound
+from repro.experiments import PAPER_TABLE4, table4
+from repro.experiments.paper_values import PAPER_INSTANCES, PAPER_THREAD_COUNTS
+from repro.flowshop import random_instance
+
+
+def test_table4_model(benchmark):
+    table = benchmark(table4)
+    attach_table(benchmark, table, PAPER_TABLE4)
+
+    comparison = table.compare(PAPER_TABLE4)
+    assert comparison.mean_absolute_relative_error < 0.20
+    for klass in PAPER_INSTANCES:
+        row = [table.get(klass, t) for t in PAPER_THREAD_COUNTS]
+        assert row == sorted(row)  # more threads never slower
+        assert row[-1] < 14  # clearly sub-linear at 11 threads
+
+
+def test_table4_measured_multicore_run(benchmark):
+    """Wall-clock sanity check of the real multi-core engine on this host."""
+    instance = random_instance(10, 8, seed=2)
+
+    def run():
+        return MulticoreBranchAndBound(
+            instance, n_workers=4, backend="process", decomposition_depth=1
+        ).solve()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    serial = SequentialBranchAndBound(instance).solve()
+    assert result.best_makespan == serial.best_makespan
+    benchmark.extra_info["nodes_bounded"] = result.stats.nodes_bounded

@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one artefact of the paper's evaluation (a table
+or a figure), times its generation with ``pytest-benchmark``, and — so the
+numbers are visible in the benchmark log — attaches the reproduced values
+and the comparison against the published ones as ``extra_info``
+(see :mod:`_bench_utils`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.protocol import ExperimentProtocol
+
+
+@pytest.fixture(scope="session")
+def protocol() -> ExperimentProtocol:
+    """One shared protocol (device, cost models) for every benchmark."""
+    return ExperimentProtocol()

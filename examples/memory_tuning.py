@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Data-access optimisation and pool-size auto-tuning.
+
+The second half of the paper is about *where* to place the six lower-bound
+data structures on the GPU memory hierarchy and *how large* the off-loaded
+pools should be.  This example exposes both analyses programmatically:
+
+1. Table I for each instance class (sizes, access counts, packed bytes).
+2. The placement ranking of :func:`repro.core.analyze_placements`: which
+   combinations fit in shared memory, the occupancy they allow and the
+   predicted kernel cost (the paper's recommendation — PTM + JM — should
+   come out on top whenever it fits).
+3. The pool-size auto-tuner in action (the paper's stated follow-up work).
+
+Run with::
+
+    python examples/memory_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import DataStructureComplexity, GpuBBConfig, PoolSizeAutotuner, TESLA_C2050
+from repro.core import analyze_placements
+from repro.experiments.table1 import format_table1, table1
+from repro.flowshop import taillard_instance
+
+INSTANCE_CLASSES = ((20, 20), (50, 20), (100, 20), (200, 20))
+
+
+def show_table1() -> None:
+    print(format_table1(table1(200, 20)))
+    print()
+
+
+def show_placement_ranking() -> None:
+    for n_jobs, n_machines in INSTANCE_CLASSES:
+        complexity = DataStructureComplexity(n=n_jobs, m=n_machines)
+        print(f"Placement ranking for {n_jobs}x{n_machines} on {TESLA_C2050.name}:")
+        for analysis in analyze_placements(complexity, TESLA_C2050):
+            if analysis.fits:
+                print(
+                    f"  {analysis.name:<18} shared/block={analysis.shared_bytes_per_block:>6} B  "
+                    f"active warps={analysis.active_warps_per_sm:>2}  "
+                    f"kernel cycles/thread={analysis.per_thread_cycles:,.0f}"
+                )
+            else:
+                print(
+                    f"  {analysis.name:<18} shared/block={analysis.shared_bytes_per_block:>6} B  "
+                    f"does not fit"
+                )
+        print()
+
+
+def show_autotuning() -> None:
+    for n_jobs, n_machines in ((20, 20), (200, 20)):
+        instance = taillard_instance(n_jobs, n_machines, index=1)
+        tuner = PoolSizeAutotuner(instance, GpuBBConfig())
+        report = tuner.run()
+        print(f"Auto-tuned pool size for {instance.name}: {report.best_pool_size}")
+        for sample in report.samples:
+            print(
+                f"  pool {sample.pool_size:>7}: predicted speed-up x{sample.predicted_speedup:.1f}"
+                f"  ({sample.per_node_s * 1e6:.2f} us/node)"
+            )
+        print()
+
+
+def main() -> None:
+    show_table1()
+    show_placement_ranking()
+    show_autotuning()
+
+
+if __name__ == "__main__":
+    main()

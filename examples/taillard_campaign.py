@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's evaluation campaign on the Taillard instance classes.
+
+This example regenerates, with the simulated Tesla C2050, the full sweep of
+the paper's Section IV/V:
+
+* Table II  — speed-ups with every matrix in global memory,
+* Table III — speed-ups with PTM and JM in shared memory,
+* Table IV  — the multi-threaded CPU baseline,
+* Figure 4  — global vs shared placement at pool size 262144,
+* Figure 5  — GPU vs multi-threaded CPU at ~500 GFLOPS,
+
+and prints, for every table, the cell-by-cell comparison against the
+published numbers.
+
+Run with::
+
+    python examples/taillard_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    figure4,
+    figure5,
+    table2,
+    table3,
+    table4,
+)
+
+
+def print_series(title: str, series_by_label) -> None:
+    print(title)
+    for label, series in series_by_label.items():
+        points = ", ".join(f"{int(x)} jobs: x{v:.1f}" for x, v in zip(series.xs(), series.values()))
+        print(f"  {label:<24} {points}")
+    print()
+
+
+def main() -> None:
+    for build, reference, name in (
+        (table2, PAPER_TABLE2, "Table II"),
+        (table3, PAPER_TABLE3, "Table III"),
+        (table4, PAPER_TABLE4, "Table IV"),
+    ):
+        table = build()
+        print(table.to_text())
+        comparison = table.compare(reference)
+        print(
+            f"\n{name} vs paper: mean |error| = "
+            f"{comparison.mean_absolute_relative_error:.1%}, "
+            f"max |error| = {comparison.max_absolute_relative_error:.1%}\n"
+        )
+
+    print_series("Figure 4 - placement comparison at pool 262144:", figure4())
+    print_series("Figure 5 - GPU vs multi-threaded at ~500 GFLOPS:", figure5())
+
+    fig5 = figure5()
+    gpu_best = dict(zip(fig5["gpu"].xs(), fig5["gpu"].values()))
+    cpu_best = dict(zip(fig5["multithreaded"].xs(), fig5["multithreaded"].values()))
+    for n_jobs in sorted(gpu_best):
+        ratio = gpu_best[n_jobs] / cpu_best[n_jobs]
+        print(f"  {int(n_jobs)} jobs: GPU is x{ratio:.1f} faster than the multi-threaded CPU B&B")
+
+
+if __name__ == "__main__":
+    main()

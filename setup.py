@@ -1,0 +1,4 @@
+"""Setup shim so `pip install -e .` works with the offline legacy toolchain."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""Branch-and-Bound engine substrate.
+
+This package provides the CPU-side Branch-and-Bound machinery the paper
+builds on:
+
+* :mod:`~repro.bb.node` — the sub-problem representation (a permutation
+  prefix plus cached machine release times and lower bound).
+* :mod:`~repro.bb.pool` — pending-node pools implementing the selection
+  strategies (best-first, the paper's choice; depth-first; FIFO).
+* :mod:`~repro.bb.operators` — the four B&B operators (branching, bounding,
+  selection, elimination) as composable functions.
+* :mod:`~repro.bb.sequential` — the serial B&B, the ``T_cpu`` reference of
+  every speed-up in the paper, with per-operator timing instrumentation
+  (used for the 98.5 % bounding-fraction measurement).
+* :mod:`~repro.bb.multicore` — the multi-threaded B&B baseline of Section V.
+* :mod:`~repro.bb.bruteforce` — exhaustive enumeration, used by the tests
+  as ground truth on small instances.
+* :mod:`~repro.bb.stats` — exploration statistics shared by all engines.
+"""
+
+from repro.bb.node import Node, root_node
+from repro.bb.pool import (
+    BestFirstPool,
+    DepthFirstPool,
+    FifoPool,
+    NodePool,
+    make_pool,
+)
+from repro.bb.operators import (
+    branch,
+    bound_node,
+    eliminate,
+    select_batch,
+)
+from repro.bb.stats import SearchStats
+from repro.bb.progress import ProgressTracker, ProgressEvent
+from repro.bb.sequential import SequentialBranchAndBound, BBResult
+from repro.bb.multicore import MulticoreBranchAndBound
+from repro.bb.bruteforce import brute_force_optimum
+
+__all__ = [
+    "Node",
+    "root_node",
+    "BestFirstPool",
+    "DepthFirstPool",
+    "FifoPool",
+    "NodePool",
+    "make_pool",
+    "branch",
+    "bound_node",
+    "eliminate",
+    "select_batch",
+    "SearchStats",
+    "ProgressTracker",
+    "ProgressEvent",
+    "SequentialBranchAndBound",
+    "BBResult",
+    "MulticoreBranchAndBound",
+    "brute_force_optimum",
+]

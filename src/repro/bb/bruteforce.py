@@ -1,0 +1,40 @@
+"""Exhaustive enumeration of permutation schedules.
+
+Only usable for tiny instances (``n!`` schedules), the brute-force solver is
+the ground truth against which the tests validate the Branch-and-Bound
+engines and the admissibility of the lower bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.flowshop.instance import FlowShopInstance
+from repro.flowshop.schedule import makespan
+
+__all__ = ["brute_force_optimum", "enumerate_makespans"]
+
+#: refuse to enumerate more than this many schedules (guards against typos)
+MAX_JOBS = 10
+
+
+def enumerate_makespans(instance: FlowShopInstance) -> Iterable[tuple[tuple[int, ...], int]]:
+    """Yield ``(order, makespan)`` for every permutation of the jobs."""
+    if instance.n_jobs > MAX_JOBS:
+        raise ValueError(
+            f"brute force is limited to {MAX_JOBS} jobs ({instance.n_jobs} requested)"
+        )
+    for order in itertools.permutations(range(instance.n_jobs)):
+        yield order, makespan(instance, order)
+
+
+def brute_force_optimum(instance: FlowShopInstance) -> tuple[tuple[int, ...], int]:
+    """Optimal ``(order, makespan)`` by exhaustive enumeration."""
+    best_order: tuple[int, ...] | None = None
+    best_value: int | None = None
+    for order, value in enumerate_makespans(instance):
+        if best_value is None or value < best_value:
+            best_order, best_value = order, value
+    assert best_order is not None and best_value is not None
+    return best_order, best_value

@@ -1,0 +1,141 @@
+"""Branch-and-Bound node (sub-problem) representation.
+
+A node of the B&B tree is a partial permutation: the jobs scheduled so far,
+in order.  To keep branching cheap the node also carries
+
+* the per-machine release times of its prefix (the ``RM`` vector), updated
+  incrementally when a child is created — an ``O(m)`` operation instead of
+  recomputing the prefix in ``O(depth * m)``;
+* the set of scheduled jobs as a Python ``frozenset`` (fast membership) and
+  lazily as a NumPy boolean mask (what the batched kernel consumes);
+* the lower bound once it has been evaluated (None until then).
+
+Nodes are ordered by ``(lower_bound, depth, creation index)`` so that a heap
+of nodes directly implements the paper's best-first selection strategy with
+deterministic tie-breaking.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.flowshop.instance import FlowShopInstance
+
+__all__ = ["Node", "root_node"]
+
+_node_counter = itertools.count()
+
+
+@dataclass
+class Node:
+    """One sub-problem of the B&B tree."""
+
+    #: jobs scheduled so far, in order
+    prefix: tuple[int, ...]
+    #: per-machine completion times of the prefix (the ``RM`` vector)
+    release: np.ndarray
+    #: number of jobs of the instance (kept to derive the unscheduled set)
+    n_jobs: int
+    #: lower bound of the sub-problem; ``None`` until bounded
+    lower_bound: Optional[int] = None
+    #: makespan when the node is a complete schedule, else ``None``
+    makespan: Optional[int] = None
+    #: monotonically increasing creation index (deterministic tie-break)
+    order_index: int = field(default_factory=lambda: next(_node_counter))
+
+    def __post_init__(self) -> None:
+        self.release = np.asarray(self.release, dtype=np.int64)
+        if len(self.prefix) > self.n_jobs:
+            raise ValueError("prefix longer than the number of jobs")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        """Number of scheduled jobs."""
+        return len(self.prefix)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when every job is scheduled (the node is a complete schedule)."""
+        return self.depth == self.n_jobs
+
+    @property
+    def n_remaining(self) -> int:
+        """Number of jobs still to schedule."""
+        return self.n_jobs - self.depth
+
+    @property
+    def scheduled_set(self) -> frozenset[int]:
+        return frozenset(self.prefix)
+
+    def unscheduled(self) -> list[int]:
+        """Unscheduled jobs in increasing index order."""
+        fixed = set(self.prefix)
+        return [j for j in range(self.n_jobs) if j not in fixed]
+
+    def scheduled_mask(self) -> np.ndarray:
+        """Boolean mask of scheduled jobs (length ``n_jobs``)."""
+        mask = np.zeros(self.n_jobs, dtype=bool)
+        if self.prefix:
+            mask[np.asarray(self.prefix, dtype=np.int64)] = True
+        return mask
+
+    # ------------------------------------------------------------------ #
+    def child(self, job: int, processing_times: np.ndarray) -> "Node":
+        """Create the child obtained by scheduling ``job`` next.
+
+        The child's release times are derived incrementally from the
+        parent's in ``O(m)``.
+        """
+        if job in self.prefix:
+            raise ValueError(f"job {job} already scheduled in this node")
+        if not 0 <= job < self.n_jobs:
+            raise ValueError(f"job index {job} out of range")
+        release = self.release.copy()
+        prev = 0
+        times = processing_times[job]
+        for k in range(release.shape[0]):
+            start = release[k] if release[k] > prev else prev
+            prev = start + times[k]
+            release[k] = prev
+        child = Node(
+            prefix=self.prefix + (int(job),),
+            release=release,
+            n_jobs=self.n_jobs,
+        )
+        if child.is_leaf:
+            child.makespan = int(release[-1])
+            child.lower_bound = child.makespan
+        return child
+
+    def children(self, processing_times: np.ndarray) -> list["Node"]:
+        """All one-job extensions (the branching operator)."""
+        return [self.child(job, processing_times) for job in self.unscheduled()]
+
+    # ------------------------------------------------------------------ #
+    def sort_key(self) -> tuple[int, int, int]:
+        """Best-first ordering key: ``(lower bound, depth, creation index)``."""
+        lb = self.lower_bound if self.lower_bound is not None else 0
+        return (int(lb), self.depth, self.order_index)
+
+    def __lt__(self, other: "Node") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Node(depth={self.depth}, lb={self.lower_bound}, "
+            f"prefix={self.prefix})"
+        )
+
+
+def root_node(instance: FlowShopInstance) -> Node:
+    """The root of the B&B tree: the empty schedule."""
+    return Node(
+        prefix=(),
+        release=np.zeros(instance.n_machines, dtype=np.int64),
+        n_jobs=instance.n_jobs,
+    )

@@ -1,0 +1,181 @@
+"""Pools of pending (generated but not yet examined) sub-problems.
+
+The B&B keeps the generated-and-not-yet-branched nodes in a pool; the
+*selection* operator picks which nodes to examine next.  The paper selects
+nodes with the best-first strategy (smallest lower bound first) and ships
+them to the GPU in large batches, so pools expose both single-node ``pop``
+and batched ``pop_batch`` operations.
+
+Three strategies are provided:
+
+* :class:`BestFirstPool` — a binary heap keyed by the node's
+  ``(lower bound, depth, creation index)``; the paper's choice.
+* :class:`DepthFirstPool` — a LIFO stack; memory-frugal, used by the
+  ablation benchmarks.
+* :class:`FifoPool` — breadth-first, mostly useful in tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.bb.node import Node
+
+__all__ = ["NodePool", "BestFirstPool", "DepthFirstPool", "FifoPool", "make_pool"]
+
+
+class NodePool(ABC):
+    """Interface shared by every selection strategy."""
+
+    #: human-readable strategy name
+    strategy: str = "abstract"
+
+    def __init__(self) -> None:
+        self._max_size = 0
+
+    # -- core operations ------------------------------------------------ #
+    @abstractmethod
+    def push(self, node: Node) -> None:
+        """Insert one node."""
+
+    @abstractmethod
+    def pop(self) -> Node:
+        """Remove and return the next node according to the strategy."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        ...
+
+    # -- derived operations --------------------------------------------- #
+    def push_many(self, nodes: Iterable[Node]) -> None:
+        for node in nodes:
+            self.push(node)
+
+    def pop_batch(self, max_nodes: int) -> list[Node]:
+        """Remove up to ``max_nodes`` nodes (the GPU off-load batch)."""
+        if max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1")
+        batch: list[Node] = []
+        while len(self) and len(batch) < max_nodes:
+            batch.append(self.pop())
+        return batch
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    @property
+    def max_size_seen(self) -> int:
+        """Largest number of pending nodes observed (memory high-water mark)."""
+        return self._max_size
+
+    def _record_size(self) -> None:
+        if len(self) > self._max_size:
+            self._max_size = len(self)
+
+    def drain(self) -> Iterator[Node]:
+        """Yield and remove every pending node."""
+        while len(self):
+            yield self.pop()
+
+
+class BestFirstPool(NodePool):
+    """Heap-based pool returning the node with the smallest lower bound first."""
+
+    strategy = "best-first"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[tuple[tuple[int, int, int], Node]] = []
+
+    def push(self, node: Node) -> None:
+        heapq.heappush(self._heap, (node.sort_key(), node))
+        self._record_size()
+
+    def pop(self) -> Node:
+        if not self._heap:
+            raise IndexError("pop from an empty pool")
+        return heapq.heappop(self._heap)[1]
+
+    def peek(self) -> Node:
+        """The best pending node, without removing it."""
+        if not self._heap:
+            raise IndexError("peek at an empty pool")
+        return self._heap[0][1]
+
+    def best_lower_bound(self) -> int | None:
+        """Smallest lower bound among pending nodes (``None`` when empty)."""
+        if not self._heap:
+            return None
+        node = self._heap[0][1]
+        return node.lower_bound
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class DepthFirstPool(NodePool):
+    """LIFO pool (depth-first exploration)."""
+
+    strategy = "depth-first"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stack: list[Node] = []
+
+    def push(self, node: Node) -> None:
+        self._stack.append(node)
+        self._record_size()
+
+    def pop(self) -> Node:
+        if not self._stack:
+            raise IndexError("pop from an empty pool")
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class FifoPool(NodePool):
+    """FIFO pool (breadth-first exploration)."""
+
+    strategy = "breadth-first"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: deque[Node] = deque()
+
+    def push(self, node: Node) -> None:
+        self._queue.append(node)
+        self._record_size()
+
+    def pop(self) -> Node:
+        if not self._queue:
+            raise IndexError("pop from an empty pool")
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+_POOL_FACTORIES = {
+    "best-first": BestFirstPool,
+    "best": BestFirstPool,
+    "depth-first": DepthFirstPool,
+    "depth": DepthFirstPool,
+    "fifo": FifoPool,
+    "breadth-first": FifoPool,
+}
+
+
+def make_pool(strategy: str = "best-first") -> NodePool:
+    """Create a pool implementing the named selection strategy."""
+    key = strategy.lower()
+    if key not in _POOL_FACTORIES:
+        raise ValueError(
+            f"unknown selection strategy {strategy!r}; choose from "
+            f"{sorted(set(_POOL_FACTORIES))}"
+        )
+    return _POOL_FACTORIES[key]()

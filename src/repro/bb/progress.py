@@ -1,0 +1,124 @@
+"""Incumbent / optimality-gap tracking during a Branch-and-Bound run.
+
+Long B&B runs (the paper's protocol runs for minutes to hours) are usually
+monitored through two curves: the incumbent (best makespan found so far) and
+the best pending lower bound, whose difference is the proven optimality gap.
+:class:`ProgressTracker` records both against wall-clock time and node
+counts, and can be attached to any engine via its callback hooks or fed
+manually by a driver loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ProgressEvent", "ProgressTracker"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One sample of the search state."""
+
+    elapsed_s: float
+    nodes_explored: int
+    incumbent: Optional[float]
+    best_lower_bound: Optional[float]
+
+    @property
+    def gap(self) -> Optional[float]:
+        """Relative optimality gap ``(UB - LB) / UB`` (``None`` when unknown)."""
+        if self.incumbent is None or self.best_lower_bound is None:
+            return None
+        if self.incumbent <= 0:
+            return None
+        return max(0.0, (self.incumbent - self.best_lower_bound) / self.incumbent)
+
+
+@dataclass
+class ProgressTracker:
+    """Record incumbent / bound updates over the lifetime of a search."""
+
+    events: list[ProgressEvent] = field(default_factory=list)
+    _start: float = field(default_factory=time.perf_counter, repr=False)
+    _incumbent: Optional[float] = field(default=None, repr=False)
+    _best_bound: Optional[float] = field(default=None, repr=False)
+    _nodes: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------------ #
+    def record_incumbent(self, value: float, nodes_explored: Optional[int] = None) -> None:
+        """Record an improved incumbent (upper bound)."""
+        if self._incumbent is not None and value > self._incumbent:
+            raise ValueError("the incumbent can only improve (decrease)")
+        self._incumbent = float(value)
+        self._sample(nodes_explored)
+
+    def record_bound(self, value: float, nodes_explored: Optional[int] = None) -> None:
+        """Record the best pending lower bound (may move up as the tree shrinks)."""
+        self._best_bound = float(value)
+        self._sample(nodes_explored)
+
+    def record_nodes(self, nodes_explored: int) -> None:
+        """Update the explored-node counter without taking a sample."""
+        if nodes_explored < self._nodes:
+            raise ValueError("nodes_explored must be non-decreasing")
+        self._nodes = int(nodes_explored)
+
+    def _sample(self, nodes_explored: Optional[int]) -> None:
+        if nodes_explored is not None:
+            self.record_nodes(nodes_explored)
+        self.events.append(
+            ProgressEvent(
+                elapsed_s=time.perf_counter() - self._start,
+                nodes_explored=self._nodes,
+                incumbent=self._incumbent,
+                best_lower_bound=self._best_bound,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def incumbent(self) -> Optional[float]:
+        return self._incumbent
+
+    @property
+    def best_lower_bound(self) -> Optional[float]:
+        return self._best_bound
+
+    @property
+    def current_gap(self) -> Optional[float]:
+        if not self.events:
+            return None
+        return self.events[-1].gap
+
+    def incumbent_trajectory(self) -> list[tuple[float, float]]:
+        """``(elapsed_s, incumbent)`` samples, one per incumbent improvement."""
+        trajectory = []
+        last = None
+        for event in self.events:
+            if event.incumbent is not None and event.incumbent != last:
+                trajectory.append((event.elapsed_s, event.incumbent))
+                last = event.incumbent
+        return trajectory
+
+    def is_proved_optimal(self, tolerance: float = 0.0) -> bool:
+        """True when the recorded gap has closed to ``tolerance``."""
+        gap = self.current_gap
+        return gap is not None and gap <= tolerance
+
+    def attach_to_engine(self, engine) -> "ProgressTracker":
+        """Attach to a :class:`~repro.bb.sequential.SequentialBranchAndBound`.
+
+        The engine's ``on_incumbent`` callback is redirected to this tracker
+        (the previous callback, if any, is still invoked).
+        """
+        previous = getattr(engine, "on_incumbent", None)
+
+        def hook(value: int, order: tuple[int, ...]) -> None:
+            self.record_incumbent(value)
+            if previous is not None:
+                previous(value, order)
+
+        engine.on_incumbent = hook
+        return self

@@ -1,0 +1,92 @@
+"""Exploration statistics shared by every Branch-and-Bound engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SearchStats"]
+
+
+@dataclass
+class SearchStats:
+    """Counters and timers accumulated during one B&B run.
+
+    The timing split between :attr:`time_bounding_s` and the rest is what
+    the paper's preliminary experiment measures (the bounding operator
+    accounts for ~98.5 % of the serial runtime on the m=20 instances).
+    """
+
+    #: nodes whose lower bound has been evaluated
+    nodes_bounded: int = 0
+    #: nodes decomposed by the branching operator
+    nodes_branched: int = 0
+    #: nodes discarded because their bound met or exceeded the incumbent
+    nodes_pruned: int = 0
+    #: complete schedules reached
+    leaves_evaluated: int = 0
+    #: number of times the incumbent (upper bound) improved
+    incumbent_updates: int = 0
+    #: number of pools shipped to the bounding device (GPU engine only)
+    pools_evaluated: int = 0
+    #: wall-clock time of the whole run, seconds
+    time_total_s: float = 0.0
+    #: wall-clock time spent in the bounding operator, seconds
+    time_bounding_s: float = 0.0
+    #: wall-clock time spent branching, seconds
+    time_branching_s: float = 0.0
+    #: wall-clock time spent in pool management (selection + insertion), seconds
+    time_pool_s: float = 0.0
+    #: largest pending-pool size observed
+    max_pool_size: int = 0
+    #: simulated device time accumulated by the GPU engine, seconds
+    simulated_device_time_s: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes_explored(self) -> int:
+        """Total nodes taken out of the pool and processed."""
+        return self.nodes_branched + self.nodes_pruned
+
+    @property
+    def bounding_fraction(self) -> float:
+        """Share of the total runtime spent bounding (0 when not timed)."""
+        if self.time_total_s <= 0:
+            return 0.0
+        return self.time_bounding_s / self.time_total_s
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Combine statistics of two (sub-)searches."""
+        return SearchStats(
+            nodes_bounded=self.nodes_bounded + other.nodes_bounded,
+            nodes_branched=self.nodes_branched + other.nodes_branched,
+            nodes_pruned=self.nodes_pruned + other.nodes_pruned,
+            leaves_evaluated=self.leaves_evaluated + other.leaves_evaluated,
+            incumbent_updates=self.incumbent_updates + other.incumbent_updates,
+            pools_evaluated=self.pools_evaluated + other.pools_evaluated,
+            time_total_s=max(self.time_total_s, other.time_total_s),
+            time_bounding_s=self.time_bounding_s + other.time_bounding_s,
+            time_branching_s=self.time_branching_s + other.time_branching_s,
+            time_pool_s=self.time_pool_s + other.time_pool_s,
+            max_pool_size=max(self.max_pool_size, other.max_pool_size),
+            simulated_device_time_s=self.simulated_device_time_s
+            + other.simulated_device_time_s,
+        )
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Plain dictionary (for reports and JSON dumps)."""
+        return {
+            "nodes_bounded": self.nodes_bounded,
+            "nodes_branched": self.nodes_branched,
+            "nodes_pruned": self.nodes_pruned,
+            "nodes_explored": self.nodes_explored,
+            "leaves_evaluated": self.leaves_evaluated,
+            "incumbent_updates": self.incumbent_updates,
+            "pools_evaluated": self.pools_evaluated,
+            "time_total_s": self.time_total_s,
+            "time_bounding_s": self.time_bounding_s,
+            "time_branching_s": self.time_branching_s,
+            "time_pool_s": self.time_pool_s,
+            "bounding_fraction": self.bounding_fraction,
+            "max_pool_size": self.max_pool_size,
+            "simulated_device_time_s": self.simulated_device_time_s,
+        }

@@ -1,0 +1,166 @@
+"""Command-line interface.
+
+Three sub-commands cover the library's main workflows::
+
+    python -m repro solve      --jobs 20 --machines 10        # solve an instance
+    python -m repro solve      --file my_instance.txt --engine gpu
+    python -m repro autotune   --jobs 200 --machines 20       # pick the pool size
+    python -m repro evaluate   --output report.json           # regenerate all tables/figures
+
+``solve`` accepts Taillard-format or JSON instance files (see
+:mod:`repro.flowshop.io`) or generates a Taillard-style instance of the
+requested size; engines: ``gpu`` (default), ``serial``, ``multicore``,
+``cluster``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.bb.multicore import MulticoreBranchAndBound
+from repro.bb.sequential import SequentialBranchAndBound
+from repro.core.autotune import PoolSizeAutotuner
+from repro.core.cluster import ClusterBranchAndBound, ClusterSpec
+from repro.core.config import GpuBBConfig
+from repro.core.gpu_bb import GpuBranchAndBound
+from repro.experiments.runner import run_all, write_report
+from repro.flowshop.instance import FlowShopInstance
+from repro.flowshop.io import read_json_file, read_taillard_file
+from repro.flowshop.taillard import taillard_instance
+
+__all__ = ["build_parser", "main"]
+
+
+def _load_instance(args: argparse.Namespace) -> FlowShopInstance:
+    if args.file:
+        path = Path(args.file)
+        if not path.exists():
+            raise SystemExit(f"instance file not found: {path}")
+        if path.suffix.lower() == ".json":
+            return read_json_file(path)
+        return read_taillard_file(path)
+    return taillard_instance(args.jobs, args.machines, index=args.index)
+
+
+def _solve(args: argparse.Namespace) -> int:
+    instance = _load_instance(args)
+    engine = args.engine
+    print(f"instance : {instance.name or 'unnamed'} "
+          f"({instance.n_jobs} jobs x {instance.n_machines} machines)")
+    print(f"engine   : {engine}")
+
+    if engine == "serial":
+        result = SequentialBranchAndBound(
+            instance, max_nodes=args.max_nodes, max_time_s=args.max_time
+        ).solve()
+    elif engine == "multicore":
+        result = MulticoreBranchAndBound(
+            instance, n_workers=args.workers, backend="process"
+        ).solve()
+    elif engine == "cluster":
+        config = GpuBBConfig(pool_size=args.pool_size, max_nodes=args.max_nodes,
+                             max_time_s=args.max_time)
+        result = ClusterBranchAndBound(
+            instance, ClusterSpec(n_nodes=args.nodes), config
+        ).solve()
+    else:  # gpu
+        config = GpuBBConfig(pool_size=args.pool_size, max_nodes=args.max_nodes,
+                             max_time_s=args.max_time)
+        result = GpuBranchAndBound(instance, config).solve()
+
+    print(f"makespan : {result.best_makespan}")
+    print(f"order    : {' '.join(str(j) for j in result.best_order)}")
+    print(f"optimal  : {result.proved_optimal}")
+    stats = result.stats
+    print(f"nodes    : bounded={stats.nodes_bounded} pruned={stats.nodes_pruned} "
+          f"pools={stats.pools_evaluated}")
+    print(f"time     : {stats.time_total_s:.3f}s wall"
+          + (f", {stats.simulated_device_time_s * 1e3:.2f}ms simulated device"
+             if stats.simulated_device_time_s else ""))
+    return 0
+
+
+def _autotune(args: argparse.Namespace) -> int:
+    instance = _load_instance(args)
+    tuner = PoolSizeAutotuner(instance, GpuBBConfig(), mode=args.mode)
+    report = tuner.run()
+    print(f"instance        : {instance.name} ({instance.n_jobs}x{instance.n_machines})")
+    print(f"mode            : {report.mode}")
+    for sample in report.samples:
+        print(f"  pool {sample.pool_size:>7}: predicted speed-up x{sample.predicted_speedup:7.1f}"
+              f"  ({sample.per_node_s * 1e6:.2f} us/node)")
+    print(f"best pool size  : {report.best_pool_size}")
+    return 0
+
+
+def _evaluate(args: argparse.Namespace) -> int:
+    report = run_all(include_measured=not args.skip_measured)
+    for line in report.summary_lines():
+        print(line)
+    if args.figures:
+        from repro.experiments.ascii_plot import figure_to_text
+        from repro.experiments.figure4 import figure4
+        from repro.experiments.figure5 import figure5
+
+        print()
+        print(figure_to_text("Figure 4 - placement comparison (pool 262144)", figure4()))
+        print(figure_to_text("Figure 5 - GPU vs multi-threaded (~500 GFLOPS)", figure5()))
+    if args.output:
+        path = write_report(report, args.output)
+        print(f"full report written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU-accelerated Branch-and-Bound for the flow-shop problem "
+        "(reproduction of Melab et al., CLUSTER 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_instance_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--file", help="instance file (Taillard text or JSON)")
+        p.add_argument("--jobs", type=int, default=20, help="jobs of the generated instance")
+        p.add_argument("--machines", type=int, default=10, help="machines of the generated instance")
+        p.add_argument("--index", type=int, default=1, help="index within the Taillard class")
+
+    solve = sub.add_parser("solve", help="solve one instance to optimality")
+    add_instance_arguments(solve)
+    solve.add_argument("--engine", choices=("gpu", "serial", "multicore", "cluster"),
+                       default="gpu")
+    solve.add_argument("--pool-size", type=int, default=8192, help="GPU off-load pool size")
+    solve.add_argument("--workers", type=int, default=4, help="multicore worker count")
+    solve.add_argument("--nodes", type=int, default=4, help="cluster node count")
+    solve.add_argument("--max-nodes", type=int, default=None, help="node exploration budget")
+    solve.add_argument("--max-time", type=float, default=None, help="time budget in seconds")
+    solve.set_defaults(func=_solve)
+
+    autotune = sub.add_parser("autotune", help="pick the off-load pool size for an instance")
+    add_instance_arguments(autotune)
+    autotune.add_argument("--mode", choices=("model", "measure"), default="model")
+    autotune.set_defaults(func=_autotune)
+
+    evaluate = sub.add_parser("evaluate", help="regenerate every table/figure of the paper")
+    evaluate.add_argument("--output", help="write the full JSON report to this path")
+    evaluate.add_argument("--skip-measured", action="store_true",
+                          help="skip the wall-clock measurements (faster)")
+    evaluate.add_argument("--figures", action="store_true",
+                          help="also render Figures 4 and 5 as text charts")
+    evaluate.set_defaults(func=_evaluate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro`` (returns the exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,262 @@
+"""GPU-accelerated Branch-and-Bound (the paper's Figure 3 architecture).
+
+The control flow of :class:`GpuBranchAndBound` follows the paper exactly:
+
+1. The CPU keeps the pool of pending sub-problems (best-first order) and the
+   incumbent (upper bound).
+2. Each iteration, the *selection* operator takes up to ``pool_size`` nodes
+   from the pool and the *branching* operator decomposes them into children.
+3. The children are packed into device buffers and off-loaded to the
+   (simulated) GPU where the bounding kernel evaluates one lower bound per
+   thread.
+4. The bounds travel back to the CPU, where the *elimination* operator
+   prunes children whose bound cannot improve the incumbent; complete
+   schedules update the incumbent; survivors re-enter the pool.
+5. Repeat until the pool is empty (optimality proven) or a budget is hit.
+
+Because the executor's batched kernel returns exactly the same values as the
+scalar bound, the tree explored by this engine is the same as the serial
+engine's (up to tie-breaking order), which is the property the paper relies
+on when comparing ``T_cpu`` and ``T_gpu`` over the same node set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bb.node import Node, root_node
+from repro.bb.operators import branch, eliminate, encode_pool, select_batch
+from repro.bb.pool import make_pool
+from repro.bb.sequential import BBResult
+from repro.bb.stats import SearchStats
+from repro.core.config import GpuBBConfig
+from repro.core.kernels import KernelLaunch
+from repro.core.mapping import recommend_placement
+from repro.flowshop.bounds import LowerBoundData
+from repro.flowshop.instance import FlowShopInstance
+from repro.flowshop.neh import neh_heuristic
+from repro.gpu.executor import GpuExecutor
+
+__all__ = ["GpuBranchAndBound", "GpuBBResult", "IterationRecord"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Per-iteration accounting (one off-loaded pool)."""
+
+    iteration: int
+    launch: KernelLaunch
+    nodes_offloaded: int
+    nodes_pruned: int
+    nodes_kept: int
+    incumbent: float
+    simulated_device_s: float
+    measured_host_s: float
+
+
+@dataclass
+class GpuBBResult(BBResult):
+    """Result of a GPU-accelerated run, with device-side accounting."""
+
+    iterations: list[IterationRecord] = field(default_factory=list)
+    simulated_device_time_s: float = 0.0
+    measured_kernel_time_s: float = 0.0
+    config: Optional[GpuBBConfig] = None
+
+    def simulated_speedup(self, serial_seconds: float) -> float:
+        """Speed-up of the simulated device time over a serial reference."""
+        if self.simulated_device_time_s <= 0:
+            raise ValueError("no simulated device time recorded")
+        return serial_seconds / self.simulated_device_time_s
+
+
+class GpuBranchAndBound:
+    """Branch-and-Bound with GPU-off-loaded bounding.
+
+    Parameters
+    ----------
+    instance:
+        The flow-shop instance to solve.
+    config:
+        Execution configuration (pool size, block size, placement, budgets).
+
+    Examples
+    --------
+    >>> from repro.flowshop import random_instance
+    >>> from repro.core import GpuBBConfig, GpuBranchAndBound
+    >>> inst = random_instance(8, 4, seed=1)
+    >>> result = GpuBranchAndBound(inst, GpuBBConfig(pool_size=64)).solve()
+    >>> result.proved_optimal
+    True
+    """
+
+    def __init__(self, instance: FlowShopInstance, config: GpuBBConfig | None = None):
+        self.instance = instance
+        config = config if config is not None else GpuBBConfig()
+        self.data = LowerBoundData(instance)
+        placement = config.placement
+        if placement is None:
+            placement = recommend_placement(
+                self.data.complexity,
+                config.device,
+                cost_model=config.cost_model,
+                threads_per_block=config.threads_per_block,
+            )
+        # keep the resolved placement visible in the configuration carried by results
+        self.config = config.with_placement(placement)
+        self.placement = placement
+        self.executor = GpuExecutor(
+            self.data,
+            device=self.config.device,
+            placement=placement,
+            cost_model=self.config.cost_model,
+            threads_per_block=self.config.threads_per_block,
+            include_one_machine=self.config.include_one_machine_bound
+            or instance.n_machines == 1,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _initial_incumbent(self) -> tuple[float, tuple[int, ...]]:
+        if not self.config.use_neh_upper_bound:
+            return float("inf"), ()
+        heuristic = neh_heuristic(self.instance)
+        return float(heuristic.makespan), tuple(heuristic.order)
+
+    def _offload(self, nodes: Sequence[Node]) -> tuple[np.ndarray, float, float]:
+        """Evaluate a pool of nodes on the executor, writing bounds back."""
+        mask, release = encode_pool(nodes, self.data.n_jobs, self.data.n_machines)
+        result = self.executor.evaluate(mask, release)
+        for node, value in zip(nodes, result.bounds):
+            node.lower_bound = int(value)
+        return result.bounds, result.simulated.total_s, result.measured_wall_s
+
+    # ------------------------------------------------------------------ #
+    def solve(self) -> GpuBBResult:
+        """Run the GPU-accelerated search."""
+        config = self.config
+        instance = self.instance
+        stats = SearchStats()
+        iterations: list[IterationRecord] = []
+
+        upper_bound, best_order = self._initial_incumbent()
+        if best_order:
+            stats.incumbent_updates += 1
+
+        pool = make_pool(config.selection)
+        simulated_total = 0.0
+        measured_kernel = 0.0
+
+        start = time.perf_counter()
+
+        # Bound the root on the device (a pool of one) and seed the pool.
+        root = root_node(instance)
+        bounds, sim_s, wall_s = self._offload([root])
+        simulated_total += sim_s
+        measured_kernel += wall_s
+        stats.nodes_bounded += 1
+        stats.pools_evaluated += 1
+        if root.lower_bound is not None and root.lower_bound < upper_bound:
+            pool.push(root)
+        else:
+            stats.nodes_pruned += 1
+
+        iteration = 0
+        completed = True
+        while pool:
+            if config.max_iterations is not None and iteration >= config.max_iterations:
+                completed = False
+                break
+            if config.max_nodes is not None and stats.nodes_explored >= config.max_nodes:
+                completed = False
+                break
+            if config.max_time_s is not None and time.perf_counter() - start > config.max_time_s:
+                completed = False
+                break
+            iteration += 1
+
+            # --- selection -------------------------------------------------
+            t0 = time.perf_counter()
+            parents = select_batch(pool, config.pool_size, upper_bound)
+            stats.time_pool_s += time.perf_counter() - t0
+            if not parents:
+                break
+
+            # --- branching (CPU) --------------------------------------------
+            t0 = time.perf_counter()
+            children: list[Node] = []
+            for parent in parents:
+                offspring = branch(parent, instance)
+                stats.nodes_branched += 1
+                children.extend(offspring)
+            stats.time_branching_s += time.perf_counter() - t0
+
+            if not children:
+                continue
+
+            # --- bounding (GPU off-load) ------------------------------------
+            t0 = time.perf_counter()
+            bounds, sim_s, wall_s = self._offload(children)
+            stats.time_bounding_s += time.perf_counter() - t0
+            simulated_total += sim_s
+            measured_kernel += wall_s
+            stats.nodes_bounded += len(children)
+            stats.pools_evaluated += 1
+
+            # --- incumbent updates from complete schedules -------------------
+            open_children: list[Node] = []
+            for child in children:
+                if child.is_leaf:
+                    stats.leaves_evaluated += 1
+                    makespan = int(child.release[-1])
+                    if makespan < upper_bound:
+                        upper_bound = float(makespan)
+                        best_order = child.prefix
+                        stats.incumbent_updates += 1
+                else:
+                    open_children.append(child)
+
+            # --- elimination --------------------------------------------------
+            survivors, pruned = eliminate(open_children, upper_bound)
+            stats.nodes_pruned += pruned
+
+            t0 = time.perf_counter()
+            pool.push_many(survivors)
+            stats.time_pool_s += time.perf_counter() - t0
+
+            iterations.append(
+                IterationRecord(
+                    iteration=iteration,
+                    launch=KernelLaunch(len(children), config.threads_per_block),
+                    nodes_offloaded=len(children),
+                    nodes_pruned=pruned,
+                    nodes_kept=len(survivors),
+                    incumbent=upper_bound,
+                    simulated_device_s=sim_s,
+                    measured_host_s=wall_s,
+                )
+            )
+
+        stats.time_total_s = time.perf_counter() - start
+        stats.max_pool_size = pool.max_size_seen
+        stats.simulated_device_time_s = simulated_total
+
+        if not best_order:
+            raise RuntimeError(
+                "the search terminated without an incumbent; enable the NEH seed "
+                "or provide a finite initial upper bound"
+            )
+        return GpuBBResult(
+            instance=instance,
+            best_makespan=int(upper_bound),
+            best_order=tuple(best_order),
+            proved_optimal=completed,
+            stats=stats,
+            iterations=iterations,
+            simulated_device_time_s=simulated_total,
+            measured_kernel_time_s=measured_kernel,
+            config=config,
+        )

@@ -1,0 +1,130 @@
+"""Data-access-optimisation analysis (the reasoning behind Table I).
+
+Given an instance size and a device, rank the candidate placements of the
+six lower-bound data structures by the kernel cost predicted by the
+simulator.  This is the programmatic version of the paper's Section III-B /
+IV-B argument:
+
+* ``RM``, ``QM`` and ``MM`` are tiny — where they live barely matters;
+* ``JM`` and ``LM`` have the same access frequency, but ``JM`` is read for
+  every job while ``LM`` only for the remaining ones, and ``LM`` is twice
+  the byte size in the paper's packed layout — so ``JM`` wins the shared
+  memory spot;
+* ``PTM`` has the highest access count of all and is small — it joins
+  ``JM`` in shared memory whenever both fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.gpu.device import DeviceSpec, TESLA_C2050
+from repro.gpu.memory import MemoryHierarchy
+from repro.gpu.placement import DataPlacement
+from repro.gpu.simulator import GpuSimulator, KernelCostModel
+
+__all__ = ["PlacementAnalysis", "analyze_placements", "recommend_placement", "default_candidates"]
+
+
+@dataclass(frozen=True)
+class PlacementAnalysis:
+    """Predicted cost of one placement for one instance size."""
+
+    placement: DataPlacement
+    fits: bool
+    shared_bytes_per_block: int
+    active_warps_per_sm: int
+    limiting_factor: str
+    per_thread_cycles: float
+
+    @property
+    def name(self) -> str:
+        return self.placement.name or "custom"
+
+
+def default_candidates() -> list[DataPlacement]:
+    """The placements worth considering (paper's scenarios + ablations)."""
+    return [
+        DataPlacement.all_global(),
+        DataPlacement.shared_ptm_jm(),
+        DataPlacement.shared_structures(["JM"]),
+        DataPlacement.shared_structures(["PTM"]),
+        DataPlacement.shared_structures(["LM"]),
+        DataPlacement.shared_structures(["PTM", "LM"]),
+        DataPlacement.shared_structures(["JM", "LM"]),
+    ]
+
+
+def analyze_placements(
+    complexity: DataStructureComplexity,
+    device: DeviceSpec = TESLA_C2050,
+    candidates: Sequence[DataPlacement] | None = None,
+    cost_model: KernelCostModel | None = None,
+    threads_per_block: int = 256,
+) -> list[PlacementAnalysis]:
+    """Rank candidate placements by predicted per-thread kernel cost.
+
+    Placements that do not fit (their shared-memory demand exceeds the SM
+    capacity) are still reported, flagged ``fits=False``, and sorted last.
+    """
+    if candidates is None:
+        candidates = default_candidates()
+    cost_model = cost_model if cost_model is not None else KernelCostModel()
+
+    analyses: list[PlacementAnalysis] = []
+    for placement in candidates:
+        hierarchy = MemoryHierarchy(device, placement.cache_config)
+        shared_needed = placement.shared_bytes_per_block(complexity)
+        fits = placement.fits(complexity, hierarchy)
+        simulator = GpuSimulator(device=device, placement=placement, cost_model=cost_model)
+        if fits:
+            occupancy = simulator.occupancy(complexity, threads_per_block)
+            if occupancy.active_blocks_per_sm == 0:
+                fits = False
+        if fits:
+            cycles = simulator.per_thread_cycles(complexity, occupancy)
+            analyses.append(
+                PlacementAnalysis(
+                    placement=placement,
+                    fits=True,
+                    shared_bytes_per_block=shared_needed,
+                    active_warps_per_sm=occupancy.active_warps_per_sm,
+                    limiting_factor=occupancy.limiting_factor,
+                    per_thread_cycles=cycles,
+                )
+            )
+        else:
+            analyses.append(
+                PlacementAnalysis(
+                    placement=placement,
+                    fits=False,
+                    shared_bytes_per_block=shared_needed,
+                    active_warps_per_sm=0,
+                    limiting_factor="does_not_fit",
+                    per_thread_cycles=float("inf"),
+                )
+            )
+    analyses.sort(key=lambda a: (not a.fits, a.per_thread_cycles))
+    return analyses
+
+
+def recommend_placement(
+    complexity: DataStructureComplexity,
+    device: DeviceSpec = TESLA_C2050,
+    cost_model: KernelCostModel | None = None,
+    threads_per_block: int = 256,
+) -> DataPlacement:
+    """Best-fitting placement according to the simulator's cost ranking.
+
+    Falls back to the all-global placement when nothing else fits (which is
+    always valid).
+    """
+    analyses = analyze_placements(
+        complexity, device, cost_model=cost_model, threads_per_block=threads_per_block
+    )
+    for analysis in analyses:
+        if analysis.fits:
+            return analysis.placement
+    return DataPlacement.all_global()

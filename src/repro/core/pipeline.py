@@ -1,0 +1,263 @@
+"""Hybrid multi-core + GPU Branch-and-Bound (the paper's stated next step).
+
+The conclusion of the paper announces work on "the combination of the
+GPU-based bounding model with the multi-core parallel search tree
+exploration".  This module provides that combination for the reproduction:
+
+* the instance's root is decomposed into several independent sub-trees
+  (exactly like :class:`~repro.bb.multicore.MulticoreBranchAndBound`);
+* each sub-tree is explored by a :class:`~repro.core.gpu_bb.GpuBranchAndBound`
+  engine that off-loads its bounding pools to the shared simulated device;
+* incumbents found by earlier sub-trees seed the later ones, so pruning
+  information flows between explorers (a cooperative search).
+
+Because the simulated device serialises kernel launches, the hybrid engine
+models a single GPU shared by several CPU explorer threads — the device time
+is accumulated across explorers while the host-side exploration is assumed
+to overlap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bb.node import root_node
+from repro.bb.sequential import BBResult
+from repro.bb.stats import SearchStats
+from repro.core.config import GpuBBConfig
+from repro.core.gpu_bb import GpuBranchAndBound, GpuBBResult
+from repro.flowshop.instance import FlowShopInstance
+from repro.flowshop.neh import neh_heuristic
+
+__all__ = ["HybridConfig", "HybridBranchAndBound"]
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Configuration of the hybrid multi-core + GPU engine."""
+
+    #: number of CPU explorer "threads" (sub-tree owners)
+    n_explorers: int = 2
+    #: depth of the initial decomposition (>=1)
+    decomposition_depth: int = 1
+    #: configuration shared by every explorer's GPU engine
+    gpu: GpuBBConfig = field(default_factory=GpuBBConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_explorers < 1:
+            raise ValueError("n_explorers must be >= 1")
+        if self.decomposition_depth < 1:
+            raise ValueError("decomposition_depth must be >= 1")
+
+
+class HybridBranchAndBound:
+    """Cooperative multi-explorer search with GPU-off-loaded bounding."""
+
+    def __init__(self, instance: FlowShopInstance, config: HybridConfig | None = None):
+        self.instance = instance
+        self.config = config if config is not None else HybridConfig()
+
+    # ------------------------------------------------------------------ #
+    def _prefixes(self) -> list[tuple[int, ...]]:
+        depth = min(self.config.decomposition_depth, self.instance.n_jobs)
+        prefixes: list[tuple[int, ...]] = [()]
+        for _ in range(depth):
+            extended = []
+            for prefix in prefixes:
+                used = set(prefix)
+                for job in range(self.instance.n_jobs):
+                    if job not in used:
+                        extended.append(prefix + (job,))
+            prefixes = extended
+        return prefixes
+
+    def _restrict_instance(self, prefix: tuple[int, ...]) -> FlowShopInstance:
+        """The sub-tree under ``prefix`` is explored as a first-jobs-fixed search.
+
+        Rather than specialising the engine, the hybrid search keeps the full
+        instance and forces the prefix by construction: it relies on
+        :class:`GpuBranchAndBound` honouring an initial pool seeded below the
+        prefix.  This helper exists for clarity and future extension.
+        """
+        return self.instance
+
+    # ------------------------------------------------------------------ #
+    def solve(self) -> GpuBBResult:
+        """Explore the decomposed sub-trees cooperatively."""
+        start = time.perf_counter()
+        incumbent = neh_heuristic(self.instance)
+        best_makespan = incumbent.makespan
+        best_order = tuple(incumbent.order)
+
+        prefixes = self._prefixes()
+        # round-robin assignment of sub-trees to explorers (kept for reporting)
+        assignments: dict[int, list[tuple[int, ...]]] = {
+            e: [] for e in range(self.config.n_explorers)
+        }
+        for index, prefix in enumerate(prefixes):
+            assignments[index % self.config.n_explorers].append(prefix)
+
+        stats = SearchStats()
+        simulated_total = 0.0
+        measured_total = 0.0
+        proved = True
+        all_iterations = []
+
+        for explorer, owned in assignments.items():
+            for prefix in owned:
+                sub_result = self._solve_subtree(prefix, best_makespan)
+                stats = stats.merge(sub_result.stats)
+                simulated_total += sub_result.simulated_device_time_s
+                measured_total += sub_result.measured_kernel_time_s
+                proved = proved and sub_result.proved_optimal
+                all_iterations.extend(sub_result.iterations)
+                if sub_result.best_order and sub_result.best_makespan < best_makespan:
+                    best_makespan = sub_result.best_makespan
+                    best_order = sub_result.best_order
+
+        stats.time_total_s = time.perf_counter() - start
+        stats.simulated_device_time_s = simulated_total
+        return GpuBBResult(
+            instance=self.instance,
+            best_makespan=int(best_makespan),
+            best_order=best_order,
+            proved_optimal=proved,
+            stats=stats,
+            iterations=all_iterations,
+            simulated_device_time_s=simulated_total,
+            measured_kernel_time_s=measured_total,
+            config=self.config.gpu,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _solve_subtree(self, prefix: tuple[int, ...], upper_bound: float) -> GpuBBResult:
+        """Solve one sub-tree with a GPU engine seeded below ``prefix``.
+
+        Always returns a result so device time and statistics are accounted
+        for even when the sub-tree cannot improve the shared incumbent (its
+        ``best_order`` is then empty).
+        """
+        engine = GpuBranchAndBound(self.instance, self.config.gpu)
+        # Seed the engine's pool with the prefix node instead of the root.
+        node = root_node(self.instance)
+        for job in prefix:
+            node = node.child(job, self.instance.processing_times)
+
+        # Bound the seed; skip the whole sub-tree if it cannot improve.
+        bounds, sim_s, wall_s = engine._offload([node])
+        if node.is_leaf:
+            makespan = int(node.release[-1])
+            improved = makespan < upper_bound
+            return GpuBBResult(
+                instance=self.instance,
+                best_makespan=makespan if improved else int(upper_bound),
+                best_order=node.prefix if improved else (),
+                proved_optimal=True,
+                stats=SearchStats(nodes_bounded=1, leaves_evaluated=1),
+                simulated_device_time_s=sim_s,
+                measured_kernel_time_s=wall_s,
+                config=self.config.gpu,
+            )
+        if node.lower_bound is not None and node.lower_bound >= upper_bound:
+            return GpuBBResult(
+                instance=self.instance,
+                best_makespan=int(upper_bound),
+                best_order=(),
+                proved_optimal=True,
+                stats=SearchStats(nodes_bounded=1, nodes_pruned=1),
+                simulated_device_time_s=sim_s,
+                measured_kernel_time_s=wall_s,
+                config=self.config.gpu,
+            )
+
+        # Explore the sub-tree with a dedicated engine starting from the seed
+        # node and from the shared incumbent.
+        result = _solve_from_seed(engine, node, float(upper_bound))
+        result.simulated_device_time_s += sim_s
+        result.measured_kernel_time_s += wall_s
+        result.stats.simulated_device_time_s = result.simulated_device_time_s
+        return result
+
+
+def _solve_from_seed(engine: GpuBranchAndBound, seed, upper_bound: float) -> GpuBBResult:
+    """Run ``engine`` starting from ``seed`` instead of the instance root."""
+    from repro.bb.operators import branch, eliminate, encode_pool, select_batch
+    from repro.bb.pool import make_pool
+    from repro.core.kernels import KernelLaunch
+    from repro.core.gpu_bb import IterationRecord
+
+    config = engine.config
+    instance = engine.instance
+    stats = SearchStats()
+    iterations = []
+    best_order: tuple[int, ...] = ()
+    pool = make_pool(config.selection)
+    simulated_total = 0.0
+    measured_total = 0.0
+    start = time.perf_counter()
+
+    pool.push(seed)
+    stats.nodes_bounded += 1
+    iteration = 0
+    completed = True
+    while pool:
+        if config.max_iterations is not None and iteration >= config.max_iterations:
+            completed = False
+            break
+        iteration += 1
+        parents = select_batch(pool, config.pool_size, upper_bound)
+        if not parents:
+            break
+        children = []
+        for parent in parents:
+            children.extend(branch(parent, instance))
+            stats.nodes_branched += 1
+        if not children:
+            continue
+        bounds, sim_s, wall_s = engine._offload(children)
+        simulated_total += sim_s
+        measured_total += wall_s
+        stats.nodes_bounded += len(children)
+        stats.pools_evaluated += 1
+        open_children = []
+        for child in children:
+            if child.is_leaf:
+                stats.leaves_evaluated += 1
+                makespan = int(child.release[-1])
+                if makespan < upper_bound:
+                    upper_bound = float(makespan)
+                    best_order = child.prefix
+                    stats.incumbent_updates += 1
+            else:
+                open_children.append(child)
+        survivors, pruned = eliminate(open_children, upper_bound)
+        stats.nodes_pruned += pruned
+        pool.push_many(survivors)
+        iterations.append(
+            IterationRecord(
+                iteration=iteration,
+                launch=KernelLaunch(len(children), config.threads_per_block),
+                nodes_offloaded=len(children),
+                nodes_pruned=pruned,
+                nodes_kept=len(survivors),
+                incumbent=upper_bound,
+                simulated_device_s=sim_s,
+                measured_host_s=wall_s,
+            )
+        )
+    stats.time_total_s = time.perf_counter() - start
+    stats.max_pool_size = pool.max_size_seen
+    stats.simulated_device_time_s = simulated_total
+    return GpuBBResult(
+        instance=instance,
+        best_makespan=int(upper_bound),
+        best_order=best_order,
+        proved_optimal=completed,
+        stats=stats,
+        iterations=iterations,
+        simulated_device_time_s=simulated_total,
+        measured_kernel_time_s=measured_total,
+        config=config,
+    )

@@ -1,0 +1,93 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each module corresponds to one artefact of the paper's evaluation:
+
+======================  =====================================================
+Module                  Paper artefact
+======================  =====================================================
+``bounding_fraction``   the ~98.5 % "time spent bounding" preliminary result
+``table1``              Table I — data-structure sizes and access counts
+``table2``              Table II — speed-ups, all matrices in global memory
+``table3``              Table III — speed-ups, PTM+JM in shared memory
+``table4``              Table IV — multi-threaded CPU B&B speed-ups
+``figure4``             Figure 4 — global vs shared placement per instance
+``figure5``             Figure 5 — GPU vs multi-threaded CPU at ~500 GFLOPS
+======================  =====================================================
+
+``protocol`` implements the experimental protocol of the paper (a shared
+pool of sub-problems evaluated by every engine), ``paper_values`` stores the
+published numbers, and ``report`` renders/compares the reproduced tables.
+"""
+
+from repro.experiments.protocol import (
+    estimate_frontier_depth,
+    estimate_remaining_jobs,
+    synthetic_pool,
+    collect_pending_pool,
+    ExperimentProtocol,
+)
+from repro.experiments.report import ExperimentTable, format_table, compare_tables
+from repro.experiments.paper_values import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_FIGURE4,
+    PAPER_FIGURE5,
+    PAPER_BOUNDING_FRACTION,
+    PAPER_INSTANCES,
+    PAPER_POOL_SIZES,
+    PAPER_THREAD_COUNTS,
+)
+from repro.experiments.table1 import table1, Table1Row
+from repro.experiments.table2 import table2
+from repro.experiments.table3 import table3
+from repro.experiments.table4 import table4
+from repro.experiments.figure4 import figure4
+from repro.experiments.figure5 import figure5
+from repro.experiments.bounding_fraction import (
+    measure_bounding_fraction,
+    BoundingFractionResult,
+)
+from repro.experiments.runner import (
+    run_all,
+    write_report,
+    EvaluationReport,
+    ArtefactReport,
+)
+from repro.experiments.ascii_plot import bar_chart, sparkline, figure_to_text
+
+__all__ = [
+    "estimate_frontier_depth",
+    "estimate_remaining_jobs",
+    "synthetic_pool",
+    "collect_pending_pool",
+    "ExperimentProtocol",
+    "ExperimentTable",
+    "format_table",
+    "compare_tables",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_FIGURE4",
+    "PAPER_FIGURE5",
+    "PAPER_BOUNDING_FRACTION",
+    "PAPER_INSTANCES",
+    "PAPER_POOL_SIZES",
+    "PAPER_THREAD_COUNTS",
+    "table1",
+    "Table1Row",
+    "table2",
+    "table3",
+    "table4",
+    "figure4",
+    "figure5",
+    "measure_bounding_fraction",
+    "BoundingFractionResult",
+    "run_all",
+    "write_report",
+    "EvaluationReport",
+    "ArtefactReport",
+    "bar_chart",
+    "sparkline",
+    "figure_to_text",
+]

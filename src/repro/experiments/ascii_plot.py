@@ -1,0 +1,89 @@
+"""Terminal-friendly rendering of the paper's figures.
+
+The paper presents Figures 4 and 5 as line/bar charts.  The reproduction is
+meant to run in headless environments (no matplotlib is assumed), so this
+module renders :class:`~repro.perf.speedup.SpeedupSeries` collections as
+plain-text charts: a horizontal bar chart per x-value (the natural shape for
+the four instance classes) and a compact sparkline for pool-size sweeps.
+They are used by the examples and by the ``evaluate`` CLI command.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.perf.speedup import SpeedupSeries
+
+__all__ = ["bar_chart", "sparkline", "figure_to_text"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    series_by_label: Mapping[str, SpeedupSeries],
+    width: int = 50,
+    value_format: str = "{:.1f}",
+    x_label: str = "jobs",
+) -> str:
+    """Horizontal bar chart comparing several series at the same x-values.
+
+    Every x-value becomes a group of bars (one per series), scaled to the
+    global maximum so the series are visually comparable — the layout of the
+    paper's Figure 4 / Figure 5.
+    """
+    if not series_by_label:
+        raise ValueError("at least one series is required")
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    all_values = [v for s in series_by_label.values() for v in s.values()]
+    if not all_values:
+        raise ValueError("series contain no points")
+    maximum = max(all_values)
+    label_width = max(len(label) for label in series_by_label)
+    xs: list[float] = sorted({x for s in series_by_label.values() for x in s.points})
+
+    lines: list[str] = []
+    for x in xs:
+        lines.append(f"{x_label} = {int(x) if float(x).is_integer() else x}")
+        for label, series in series_by_label.items():
+            if x not in series.points:
+                continue
+            value = series.points[x]
+            bar = "#" * max(1, round(width * value / maximum))
+            lines.append(
+                f"  {label.ljust(label_width)} |{bar} " + value_format.format(value)
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series (e.g. speed-up vs pool size)."""
+    values = list(values)
+    if not values:
+        raise ValueError("values must not be empty")
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    chars = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def figure_to_text(
+    title: str,
+    series_by_label: Mapping[str, SpeedupSeries],
+    width: int = 50,
+    x_label: str = "jobs",
+) -> str:
+    """A titled text figure: bar chart plus per-series sparklines."""
+    parts = [title, "=" * len(title), ""]
+    parts.append(bar_chart(series_by_label, width=width, x_label=x_label))
+    parts.append("trend per series (left to right = increasing x):")
+    for label, series in series_by_label.items():
+        parts.append(f"  {label}: {sparkline(series.values())}")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,50 @@
+"""Figure 4 — speed-up per instance, global vs shared placement.
+
+The figure plots, for the fixed pool size 262 144 (1024 x 256), the speed-up
+of every instance class under the two placements of Tables II and III.  The
+harness reuses the table machinery and returns one
+:class:`~repro.perf.speedup.SpeedupSeries` per placement so the benchmark
+and the examples can print the same two curves the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.paper_values import PAPER_INSTANCES
+from repro.experiments.protocol import ExperimentProtocol
+from repro.experiments.report import ExperimentTable
+from repro.experiments.table2 import speedup_table
+from repro.gpu.placement import DataPlacement
+from repro.perf.speedup import SpeedupSeries
+
+__all__ = ["figure4"]
+
+FIGURE4_POOL_SIZE = 262144
+
+
+def figure4(
+    instances: Sequence[tuple[int, int]] = PAPER_INSTANCES,
+    pool_size: int = FIGURE4_POOL_SIZE,
+    protocol: ExperimentProtocol | None = None,
+) -> dict[str, SpeedupSeries]:
+    """Reproduce Figure 4: two series of speed-ups indexed by the job count."""
+    protocol = protocol if protocol is not None else ExperimentProtocol()
+    series: dict[str, SpeedupSeries] = {}
+    for key, placement in (
+        ("all_global", DataPlacement.all_global()),
+        ("shared_ptm_jm", DataPlacement.shared_ptm_jm()),
+    ):
+        table: ExperimentTable = speedup_table(
+            placement,
+            f"Figure 4 series ({key})",
+            instances=instances,
+            pool_sizes=(pool_size,),
+            protocol=protocol,
+            add_average=False,
+        )
+        curve = SpeedupSeries(label=key)
+        for n_jobs, n_machines in instances:
+            curve.add(n_jobs, table.get((n_jobs, n_machines), pool_size))
+        series[key] = curve
+    return series

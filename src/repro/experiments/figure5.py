@@ -1,0 +1,67 @@
+"""Figure 5 — GPU-based vs multi-threaded B&B at equal computational power.
+
+The paper fixes a ~500 GFLOPS budget (the Tesla C2050's double-precision
+peak), which corresponds to 7 threads of the i7-970 in its accounting, and
+compares the two speed-ups instance class by instance class.  The GPU side
+uses the shared-memory placement (Table III); for every instance class the
+best pool size is chosen — exactly how the paper quotes its Figure 5 numbers
+(x61.47 for 20x20 at pool 8192, x100.48 for 200x20 at pool 262144).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.paper_values import PAPER_INSTANCES, PAPER_POOL_SIZES
+from repro.experiments.protocol import ExperimentProtocol
+from repro.experiments.table2 import speedup_table
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.gpu.device import TESLA_C2050
+from repro.gpu.placement import DataPlacement
+from repro.perf.flops import FlopsBudget
+from repro.perf.model import MulticoreScalingModel
+from repro.perf.speedup import SpeedupSeries
+
+__all__ = ["figure5"]
+
+
+def figure5(
+    instances: Sequence[tuple[int, int]] = PAPER_INSTANCES,
+    pool_sizes: Sequence[int] = PAPER_POOL_SIZES,
+    gflops_budget: float | None = None,
+    protocol: ExperimentProtocol | None = None,
+    multicore_model: MulticoreScalingModel | None = None,
+) -> dict[str, SpeedupSeries]:
+    """Reproduce Figure 5: GPU vs multi-threaded speed-up at equal GFLOPS.
+
+    Returns two series keyed ``"gpu"`` and ``"multithreaded"``, indexed by
+    the number of jobs of each instance class.
+    """
+    protocol = protocol if protocol is not None else ExperimentProtocol()
+    multicore_model = multicore_model if multicore_model is not None else MulticoreScalingModel()
+    if gflops_budget is None:
+        gflops_budget = TESLA_C2050.peak_gflops_double
+    budget = FlopsBudget(gflops_budget)
+    # The paper's GFLOPS accounting credits every thread with the chip's
+    # 76.8 GFLOPS figure (Table IV header), so ~500 GFLOPS maps to 7 threads.
+    n_threads = budget.cpu_threads(
+        multicore_model.cpu, per_thread_gflops=multicore_model.cpu.peak_gflops_double
+    )
+
+    gpu_table = speedup_table(
+        DataPlacement.shared_ptm_jm(),
+        "Figure 5 GPU series",
+        instances=instances,
+        pool_sizes=pool_sizes,
+        protocol=protocol,
+        add_average=False,
+    )
+
+    gpu_series = SpeedupSeries(label=f"gpu ({TESLA_C2050.name}, ~{gflops_budget:.0f} GFLOPS)")
+    cpu_series = SpeedupSeries(label=f"multithreaded ({n_threads} threads)")
+    for n_jobs, n_machines in instances:
+        best_pool = gpu_table.best_column((n_jobs, n_machines))
+        gpu_series.add(n_jobs, gpu_table.get((n_jobs, n_machines), best_pool))
+        complexity = DataStructureComplexity(n=n_jobs, m=n_machines)
+        cpu_series.add(n_jobs, multicore_model.speedup(n_threads, complexity))
+    return {"gpu": gpu_series, "multithreaded": cpu_series}

@@ -1,0 +1,186 @@
+"""Rendering and comparison of reproduced tables.
+
+:class:`ExperimentTable` is a small labelled 2-D table (rows = instance
+classes or series, columns = pool sizes or thread counts) with helpers to
+
+* render itself as aligned text (the same layout as the paper's tables),
+* compare itself cell-by-cell against the published values and report the
+  relative errors (consumed by EXPERIMENTS.md and by the benchmark output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Sequence
+
+__all__ = ["ExperimentTable", "format_table", "compare_tables"]
+
+
+def _label(key: Hashable) -> str:
+    if isinstance(key, tuple) and len(key) == 2 and all(isinstance(v, int) for v in key):
+        return f"{key[0]}x{key[1]}"
+    return str(key)
+
+
+@dataclass
+class ExperimentTable:
+    """A labelled table of floats (one paper table or figure series)."""
+
+    title: str
+    columns: tuple[Hashable, ...]
+    rows: dict[Hashable, dict[Hashable, float]] = field(default_factory=dict)
+    column_header: str = "pool size"
+    row_header: str = "instance"
+
+    # ------------------------------------------------------------------ #
+    def set(self, row: Hashable, column: Hashable, value: float) -> None:
+        if column not in self.columns:
+            raise KeyError(f"unknown column {column!r}")
+        self.rows.setdefault(row, {})[column] = float(value)
+
+    def get(self, row: Hashable, column: Hashable) -> float:
+        return self.rows[row][column]
+
+    def row_values(self, row: Hashable) -> list[float]:
+        return [self.rows[row][c] for c in self.columns if c in self.rows[row]]
+
+    def column_values(self, column: Hashable) -> list[float]:
+        return [values[column] for values in self.rows.values() if column in values]
+
+    def add_average_row(self, label: Hashable = "average") -> None:
+        """Append the per-column average (the paper's "Average Speedup" row)."""
+        averages: dict[Hashable, float] = {}
+        for column in self.columns:
+            values = self.column_values(column)
+            if values:
+                averages[column] = sum(values) / len(values)
+        self.rows[label] = averages
+
+    def best_column(self, row: Hashable) -> Hashable:
+        """Column with the largest value in ``row``."""
+        values = self.rows[row]
+        return max(values, key=lambda c: values[c])
+
+    # ------------------------------------------------------------------ #
+    def to_text(self, precision: int = 2) -> str:
+        return format_table(self, precision=precision)
+
+    def to_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "columns": [str(c) for c in self.columns],
+            "rows": {
+                _label(row): {str(c): v for c, v in values.items()}
+                for row, values in self.rows.items()
+            },
+        }
+
+    def compare(
+        self, reference: Mapping[Hashable, Mapping[Hashable, float]]
+    ) -> "TableComparison":
+        """Cell-wise comparison against published values."""
+        return compare_tables(self, reference)
+
+
+@dataclass(frozen=True)
+class CellComparison:
+    row: Hashable
+    column: Hashable
+    reproduced: float
+    reference: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.reference == 0:
+            return float("inf")
+        return (self.reproduced - self.reference) / self.reference
+
+
+@dataclass
+class TableComparison:
+    """Outcome of comparing a reproduced table with the published one."""
+
+    table: ExperimentTable
+    cells: list[CellComparison]
+
+    @property
+    def mean_absolute_relative_error(self) -> float:
+        if not self.cells:
+            raise ValueError("no overlapping cells to compare")
+        return sum(abs(c.relative_error) for c in self.cells) / len(self.cells)
+
+    @property
+    def max_absolute_relative_error(self) -> float:
+        if not self.cells:
+            raise ValueError("no overlapping cells to compare")
+        return max(abs(c.relative_error) for c in self.cells)
+
+    def within(self, tolerance: float) -> bool:
+        """True when every cell is within ``tolerance`` relative error."""
+        return all(abs(c.relative_error) <= tolerance for c in self.cells)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "cells": len(self.cells),
+            "mean_abs_rel_error": self.mean_absolute_relative_error,
+            "max_abs_rel_error": self.max_absolute_relative_error,
+        }
+
+    def to_text(self, precision: int = 1) -> str:
+        lines = [f"{self.table.title} vs paper:"]
+        for cell in self.cells:
+            lines.append(
+                f"  {_label(cell.row):>10} @ {cell.column}: "
+                f"model {cell.reproduced:.2f}  paper {cell.reference:.2f}  "
+                f"({cell.relative_error * 100:+.{precision}f}%)"
+            )
+        lines.append(
+            f"  mean |error| = {self.mean_absolute_relative_error * 100:.{precision}f}%  "
+            f"max |error| = {self.max_absolute_relative_error * 100:.{precision}f}%"
+        )
+        return "\n".join(lines)
+
+
+def compare_tables(
+    table: ExperimentTable, reference: Mapping[Hashable, Mapping[Hashable, float]]
+) -> TableComparison:
+    """Compare every cell present in both ``table`` and ``reference``."""
+    cells: list[CellComparison] = []
+    for row, ref_values in reference.items():
+        if row not in table.rows:
+            continue
+        for column, ref_value in ref_values.items():
+            if column in table.rows[row]:
+                cells.append(
+                    CellComparison(
+                        row=row,
+                        column=column,
+                        reproduced=table.rows[row][column],
+                        reference=float(ref_value),
+                    )
+                )
+    return TableComparison(table=table, cells=cells)
+
+
+def format_table(table: ExperimentTable, precision: int = 2) -> str:
+    """Render an :class:`ExperimentTable` as aligned monospace text."""
+    header_cells = [table.row_header] + [str(c) for c in table.columns]
+    body: list[list[str]] = []
+    for row, values in table.rows.items():
+        cells = [_label(row)]
+        for column in table.columns:
+            if column in values:
+                cells.append(f"{values[column]:.{precision}f}")
+            else:
+                cells.append("-")
+        body.append(cells)
+    widths = [
+        max(len(header_cells[i]), *(len(row[i]) for row in body)) if body else len(header_cells[i])
+        for i in range(len(header_cells))
+    ]
+    lines = [table.title, ""]
+    lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(header_cells)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(widths))))
+    for row in body:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""One-shot runner regenerating every artefact of the paper's evaluation.
+
+:func:`run_all` builds every table/figure/measurement, compares it against
+the published values and returns a single JSON-serialisable report; it backs
+both the ``python -m repro`` command line and the documentation workflow
+that produced EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.bounding_fraction import measure_bounding_fraction
+from repro.experiments.figure4 import figure4
+from repro.experiments.figure5 import figure5
+from repro.experiments.paper_values import (
+    PAPER_BOUNDING_FRACTION,
+    PAPER_FIGURE4,
+    PAPER_FIGURE5,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+)
+from repro.experiments.protocol import ExperimentProtocol
+from repro.experiments.report import ExperimentTable
+from repro.experiments.table1 import format_table1, table1
+from repro.experiments.table2 import table2
+from repro.experiments.table3 import table3
+from repro.experiments.table4 import table4
+
+__all__ = ["ArtefactReport", "EvaluationReport", "run_all", "write_report"]
+
+
+@dataclass
+class ArtefactReport:
+    """One reproduced artefact plus its comparison against the paper."""
+
+    name: str
+    payload: dict
+    comparison: Optional[dict] = None
+
+    def as_dict(self) -> dict:
+        out = {"name": self.name, "payload": self.payload}
+        if self.comparison is not None:
+            out["vs_paper"] = self.comparison
+        return out
+
+
+@dataclass
+class EvaluationReport:
+    """The full evaluation: every table, figure and measurement."""
+
+    artefacts: list[ArtefactReport] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {"artefacts": [a.as_dict() for a in self.artefacts]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def get(self, name: str) -> ArtefactReport:
+        for artefact in self.artefacts:
+            if artefact.name == name:
+                return artefact
+        raise KeyError(f"no artefact named {name!r}")
+
+    def summary_lines(self) -> list[str]:
+        """One line per artefact, with the mean error where applicable."""
+        lines = []
+        for artefact in self.artefacts:
+            if artefact.comparison and "mean_abs_rel_error" in artefact.comparison:
+                err = artefact.comparison["mean_abs_rel_error"] * 100
+                lines.append(f"{artefact.name}: reproduced, mean |error| {err:.1f}% vs paper")
+            else:
+                lines.append(f"{artefact.name}: reproduced")
+        return lines
+
+
+def _table_artefact(name: str, table: ExperimentTable, reference) -> ArtefactReport:
+    comparison = table.compare(reference).summary() if reference else None
+    return ArtefactReport(name=name, payload=table.to_dict(), comparison=comparison)
+
+
+def _series_artefact(name: str, series_by_label, reference) -> ArtefactReport:
+    payload = {
+        label: {str(int(x)): v for x, v in zip(s.xs(), s.values())}
+        for label, s in series_by_label.items()
+    }
+    comparison = None
+    if reference is not None:
+        errors = []
+        for label, values in reference.items():
+            if label not in series_by_label:
+                continue
+            series = series_by_label[label]
+            for (n_jobs, _m), paper_value in values.items():
+                if float(n_jobs) in series.points:
+                    model_value = series.points[float(n_jobs)]
+                    errors.append(abs(model_value - paper_value) / paper_value)
+        if errors:
+            comparison = {
+                "cells": len(errors),
+                "mean_abs_rel_error": sum(errors) / len(errors),
+                "max_abs_rel_error": max(errors),
+            }
+    return ArtefactReport(name=name, payload=payload, comparison=comparison)
+
+
+def run_all(
+    protocol: ExperimentProtocol | None = None,
+    include_measured: bool = True,
+    bounding_fraction_nodes: int = 300,
+) -> EvaluationReport:
+    """Regenerate every artefact of the paper's evaluation.
+
+    Parameters
+    ----------
+    protocol:
+        Shared device / cost-model configuration.
+    include_measured:
+        Also run the measured (wall-clock) artefacts — currently the
+        bounding-fraction experiment, which takes a few seconds.
+    bounding_fraction_nodes:
+        Node budget of the bounding-fraction measurement.
+    """
+    protocol = protocol if protocol is not None else ExperimentProtocol()
+    report = EvaluationReport()
+
+    rows = table1(200, 20)
+    report.artefacts.append(
+        ArtefactReport(
+            name="table1",
+            payload={
+                "text": format_table1(rows),
+                "rows": [
+                    {
+                        "structure": r.structure,
+                        "size": r.size_elements,
+                        "accesses": r.accesses,
+                        "packed_bytes": r.size_bytes_packed,
+                    }
+                    for r in rows
+                ],
+            },
+        )
+    )
+    report.artefacts.append(_table_artefact("table2", table2(protocol=protocol), PAPER_TABLE2))
+    report.artefacts.append(_table_artefact("table3", table3(protocol=protocol), PAPER_TABLE3))
+    report.artefacts.append(_table_artefact("table4", table4(), PAPER_TABLE4))
+    report.artefacts.append(
+        _series_artefact("figure4", figure4(protocol=protocol), PAPER_FIGURE4)
+    )
+    report.artefacts.append(
+        _series_artefact("figure5", figure5(protocol=protocol), PAPER_FIGURE5)
+    )
+
+    if include_measured:
+        fraction = measure_bounding_fraction(max_nodes=bounding_fraction_nodes)
+        report.artefacts.append(
+            ArtefactReport(
+                name="bounding_fraction",
+                payload=dict(fraction.summary()),
+                comparison={
+                    "paper": PAPER_BOUNDING_FRACTION,
+                    "reproduced": fraction.fraction,
+                    "abs_difference": abs(fraction.fraction - PAPER_BOUNDING_FRACTION),
+                },
+            )
+        )
+    return report
+
+
+def write_report(report: EvaluationReport, path: str | Path) -> Path:
+    """Serialise a report to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(report.to_json() + "\n")
+    return path

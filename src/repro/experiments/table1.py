@@ -1,0 +1,96 @@
+"""Table I — the six data structures, their sizes and access counts.
+
+The paper's Table I is an analytical table (no hardware involved), so the
+reproduction is exact: the formulas are evaluated by
+:class:`~repro.flowshop.bounds.DataStructureComplexity` and rendered in the
+same row order.  The harness additionally reports the byte footprints under
+the packed device layout, which is the input of the shared-memory capacity
+argument of Section IV-B (JM ~38 KB, LM ~38 KB, PTM ~4 KB for 200x20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.gpu.placement import DEFAULT_ELEMENT_BYTES, STRUCTURE_NAMES
+
+__all__ = ["Table1Row", "table1", "format_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I."""
+
+    structure: str
+    size_elements: int
+    size_expression: str
+    accesses: int
+    accesses_expression: str
+    size_bytes_packed: int
+
+
+_SIZE_EXPRESSIONS = {
+    "PTM": "n*m",
+    "LM": "n*m*(m-1)/2",
+    "JM": "n*m*(m-1)/2",
+    "RM": "m",
+    "QM": "m",
+    "MM": "m*(m-1)",
+}
+
+_ACCESS_EXPRESSIONS = {
+    "PTM": "n'*m*(m-1)",
+    "LM": "n'*m*(m-1)/2",
+    "JM": "n*m*(m-1)/2",
+    "RM": "m*(m-1)",
+    "QM": "m*(m-1)/2",
+    "MM": "m*(m-1)",
+}
+
+
+def table1(
+    n_jobs: int = 200,
+    n_machines: int = 20,
+    n_remaining: int | None = None,
+) -> list[Table1Row]:
+    """Rows of Table I for an instance size (defaults to the largest class)."""
+    complexity = DataStructureComplexity(n=n_jobs, m=n_machines)
+    sizes = complexity.sizes()
+    accesses = complexity.accesses(n_remaining)
+    rows = []
+    for name in STRUCTURE_NAMES:
+        rows.append(
+            Table1Row(
+                structure=name,
+                size_elements=sizes[name],
+                size_expression=_SIZE_EXPRESSIONS[name],
+                accesses=accesses[name],
+                accesses_expression=_ACCESS_EXPRESSIONS[name],
+                size_bytes_packed=sizes[name] * DEFAULT_ELEMENT_BYTES[name],
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render Table I as aligned text."""
+    header = ["Matrix", "Size", "Size (elements)", "Accesses", "Accesses (count)", "Packed bytes"]
+    body = [
+        [
+            r.structure,
+            r.size_expression,
+            str(r.size_elements),
+            r.accesses_expression,
+            str(r.accesses),
+            str(r.size_bytes_packed),
+        ]
+        for r in rows
+    ]
+    widths = [max(len(header[i]), *(len(row[i]) for row in body)) for i in range(len(header))]
+    lines = ["Table I - data structures of the LB kernel", ""]
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in body:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Table II — speed-ups with every matrix in GPU global memory.
+
+For every instance class (rows) and pool size (columns) the harness computes
+the ratio between
+
+* the serial time to bound the pool on one CPU core
+  (:class:`~repro.perf.model.CpuCostModel`), and
+* the simulated time of the GPU off-load — kernel + PCIe transfers + host
+  overhead (:class:`~repro.gpu.simulator.GpuSimulator`) — with **all six
+  matrices placed in global memory** and the Fermi on-chip memory configured
+  as 16 KB shared / 48 KB L1, as in the paper's first scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.paper_values import PAPER_INSTANCES, PAPER_POOL_SIZES
+from repro.experiments.protocol import ExperimentProtocol
+from repro.experiments.report import ExperimentTable
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.gpu.placement import DataPlacement
+from repro.gpu.simulator import GpuSimulator
+
+__all__ = ["table2", "speedup_table"]
+
+
+def speedup_table(
+    placement: DataPlacement,
+    title: str,
+    instances: Sequence[tuple[int, int]] = PAPER_INSTANCES,
+    pool_sizes: Sequence[int] = PAPER_POOL_SIZES,
+    protocol: ExperimentProtocol | None = None,
+    add_average: bool = True,
+) -> ExperimentTable:
+    """Generic speed-up sweep used by both Table II and Table III."""
+    protocol = protocol if protocol is not None else ExperimentProtocol()
+    table = ExperimentTable(title=title, columns=tuple(pool_sizes))
+    for n_jobs, n_machines in instances:
+        complexity = DataStructureComplexity(n=n_jobs, m=n_machines)
+        simulator = GpuSimulator(
+            device=protocol.device, placement=placement, cost_model=protocol.cost_model
+        )
+        for pool_size in pool_sizes:
+            n_remaining = protocol.n_remaining(n_jobs, pool_size)
+            gpu_timing = simulator.evaluate_pool(
+                complexity,
+                pool_size,
+                threads_per_block=protocol.threads_per_block,
+                n_remaining=n_remaining,
+            )
+            cpu_seconds = protocol.cpu_model.pool_seconds(
+                complexity, pool_size, n_remaining=n_remaining
+            )
+            table.set((n_jobs, n_machines), pool_size, cpu_seconds / gpu_timing.total_s)
+    if add_average:
+        table.add_average_row()
+    return table
+
+
+def table2(
+    instances: Sequence[tuple[int, int]] = PAPER_INSTANCES,
+    pool_sizes: Sequence[int] = PAPER_POOL_SIZES,
+    protocol: ExperimentProtocol | None = None,
+) -> ExperimentTable:
+    """Reproduce Table II (all matrices in global memory)."""
+    return speedup_table(
+        DataPlacement.all_global(),
+        "Table II - speed-up, all matrices in global memory",
+        instances=instances,
+        pool_sizes=pool_sizes,
+        protocol=protocol,
+    )

@@ -1,0 +1,33 @@
+"""Table III — speed-ups with PTM and JM in shared memory.
+
+Same sweep as Table II, but with the paper's recommended data placement:
+``PTM`` and ``JM`` staged in the 48 KB shared-memory slice of each SM, every
+other structure in global memory behind the (now 16 KB) L1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.paper_values import PAPER_INSTANCES, PAPER_POOL_SIZES
+from repro.experiments.protocol import ExperimentProtocol
+from repro.experiments.report import ExperimentTable
+from repro.experiments.table2 import speedup_table
+from repro.gpu.placement import DataPlacement
+
+__all__ = ["table3"]
+
+
+def table3(
+    instances: Sequence[tuple[int, int]] = PAPER_INSTANCES,
+    pool_sizes: Sequence[int] = PAPER_POOL_SIZES,
+    protocol: ExperimentProtocol | None = None,
+) -> ExperimentTable:
+    """Reproduce Table III (PTM and JM in shared memory)."""
+    return speedup_table(
+        DataPlacement.shared_ptm_jm(),
+        "Table III - speed-up, PTM and JM in shared memory",
+        instances=instances,
+        pool_sizes=pool_sizes,
+        protocol=protocol,
+    )

@@ -1,0 +1,55 @@
+"""Table IV — speed-ups of the multi-threaded CPU B&B.
+
+The rows are the instance classes, the columns the thread counts 3/5/7/9/11
+of the paper; every cell is the speed-up over the serial B&B on one core of
+the reference host.  The reproduction evaluates the calibrated
+:class:`~repro.perf.model.MulticoreScalingModel` (see DESIGN.md §2 for why a
+model stands in for pthread measurements), and can optionally attach the
+theoretical GFLOPS header row the paper prints above the thread counts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.paper_values import PAPER_INSTANCES, PAPER_THREAD_COUNTS
+from repro.experiments.report import ExperimentTable
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.perf.flops import TABLE_IV_GFLOPS
+from repro.perf.model import MulticoreScalingModel
+
+__all__ = ["table4", "table4_gflops_header"]
+
+
+def table4(
+    instances: Sequence[tuple[int, int]] = PAPER_INSTANCES,
+    thread_counts: Sequence[int] = PAPER_THREAD_COUNTS,
+    model: MulticoreScalingModel | None = None,
+) -> ExperimentTable:
+    """Reproduce Table IV (multi-threaded B&B speed-ups)."""
+    model = model if model is not None else MulticoreScalingModel()
+    table = ExperimentTable(
+        title="Table IV - multi-threaded B&B speed-up",
+        columns=tuple(thread_counts),
+        column_header="threads",
+    )
+    for n_jobs, n_machines in instances:
+        complexity = DataStructureComplexity(n=n_jobs, m=n_machines)
+        for threads in thread_counts:
+            table.set((n_jobs, n_machines), threads, model.speedup(threads, complexity))
+    return table
+
+
+def table4_gflops_header(
+    thread_counts: Sequence[int] = PAPER_THREAD_COUNTS,
+    per_thread_gflops: float = 76.8,
+) -> dict[int, float]:
+    """The "Theoretical Peak of GFLOPS" header row of Table IV.
+
+    The paper multiplies the chip peak (76.8 GFLOPS) by the thread count;
+    published values are returned verbatim when available.
+    """
+    header: dict[int, float] = {}
+    for threads in thread_counts:
+        header[threads] = TABLE_IV_GFLOPS.get(threads, per_thread_gflops * threads)
+    return header

@@ -1,0 +1,92 @@
+"""Random and structured instance families for tests and benchmarks.
+
+Besides the Taillard generator (the paper's benchmark), the test-suite and
+the ablation benchmarks use a few additional instance families:
+
+* :func:`random_instance` — i.i.d. uniform processing times with a
+  configurable range (the Taillard distribution is ``U(1, 99)``).
+* :func:`correlated_instance` — job-correlated times (some jobs are
+  uniformly "long"), which stresses the upper-bound quality.
+* :func:`structured_instance` — machine-correlated times with a dominant
+  bottleneck machine, a regime where the two-machine bound is very tight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flowshop.instance import FlowShopInstance
+
+__all__ = ["random_instance", "correlated_instance", "structured_instance"]
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def random_instance(
+    n_jobs: int,
+    n_machines: int,
+    seed: int | None = 0,
+    low: int = 1,
+    high: int = 99,
+    name: str | None = None,
+) -> FlowShopInstance:
+    """Uniform random instance with processing times in ``[low, high]``."""
+    if low < 0 or high < low:
+        raise ValueError("require 0 <= low <= high")
+    rng = _rng(seed)
+    pt = rng.integers(low, high + 1, size=(n_jobs, n_machines), dtype=np.int64)
+    return FlowShopInstance(
+        pt,
+        name=name or f"rand_{n_jobs}x{n_machines}_s{seed}",
+        metadata={"generator": "uniform", "seed": seed, "low": low, "high": high},
+    )
+
+
+def correlated_instance(
+    n_jobs: int,
+    n_machines: int,
+    seed: int | None = 0,
+    spread: int = 20,
+    name: str | None = None,
+) -> FlowShopInstance:
+    """Job-correlated instance: each job has a base size +/- ``spread``."""
+    rng = _rng(seed)
+    base = rng.integers(10, 90, size=(n_jobs, 1), dtype=np.int64)
+    noise = rng.integers(-spread, spread + 1, size=(n_jobs, n_machines), dtype=np.int64)
+    pt = np.clip(base + noise, 1, None)
+    return FlowShopInstance(
+        pt,
+        name=name or f"corr_{n_jobs}x{n_machines}_s{seed}",
+        metadata={"generator": "job-correlated", "seed": seed, "spread": spread},
+    )
+
+
+def structured_instance(
+    n_jobs: int,
+    n_machines: int,
+    bottleneck: int | None = None,
+    seed: int | None = 0,
+    name: str | None = None,
+) -> FlowShopInstance:
+    """Instance with one dominant bottleneck machine.
+
+    The bottleneck machine's processing times are drawn from ``U(60, 99)``
+    while the other machines use ``U(1, 30)``; the optimal schedule is then
+    largely determined by the bottleneck, which makes the two-machine lower
+    bound involving that machine very tight — a useful regime for testing
+    pruning efficiency.
+    """
+    rng = _rng(seed)
+    if bottleneck is None:
+        bottleneck = n_machines // 2
+    if not 0 <= bottleneck < n_machines:
+        raise ValueError("bottleneck machine index out of range")
+    pt = rng.integers(1, 31, size=(n_jobs, n_machines), dtype=np.int64)
+    pt[:, bottleneck] = rng.integers(60, 100, size=n_jobs, dtype=np.int64)
+    return FlowShopInstance(
+        pt,
+        name=name or f"bott_{n_jobs}x{n_machines}_s{seed}",
+        metadata={"generator": "bottleneck", "seed": seed, "bottleneck": bottleneck},
+    )

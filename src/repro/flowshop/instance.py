@@ -1,0 +1,237 @@
+"""Flow-shop problem instance container.
+
+The permutation flow-shop problem (FSP) schedules ``n`` jobs on ``m``
+machines.  Every job visits the machines in the same order
+``M1, M2, ..., Mm`` and every machine processes the jobs in the same
+(permutation) order.  The only data defining an instance is therefore the
+``n x m`` matrix of processing times ``p[i, k]`` — the uninterrupted time
+job ``J_i`` spends on machine ``M_k``.
+
+The objective considered by the paper (and by this library) is the makespan
+``C_max``: the completion time of the last job on the last machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["FlowShopInstance"]
+
+
+def _as_processing_matrix(processing_times: object) -> np.ndarray:
+    """Coerce user input into a validated ``(n, m)`` int64 matrix."""
+    matrix = np.asarray(processing_times)
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"processing_times must be a 2-D array of shape (n_jobs, n_machines); "
+            f"got ndim={matrix.ndim}"
+        )
+    if matrix.shape[0] < 1 or matrix.shape[1] < 1:
+        raise ValueError(
+            f"instance must have at least one job and one machine; got shape {matrix.shape}"
+        )
+    if not np.issubdtype(matrix.dtype, np.number):
+        raise TypeError(f"processing times must be numeric, got dtype {matrix.dtype}")
+    if np.any(~np.isfinite(matrix.astype(np.float64))):
+        raise ValueError("processing times must be finite")
+    as_int = matrix.astype(np.int64)
+    if not np.array_equal(as_int, matrix):
+        raise ValueError("processing times must be integers (Taillard-style instances)")
+    if np.any(as_int < 0):
+        raise ValueError("processing times must be non-negative")
+    return as_int
+
+
+@dataclass(frozen=True)
+class FlowShopInstance:
+    """A permutation flow-shop instance.
+
+    Parameters
+    ----------
+    processing_times:
+        ``(n_jobs, n_machines)`` matrix of integer processing times.
+        ``processing_times[i, k]`` is the time of job ``i`` on machine ``k``.
+    name:
+        Optional human-readable identifier (e.g. ``"ta021"`` or ``"200x20"``).
+    metadata:
+        Free-form mapping carrying provenance information (seed, generator,
+        whether the instance is a synthetic stand-in for a published one).
+
+    Notes
+    -----
+    Instances are immutable: the processing-time matrix is stored with the
+    writeable flag cleared so that solver code can safely share it across
+    threads and "device" buffers without defensive copies.
+    """
+
+    processing_times: np.ndarray
+    name: str = ""
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        matrix = _as_processing_matrix(self.processing_times)
+        matrix.setflags(write=False)
+        object.__setattr__(self, "processing_times", matrix)
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    # ------------------------------------------------------------------ #
+    # Basic geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def n_jobs(self) -> int:
+        """Number of jobs ``n``."""
+        return int(self.processing_times.shape[0])
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machines ``m``."""
+        return int(self.processing_times.shape[1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_jobs, n_machines)``."""
+        return (self.n_jobs, self.n_machines)
+
+    @property
+    def total_processing_time(self) -> int:
+        """Sum of all processing times (a trivial upper bound contributor)."""
+        return int(self.processing_times.sum())
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    def job_times(self, job: int) -> np.ndarray:
+        """Processing times of ``job`` on every machine (length ``m``)."""
+        self._check_job(job)
+        return self.processing_times[job]
+
+    def machine_times(self, machine: int) -> np.ndarray:
+        """Processing times of every job on ``machine`` (length ``n``)."""
+        self._check_machine(machine)
+        return self.processing_times[:, machine]
+
+    def machine_load(self, machine: int) -> int:
+        """Total work assigned to ``machine``."""
+        return int(self.machine_times(machine).sum())
+
+    def job_total_time(self, job: int) -> int:
+        """Total processing time of ``job`` across all machines."""
+        return int(self.job_times(job).sum())
+
+    def _check_job(self, job: int) -> None:
+        if not 0 <= job < self.n_jobs:
+            raise IndexError(f"job index {job} out of range [0, {self.n_jobs})")
+
+    def _check_machine(self, machine: int) -> None:
+        if not 0 <= machine < self.n_machines:
+            raise IndexError(
+                f"machine index {machine} out of range [0, {self.n_machines})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived instances
+    # ------------------------------------------------------------------ #
+    def restricted_to_jobs(self, jobs: Sequence[int]) -> "FlowShopInstance":
+        """Return a new instance containing only ``jobs`` (in the given order)."""
+        jobs = list(jobs)
+        if len(jobs) == 0:
+            raise ValueError("cannot restrict an instance to zero jobs")
+        for job in jobs:
+            self._check_job(job)
+        if len(set(jobs)) != len(jobs):
+            raise ValueError("duplicate job indices in restriction")
+        sub = self.processing_times[np.asarray(jobs, dtype=np.int64)]
+        meta = dict(self.metadata)
+        meta["restricted_from"] = self.name or f"{self.n_jobs}x{self.n_machines}"
+        meta["job_subset"] = tuple(int(j) for j in jobs)
+        return FlowShopInstance(sub, name=f"{self.name}|{len(jobs)}jobs", metadata=meta)
+
+    def restricted_to_machines(self, machines: Sequence[int]) -> "FlowShopInstance":
+        """Return a new instance using only the given ``machines`` (in order)."""
+        machines = list(machines)
+        if len(machines) == 0:
+            raise ValueError("cannot restrict an instance to zero machines")
+        for machine in machines:
+            self._check_machine(machine)
+        if len(set(machines)) != len(machines):
+            raise ValueError("duplicate machine indices in restriction")
+        sub = self.processing_times[:, np.asarray(machines, dtype=np.int64)]
+        meta = dict(self.metadata)
+        meta["machine_subset"] = tuple(int(k) for k in machines)
+        return FlowShopInstance(sub, name=f"{self.name}|{len(machines)}mach", metadata=meta)
+
+    # ------------------------------------------------------------------ #
+    # Bounds that need no schedule at all
+    # ------------------------------------------------------------------ #
+    def trivial_lower_bound(self) -> int:
+        """A simple machine-load based lower bound on the optimal makespan.
+
+        For each machine ``k`` the makespan is at least the total load of
+        ``k`` plus the smallest possible head (work before ``k``) and tail
+        (work after ``k``) over jobs.  This is weaker than the Johnson-based
+        bound but is useful as a sanity check and as a first incumbent
+        filter.
+        """
+        pt = self.processing_times
+        best = 0
+        for k in range(self.n_machines):
+            heads = pt[:, :k].sum(axis=1)
+            tails = pt[:, k + 1 :].sum(axis=1)
+            load = int(pt[:, k].sum())
+            head = int(heads.min()) if k > 0 else 0
+            tail = int(tails.min()) if k + 1 < self.n_machines else 0
+            best = max(best, head + load + tail)
+        best = max(best, int(pt.sum(axis=1).max()))
+        return best
+
+    def trivial_upper_bound(self) -> int:
+        """Sum of all processing times — valid for any schedule."""
+        return self.total_processing_time
+
+    # ------------------------------------------------------------------ #
+    # Serialization helpers
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-Python representation (JSON friendly)."""
+        return {
+            "name": self.name,
+            "n_jobs": self.n_jobs,
+            "n_machines": self.n_machines,
+            "processing_times": self.processing_times.tolist(),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "FlowShopInstance":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            np.asarray(payload["processing_times"], dtype=np.int64),
+            name=str(payload.get("name", "")),
+            metadata=dict(payload.get("metadata", {})),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Sequence[int]], name: str = "") -> "FlowShopInstance":
+        """Build an instance from an iterable of per-job processing-time rows."""
+        return cls(np.asarray(list(rows), dtype=np.int64), name=name)
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "unnamed"
+        return f"FlowShopInstance({label}, n_jobs={self.n_jobs}, n_machines={self.n_machines})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlowShopInstance):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and bool(np.array_equal(self.processing_times, other.processing_times))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.shape, self.processing_times.tobytes()))

@@ -1,0 +1,122 @@
+"""Reading and writing flow-shop instance files.
+
+Two on-disk formats are supported:
+
+* **Taillard format** — the layout used by Taillard's benchmark files and by
+  most flow-shop solvers: a first line with ``n_jobs n_machines`` followed by
+  the processing-time matrix, either one row per job (job-major, the common
+  variant) or one row per machine (machine-major, Taillard's original
+  ``ordonnancement`` files); the reader auto-detects the orientation from the
+  header and the writer lets the caller choose.
+* **JSON format** — the library's own :meth:`FlowShopInstance.to_dict`
+  payload, which additionally round-trips the name and metadata (seed,
+  generator, synthetic flag).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.flowshop.instance import FlowShopInstance
+
+__all__ = [
+    "read_taillard_file",
+    "write_taillard_file",
+    "read_json_file",
+    "write_json_file",
+    "loads_taillard",
+    "dumps_taillard",
+]
+
+PathLike = Union[str, Path]
+
+
+def _tokenise(text: str) -> list[int]:
+    tokens = []
+    for raw in text.replace(",", " ").split():
+        try:
+            tokens.append(int(raw))
+        except ValueError as exc:
+            raise ValueError(f"invalid integer token {raw!r} in instance data") from exc
+    return tokens
+
+
+def loads_taillard(text: str, name: str = "", job_major: bool | None = None) -> FlowShopInstance:
+    """Parse a Taillard-format instance from a string.
+
+    Parameters
+    ----------
+    text:
+        File contents: ``n_jobs n_machines`` followed by ``n_jobs * n_machines``
+        integers.
+    name:
+        Name to attach to the instance.
+    job_major:
+        ``True`` when the matrix is written one row per job, ``False`` for
+        one row per machine; ``None`` (default) keeps the job-major reading,
+        which is correct for both orientations of *square* instances and for
+        the common job-major files.
+    """
+    tokens = _tokenise(text)
+    if len(tokens) < 2:
+        raise ValueError("instance file must start with 'n_jobs n_machines'")
+    n_jobs, n_machines = tokens[0], tokens[1]
+    if n_jobs < 1 or n_machines < 1:
+        raise ValueError(f"invalid instance header: {n_jobs} jobs, {n_machines} machines")
+    values = tokens[2:]
+    expected = n_jobs * n_machines
+    if len(values) != expected:
+        raise ValueError(
+            f"expected {expected} processing times for a {n_jobs}x{n_machines} "
+            f"instance, found {len(values)}"
+        )
+    matrix = np.asarray(values, dtype=np.int64)
+    if job_major is False:
+        pt = matrix.reshape(n_machines, n_jobs).T
+    else:
+        pt = matrix.reshape(n_jobs, n_machines)
+    return FlowShopInstance(
+        pt, name=name, metadata={"format": "taillard", "job_major": job_major is not False}
+    )
+
+
+def dumps_taillard(instance: FlowShopInstance, job_major: bool = True) -> str:
+    """Serialise an instance to the Taillard text format."""
+    lines = [f"{instance.n_jobs} {instance.n_machines}"]
+    matrix = instance.processing_times if job_major else instance.processing_times.T
+    for row in matrix:
+        lines.append(" ".join(str(int(v)) for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def read_taillard_file(
+    path: PathLike, name: str | None = None, job_major: bool | None = None
+) -> FlowShopInstance:
+    """Read a Taillard-format instance file."""
+    path = Path(path)
+    text = path.read_text()
+    return loads_taillard(text, name=name if name is not None else path.stem, job_major=job_major)
+
+
+def write_taillard_file(instance: FlowShopInstance, path: PathLike, job_major: bool = True) -> Path:
+    """Write an instance in the Taillard text format; returns the path."""
+    path = Path(path)
+    path.write_text(dumps_taillard(instance, job_major=job_major))
+    return path
+
+
+def read_json_file(path: PathLike) -> FlowShopInstance:
+    """Read an instance from the library's JSON representation."""
+    payload = json.loads(Path(path).read_text())
+    return FlowShopInstance.from_dict(payload)
+
+
+def write_json_file(instance: FlowShopInstance, path: PathLike, indent: int = 2) -> Path:
+    """Write an instance to the library's JSON representation; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(instance.to_dict(), indent=indent) + "\n")
+    return path

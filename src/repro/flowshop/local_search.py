@@ -1,0 +1,116 @@
+"""Local-search improvement of upper bounds.
+
+The quality of the incumbent (upper bound) directly controls how much of the
+tree the Branch-and-Bound can prune, so a cheap improvement pass over the
+NEH seed pays for itself many times over.  Two classic permutation
+neighbourhoods are provided:
+
+* :func:`insertion_neighbourhood_improve` — remove one job and re-insert it
+  at its best position (the NEH move), first-improvement.
+* :func:`swap_neighbourhood_improve` — exchange two positions,
+  first-improvement.
+* :func:`iterated_descent` — alternate the two neighbourhoods until neither
+  improves (a simple variable-neighbourhood descent), optionally bounded by
+  a move budget.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.flowshop.instance import FlowShopInstance
+from repro.flowshop.neh import neh_order
+from repro.flowshop.schedule import Schedule, makespan
+
+__all__ = [
+    "insertion_neighbourhood_improve",
+    "swap_neighbourhood_improve",
+    "iterated_descent",
+    "improved_upper_bound",
+]
+
+
+def _as_order(instance: FlowShopInstance, order: Sequence[int] | None) -> list[int]:
+    if order is None:
+        return neh_order(instance)
+    order = [int(j) for j in order]
+    if sorted(order) != list(range(instance.n_jobs)):
+        raise ValueError("order must be a permutation of the instance's jobs")
+    return order
+
+
+def insertion_neighbourhood_improve(
+    instance: FlowShopInstance, order: Sequence[int] | None = None
+) -> tuple[list[int], int, bool]:
+    """One first-improvement pass of the remove-and-reinsert neighbourhood.
+
+    Returns ``(order, makespan, improved)``.
+    """
+    current = _as_order(instance, order)
+    best_value = makespan(instance, current)
+    n = len(current)
+    for position in range(n):
+        job = current[position]
+        without = current[:position] + current[position + 1 :]
+        for target in range(n):
+            if target == position:
+                continue
+            candidate = without[:target] + [job] + without[target:]
+            value = makespan(instance, candidate)
+            if value < best_value:
+                return candidate, value, True
+    return current, best_value, False
+
+
+def swap_neighbourhood_improve(
+    instance: FlowShopInstance, order: Sequence[int] | None = None
+) -> tuple[list[int], int, bool]:
+    """One first-improvement pass of the pairwise-swap neighbourhood."""
+    current = _as_order(instance, order)
+    best_value = makespan(instance, current)
+    n = len(current)
+    for i in range(n - 1):
+        for j in range(i + 1, n):
+            candidate = list(current)
+            candidate[i], candidate[j] = candidate[j], candidate[i]
+            value = makespan(instance, candidate)
+            if value < best_value:
+                return candidate, value, True
+    return current, best_value, False
+
+
+def iterated_descent(
+    instance: FlowShopInstance,
+    order: Sequence[int] | None = None,
+    max_moves: int = 1000,
+) -> Schedule:
+    """Alternate insertion and swap first-improvement moves until a local optimum.
+
+    ``max_moves`` bounds the number of accepted moves (each move strictly
+    improves the makespan, so termination is guaranteed anyway; the budget
+    only protects pathological large instances).
+    """
+    if max_moves < 0:
+        raise ValueError("max_moves must be non-negative")
+    current = _as_order(instance, order)
+    moves = 0
+    improved = True
+    while improved and moves < max_moves:
+        improved = False
+        current, _, moved = insertion_neighbourhood_improve(instance, current)
+        if moved:
+            improved = True
+            moves += 1
+            continue
+        current, _, moved = swap_neighbourhood_improve(instance, current)
+        if moved:
+            improved = True
+            moves += 1
+    return Schedule(instance, tuple(current))
+
+
+def improved_upper_bound(instance: FlowShopInstance, max_moves: int = 1000) -> int:
+    """NEH followed by local descent — the strongest cheap upper bound provided."""
+    return iterated_descent(instance, max_moves=max_moves).makespan

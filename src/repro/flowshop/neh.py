@@ -1,0 +1,73 @@
+"""NEH constructive heuristic (Nawaz, Enscore and Ham, 1983).
+
+The Branch-and-Bound algorithms in this library need an initial upper bound
+(incumbent) to prune against.  The paper seeds its runs with "an initial
+solution"; NEH is the de-facto standard constructive heuristic for the
+permutation flow shop and typically lands within a few percent of the
+optimum, which keeps the explored trees small enough for the benchmark
+protocol to be meaningful.
+
+The heuristic:
+
+1. Sort the jobs by decreasing total processing time.
+2. Insert jobs one at a time, each in the position of the current partial
+   permutation that minimises its makespan.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.flowshop.instance import FlowShopInstance
+from repro.flowshop.schedule import Schedule
+
+__all__ = ["neh_order", "neh_heuristic", "best_insertion"]
+
+
+def _partial_makespan(pt: np.ndarray, order: Sequence[int]) -> int:
+    front = np.zeros(pt.shape[1], dtype=np.int64)
+    for job in order:
+        prev = 0
+        row = pt[job]
+        for k in range(pt.shape[1]):
+            start = front[k] if front[k] > prev else prev
+            prev = start + row[k]
+            front[k] = prev
+    return int(front[-1])
+
+
+def best_insertion(pt: np.ndarray, order: list[int], job: int) -> tuple[list[int], int]:
+    """Insert ``job`` into ``order`` at the position minimising the makespan.
+
+    Returns the new order and its makespan.  Ties are broken by the earliest
+    position, which makes the heuristic deterministic.
+    """
+    best_order: list[int] | None = None
+    best_value: int | None = None
+    for pos in range(len(order) + 1):
+        candidate = order[:pos] + [job] + order[pos:]
+        value = _partial_makespan(pt, candidate)
+        if best_value is None or value < best_value:
+            best_value = value
+            best_order = candidate
+    assert best_order is not None and best_value is not None
+    return best_order, best_value
+
+
+def neh_order(instance: FlowShopInstance) -> list[int]:
+    """Job permutation produced by the NEH heuristic."""
+    pt = instance.processing_times
+    totals = pt.sum(axis=1)
+    # decreasing total processing time; stable tie-break by job index
+    priority = sorted(range(instance.n_jobs), key=lambda j: (-int(totals[j]), j))
+    order: list[int] = []
+    for job in priority:
+        order, _ = best_insertion(pt, order, job)
+    return order
+
+
+def neh_heuristic(instance: FlowShopInstance) -> Schedule:
+    """Run NEH and return the resulting :class:`~repro.flowshop.schedule.Schedule`."""
+    return Schedule(instance, tuple(neh_order(instance)))

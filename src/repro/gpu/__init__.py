@@ -1,0 +1,70 @@
+"""Simulated GPU substrate.
+
+The paper runs its bounding kernel on an Nvidia Tesla C2050 (Fermi).  No
+CUDA hardware is available to this reproduction, so this package provides a
+*simulated* device with the pieces the paper's performance story depends on:
+
+* :mod:`~repro.gpu.device` — device specifications (multiprocessors, cores,
+  clock, memory sizes, warp size, register file) with a Tesla C2050 preset,
+  plus CPU specifications for the comparison baselines.
+* :mod:`~repro.gpu.memory` — the memory hierarchy (global / shared /
+  constant / texture / local / registers) with sizes and access latencies,
+  and the Fermi configurable shared-memory/L1 split.
+* :mod:`~repro.gpu.occupancy` — a CUDA-style occupancy calculator limited by
+  registers, shared memory, warps and blocks per multiprocessor.
+* :mod:`~repro.gpu.placement` — mapping of the lower bound's six data
+  structures onto memory spaces (the paper's data-access optimisation).
+* :mod:`~repro.gpu.transfer` — the PCIe host<->device transfer model.
+* :mod:`~repro.gpu.simulator` — an analytical timing model of the bounding
+  kernel (compute cycles + memory stalls modulated by occupancy).
+* :mod:`~repro.gpu.executor` — the functional executor: evaluates pools of
+  sub-problems with the vectorised kernel (bit-identical values to the
+  scalar bound) and attaches the simulated timing.
+"""
+
+from repro.gpu.device import (
+    DeviceSpec,
+    CpuSpec,
+    TESLA_C2050,
+    TESLA_C1060,
+    GTX_480,
+    XEON_E5520,
+    CORE_I7_970,
+)
+from repro.gpu.memory import (
+    MemorySpace,
+    MemorySpec,
+    FermiCacheConfig,
+    MemoryHierarchy,
+)
+from repro.gpu.occupancy import OccupancyCalculator, OccupancyResult
+from repro.gpu.placement import DataPlacement, PlacementError
+from repro.gpu.transfer import TransferModel, TransferTiming
+from repro.gpu.simulator import KernelCostModel, GpuSimulator, KernelTiming
+from repro.gpu.executor import GpuExecutor, ExecutionResult, DeviceArrays
+
+__all__ = [
+    "DeviceSpec",
+    "CpuSpec",
+    "TESLA_C2050",
+    "TESLA_C1060",
+    "GTX_480",
+    "XEON_E5520",
+    "CORE_I7_970",
+    "MemorySpace",
+    "MemorySpec",
+    "FermiCacheConfig",
+    "MemoryHierarchy",
+    "OccupancyCalculator",
+    "OccupancyResult",
+    "DataPlacement",
+    "PlacementError",
+    "TransferModel",
+    "TransferTiming",
+    "KernelCostModel",
+    "GpuSimulator",
+    "KernelTiming",
+    "GpuExecutor",
+    "ExecutionResult",
+    "DeviceArrays",
+]

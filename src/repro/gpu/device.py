@@ -1,0 +1,229 @@
+"""Device and CPU specifications.
+
+The specifications collect the architectural parameters the paper's analysis
+relies on: number of streaming multiprocessors (SMs), CUDA cores per SM,
+clock speed, warp size, register file, shared-memory size, global-memory
+size, and the theoretical double-precision peak used for the "equal GFLOPS"
+comparison of Section V.
+
+Presets are provided for the hardware of the paper's testbed:
+
+* :data:`TESLA_C2050` — the GPU used in Section IV (448 cores = 14 SMs x 32,
+  1.15 GHz, 2.8 GB usable global memory, configurable 48/16 KB shared/L1,
+  warp size 32, ~515 GFLOPS double precision).
+* :data:`XEON_E5520` — the host CPU of the GPU experiments.
+* :data:`CORE_I7_970` — the 6-core CPU of the multi-threaded baseline
+  (76.8 GFLOPS per the paper, i.e. 12.8 GFLOPS per core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "DeviceSpec",
+    "CpuSpec",
+    "TESLA_C2050",
+    "TESLA_C1060",
+    "GTX_480",
+    "XEON_E5520",
+    "CORE_I7_970",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural description of a CUDA-capable device.
+
+    All limits are per streaming multiprocessor (SM) unless stated
+    otherwise.  Defaults correspond to the Fermi generation (compute
+    capability 2.0), the architecture of the paper's Tesla C2050.
+    """
+
+    name: str
+    n_multiprocessors: int
+    cores_per_multiprocessor: int
+    clock_ghz: float
+    global_memory_bytes: int
+    #: total per-SM on-chip storage that Fermi splits between shared memory and L1
+    onchip_memory_bytes: int = 64 * KIB
+    #: default shared-memory share of the on-chip storage (48 KB on Fermi)
+    default_shared_memory_bytes: int = 48 * KIB
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_threads_per_multiprocessor: int = 1536
+    max_blocks_per_multiprocessor: int = 8
+    max_warps_per_multiprocessor: int = 48
+    registers_per_multiprocessor: int = 32768
+    max_registers_per_thread: int = 63
+    #: theoretical double-precision peak in GFLOPS (Section V comparison)
+    peak_gflops_double: float = 0.0
+    #: theoretical single-precision peak in GFLOPS
+    peak_gflops_single: float = 0.0
+    #: global-memory bandwidth in GB/s
+    memory_bandwidth_gbs: float = 144.0
+    #: PCIe effective host<->device bandwidth in GB/s
+    pcie_bandwidth_gbs: float = 5.0
+    #: fixed overhead of one kernel launch, in microseconds
+    kernel_launch_overhead_us: float = 7.0
+
+    def __post_init__(self) -> None:
+        if self.n_multiprocessors < 1:
+            raise ValueError("a device needs at least one multiprocessor")
+        if self.cores_per_multiprocessor < 1:
+            raise ValueError("a multiprocessor needs at least one core")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        if self.warp_size < 1:
+            raise ValueError("warp_size must be positive")
+        if self.default_shared_memory_bytes > self.onchip_memory_bytes:
+            raise ValueError("shared memory cannot exceed the on-chip storage")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cores(self) -> int:
+        """Total number of CUDA cores."""
+        return self.n_multiprocessors * self.cores_per_multiprocessor
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Upper limit of threads simultaneously resident on the device."""
+        return self.n_multiprocessors * self.max_threads_per_multiprocessor
+
+    def recommended_min_blocks(self) -> int:
+        """The paper's rule of thumb: at least twice the number of SMs."""
+        return 2 * self.n_multiprocessors
+
+    def with_shared_memory(self, shared_bytes: int) -> "DeviceSpec":
+        """Return a copy with a different shared/L1 split (Fermi cache config)."""
+        if shared_bytes > self.onchip_memory_bytes:
+            raise ValueError(
+                f"shared memory ({shared_bytes}) exceeds on-chip storage "
+                f"({self.onchip_memory_bytes})"
+            )
+        return replace(self, default_shared_memory_bytes=shared_bytes)
+
+    @property
+    def l1_cache_bytes(self) -> int:
+        """L1 size implied by the current shared-memory split."""
+        return self.onchip_memory_bytes - self.default_shared_memory_bytes
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Description of a CPU used as host or as the multi-threaded baseline."""
+
+    name: str
+    n_cores: int
+    n_threads: int
+    clock_ghz: float
+    #: theoretical double-precision peak of the whole chip, in GFLOPS
+    peak_gflops_double: float
+    #: per-core double-precision peak, in GFLOPS
+    peak_gflops_per_core: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1 or self.n_threads < self.n_cores:
+            raise ValueError("invalid core/thread counts")
+        if self.peak_gflops_per_core == 0.0:
+            object.__setattr__(
+                self, "peak_gflops_per_core", self.peak_gflops_double / self.n_cores
+            )
+
+    def gflops_for_cores(self, n_cores: int) -> float:
+        """Theoretical peak of ``n_cores`` cores (Section V scaling)."""
+        if n_cores < 0:
+            raise ValueError("n_cores must be non-negative")
+        return self.peak_gflops_per_core * n_cores
+
+    def cores_for_gflops(self, gflops: float) -> float:
+        """Number of cores needed to reach ``gflops`` (may be fractional)."""
+        if gflops < 0:
+            raise ValueError("gflops must be non-negative")
+        return gflops / self.peak_gflops_per_core
+
+
+#: The GPU of the paper's experiments (Section IV).
+TESLA_C2050 = DeviceSpec(
+    name="Nvidia Tesla C2050",
+    n_multiprocessors=14,
+    cores_per_multiprocessor=32,
+    clock_ghz=1.15,
+    global_memory_bytes=int(2.8 * GIB),
+    onchip_memory_bytes=64 * KIB,
+    default_shared_memory_bytes=48 * KIB,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_multiprocessor=1536,
+    max_blocks_per_multiprocessor=8,
+    max_warps_per_multiprocessor=48,
+    registers_per_multiprocessor=32768,
+    max_registers_per_thread=63,
+    peak_gflops_double=515.0,
+    peak_gflops_single=1030.0,
+    memory_bandwidth_gbs=144.0,
+    pcie_bandwidth_gbs=5.0,
+)
+
+#: Previous-generation Tesla (GT200), used by some ablations.
+TESLA_C1060 = DeviceSpec(
+    name="Nvidia Tesla C1060",
+    n_multiprocessors=30,
+    cores_per_multiprocessor=8,
+    clock_ghz=1.296,
+    global_memory_bytes=4 * GIB,
+    onchip_memory_bytes=16 * KIB,
+    default_shared_memory_bytes=16 * KIB,
+    warp_size=32,
+    max_threads_per_block=512,
+    max_threads_per_multiprocessor=1024,
+    max_blocks_per_multiprocessor=8,
+    max_warps_per_multiprocessor=32,
+    registers_per_multiprocessor=16384,
+    max_registers_per_thread=124,
+    peak_gflops_double=78.0,
+    peak_gflops_single=933.0,
+    memory_bandwidth_gbs=102.0,
+    pcie_bandwidth_gbs=5.0,
+)
+
+#: Consumer Fermi card, used by some ablations.
+GTX_480 = DeviceSpec(
+    name="Nvidia GeForce GTX 480",
+    n_multiprocessors=15,
+    cores_per_multiprocessor=32,
+    clock_ghz=1.401,
+    global_memory_bytes=int(1.5 * GIB),
+    onchip_memory_bytes=64 * KIB,
+    default_shared_memory_bytes=48 * KIB,
+    peak_gflops_double=168.0,
+    peak_gflops_single=1345.0,
+    memory_bandwidth_gbs=177.0,
+)
+
+#: Host CPU of the GPU experiments (Section IV).
+XEON_E5520 = CpuSpec(
+    name="Intel Xeon E5520",
+    n_cores=8,  # two quad-core chips
+    n_threads=16,
+    clock_ghz=2.27,
+    peak_gflops_double=72.6,  # 8 cores x 2.27 GHz x 4 flops/cycle
+)
+
+#: CPU of the multi-threaded baseline (Section V).
+CORE_I7_970 = CpuSpec(
+    name="Intel Core i7-970",
+    n_cores=6,
+    n_threads=12,
+    clock_ghz=3.20,
+    peak_gflops_double=76.8,
+    peak_gflops_per_core=76.8 / 6.0,
+)

@@ -1,0 +1,171 @@
+"""GPU memory hierarchy model.
+
+CUDA exposes several memory spaces with very different sizes and latencies;
+the whole point of the paper's data-access optimisation is to choose, for
+each of the six lower-bound data structures, the space that minimises the
+aggregate ``accesses x latency`` cost subject to the capacity constraints.
+
+This module models those spaces.  Latencies are expressed in clock cycles
+and follow the commonly published Fermi figures (shared memory and L1 hits
+in the tens of cycles, global memory in the hundreds).  The exact values
+are calibration constants of the simulator — what matters for reproducing
+the paper's *shape* is their ordering and rough magnitude ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping
+
+from repro.gpu.device import DeviceSpec, KIB
+
+__all__ = ["MemorySpace", "MemorySpec", "FermiCacheConfig", "MemoryHierarchy"]
+
+
+class MemorySpace(str, Enum):
+    """The CUDA memory spaces relevant to the kernel."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    CONSTANT = "constant"
+    TEXTURE = "texture"
+    LOCAL = "local"
+    REGISTERS = "registers"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Capacity and latency of one memory space."""
+
+    space: MemorySpace
+    #: capacity in bytes; ``None`` means "limited only by global memory"
+    capacity_bytes: int | None
+    #: access latency in clock cycles (uncached / miss latency for GLOBAL)
+    latency_cycles: float
+    #: latency when the access hits a cache in front of this space
+    cached_latency_cycles: float | None = None
+    #: whether the space is shared by all threads of a block (SHARED) or device-wide
+    per_block: bool = False
+
+    def effective_latency(self, hit_rate: float = 0.0) -> float:
+        """Average latency given a cache hit rate in ``[0, 1]``."""
+        if not 0.0 <= hit_rate <= 1.0:
+            raise ValueError("hit_rate must be in [0, 1]")
+        if self.cached_latency_cycles is None or hit_rate == 0.0:
+            return self.latency_cycles
+        return hit_rate * self.cached_latency_cycles + (1.0 - hit_rate) * self.latency_cycles
+
+
+class FermiCacheConfig(str, Enum):
+    """The two shared-memory / L1 splits of the Fermi architecture.
+
+    The paper uses ``PREFER_SHARED`` (48 KB shared / 16 KB L1) for the
+    scenario that stores ``PTM`` and ``JM`` in shared memory, and
+    ``PREFER_L1`` (16 KB shared / 48 KB L1) for the all-global scenario.
+    """
+
+    PREFER_SHARED = "prefer_shared"
+    PREFER_L1 = "prefer_l1"
+    EQUAL = "equal"
+
+    def shared_bytes(self) -> int:
+        return {"prefer_shared": 48 * KIB, "prefer_l1": 16 * KIB, "equal": 32 * KIB}[self.value]
+
+    def l1_bytes(self) -> int:
+        return 64 * KIB - self.shared_bytes()
+
+
+#: Default Fermi-era latencies (clock cycles).
+_DEFAULT_LATENCIES: dict[MemorySpace, tuple[float, float | None]] = {
+    MemorySpace.GLOBAL: (400.0, 80.0),     # (DRAM, L1/L2 hit)
+    MemorySpace.SHARED: (30.0, None),
+    MemorySpace.CONSTANT: (200.0, 8.0),    # broadcast hit is very cheap
+    MemorySpace.TEXTURE: (350.0, 100.0),
+    MemorySpace.LOCAL: (400.0, 80.0),
+    MemorySpace.REGISTERS: (1.0, None),
+}
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """The memory hierarchy of one device under a given cache configuration."""
+
+    device: DeviceSpec
+    cache_config: FermiCacheConfig = FermiCacheConfig.PREFER_L1
+    latency_overrides: Mapping[MemorySpace, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shared_memory_per_sm(self) -> int:
+        """Shared memory available per SM under the current cache config."""
+        return min(self.cache_config.shared_bytes(), self.device.onchip_memory_bytes)
+
+    @property
+    def l1_cache_per_sm(self) -> int:
+        return self.device.onchip_memory_bytes - self.shared_memory_per_sm
+
+    def spec(self, space: MemorySpace) -> MemorySpec:
+        """The :class:`MemorySpec` of ``space`` for this device/config."""
+        latency, cached = _DEFAULT_LATENCIES[space]
+        if space in self.latency_overrides:
+            latency = float(self.latency_overrides[space])
+        capacity: int | None
+        per_block = False
+        if space is MemorySpace.GLOBAL:
+            capacity = self.device.global_memory_bytes
+        elif space is MemorySpace.SHARED:
+            capacity = self.shared_memory_per_sm
+            per_block = True
+        elif space is MemorySpace.CONSTANT:
+            capacity = 64 * KIB
+        elif space is MemorySpace.TEXTURE:
+            capacity = self.device.global_memory_bytes
+        elif space is MemorySpace.LOCAL:
+            capacity = None
+        else:  # REGISTERS
+            capacity = self.device.registers_per_multiprocessor * 4
+        return MemorySpec(
+            space=space,
+            capacity_bytes=capacity,
+            latency_cycles=latency,
+            cached_latency_cycles=cached,
+            per_block=per_block,
+        )
+
+    def global_hit_rate(self) -> float:
+        """Heuristic L1 hit rate for global-memory accesses.
+
+        A bigger L1 slice (the ``PREFER_L1`` configuration the paper uses
+        when everything lives in global memory) caches the hot matrices
+        better.  The rate is a simple saturating function of the L1 size;
+        it is one of the simulator's calibration constants.
+        """
+        l1 = self.l1_cache_per_sm
+        return min(0.92, 0.55 + 0.35 * (l1 / (48 * KIB)))
+
+    def access_cycles(self, space: MemorySpace) -> float:
+        """Average per-access latency of ``space`` under this configuration."""
+        spec = self.spec(space)
+        if space is MemorySpace.GLOBAL:
+            return spec.effective_latency(self.global_hit_rate())
+        if space is MemorySpace.CONSTANT:
+            return spec.effective_latency(0.9)
+        if space is MemorySpace.TEXTURE:
+            return spec.effective_latency(0.7)
+        return spec.effective_latency(0.0)
+
+    def describe(self) -> dict[str, dict[str, float | int | None]]:
+        """Summary of all spaces (size, latency) — handy for reports/tests."""
+        out: dict[str, dict[str, float | int | None]] = {}
+        for space in MemorySpace:
+            spec = self.spec(space)
+            out[space.value] = {
+                "capacity_bytes": spec.capacity_bytes,
+                "latency_cycles": spec.latency_cycles,
+                "effective_latency_cycles": self.access_cycles(space),
+            }
+        return out

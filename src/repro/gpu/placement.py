@@ -1,0 +1,217 @@
+"""Mapping of the lower-bound data structures onto GPU memory spaces.
+
+This is the heart of the paper's "data access optimisation": given the sizes
+and access frequencies of ``PTM``, ``LM``, ``JM``, ``RM``, ``QM`` and ``MM``
+(Table I) and the capacities/latencies of the GPU memories, choose where
+each structure lives.
+
+The paper's conclusion — reproduced by :meth:`DataPlacement.recommended` —
+is to place ``JM`` and ``PTM`` in shared memory whenever they fit together
+(``JM`` has the same access frequency as ``LM`` but half the size, and
+``PTM`` has the highest access count of all), keep everything else in global
+memory, and configure the Fermi on-chip split accordingly (48 KB shared when
+shared memory is used, 48 KB L1 otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.gpu.memory import FermiCacheConfig, MemoryHierarchy, MemorySpace
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["PlacementError", "DataPlacement", "STRUCTURE_NAMES", "DEFAULT_ELEMENT_BYTES"]
+
+#: The six structures, in the order used by Table I.
+STRUCTURE_NAMES: tuple[str, ...] = ("PTM", "LM", "JM", "RM", "QM", "MM")
+
+#: Bytes per element of each structure in the device buffers.
+#:
+#: The paper's reported footprints (``JM`` and ``LM`` ~38 KB each, ``PTM``
+#: ~4 KB for the 200x20 instances) correspond to byte-packed matrices:
+#: processing times are at most 99 and job indices at most 255, so a single
+#: byte suffices.  ``RM``/``QM``/``MM`` are tiny either way.
+DEFAULT_ELEMENT_BYTES: Mapping[str, int] = {
+    "PTM": 1,
+    "LM": 1,
+    "JM": 1,
+    "RM": 4,
+    "QM": 4,
+    "MM": 2,
+}
+
+
+class PlacementError(ValueError):
+    """Raised when a placement does not fit in the targeted memory spaces."""
+
+
+@dataclass(frozen=True)
+class DataPlacement:
+    """Assignment of every data structure to a memory space.
+
+    Parameters
+    ----------
+    assignment:
+        Mapping from structure name to :class:`MemorySpace`.  Structures not
+        present default to global memory.
+    cache_config:
+        The Fermi shared/L1 split to use with this placement.
+    element_bytes:
+        Bytes per element of each structure (defaults to
+        :data:`DEFAULT_ELEMENT_BYTES`).
+    """
+
+    assignment: Mapping[str, MemorySpace] = field(default_factory=dict)
+    cache_config: FermiCacheConfig = FermiCacheConfig.PREFER_L1
+    element_bytes: Mapping[str, int] = field(default_factory=lambda: dict(DEFAULT_ELEMENT_BYTES))
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        normalized: dict[str, MemorySpace] = {}
+        for key, space in self.assignment.items():
+            if key not in STRUCTURE_NAMES:
+                raise PlacementError(f"unknown data structure {key!r}")
+            normalized[key] = MemorySpace(space)
+        object.__setattr__(self, "assignment", normalized)
+        bytes_map = dict(DEFAULT_ELEMENT_BYTES)
+        bytes_map.update({k: int(v) for k, v in self.element_bytes.items()})
+        for key, value in bytes_map.items():
+            if key not in STRUCTURE_NAMES:
+                raise PlacementError(f"unknown data structure {key!r} in element_bytes")
+            if value < 1:
+                raise PlacementError("element sizes must be at least one byte")
+        object.__setattr__(self, "element_bytes", bytes_map)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def all_global(cls) -> "DataPlacement":
+        """Every structure in global memory; 48 KB of L1 (the Table II scenario)."""
+        return cls(assignment={}, cache_config=FermiCacheConfig.PREFER_L1, name="all-global")
+
+    @classmethod
+    def shared_ptm_jm(cls) -> "DataPlacement":
+        """``PTM`` and ``JM`` in shared memory (the Table III scenario)."""
+        return cls(
+            assignment={"PTM": MemorySpace.SHARED, "JM": MemorySpace.SHARED},
+            cache_config=FermiCacheConfig.PREFER_SHARED,
+            name="shared-PTM-JM",
+        )
+
+    @classmethod
+    def shared_structures(cls, names: Iterable[str]) -> "DataPlacement":
+        """Arbitrary subset of structures in shared memory (for ablations)."""
+        names = tuple(names)
+        assignment = {name: MemorySpace.SHARED for name in names}
+        return cls(
+            assignment=assignment,
+            cache_config=FermiCacheConfig.PREFER_SHARED,
+            name="shared-" + "-".join(names) if names else "all-global",
+        )
+
+    # ------------------------------------------------------------------ #
+    def space_of(self, structure: str) -> MemorySpace:
+        """Memory space hosting ``structure`` (global memory by default)."""
+        if structure not in STRUCTURE_NAMES:
+            raise PlacementError(f"unknown data structure {structure!r}")
+        return self.assignment.get(structure, MemorySpace.GLOBAL)
+
+    def structure_bytes(self, complexity: DataStructureComplexity) -> dict[str, int]:
+        """Footprint in bytes of every structure for a given instance size."""
+        sizes = complexity.sizes()
+        return {name: sizes[name] * self.element_bytes[name] for name in STRUCTURE_NAMES}
+
+    def shared_bytes_per_block(self, complexity: DataStructureComplexity) -> int:
+        """Shared memory each block must allocate under this placement.
+
+        Every thread block keeps its own copy of the shared-memory resident
+        structures (that is how the paper's kernel works: the block
+        cooperatively stages the matrices into shared memory before the
+        bounding loop), so the per-block footprint is simply the sum of the
+        footprints of the structures assigned to shared memory.
+        """
+        footprints = self.structure_bytes(complexity)
+        return sum(
+            footprints[name]
+            for name in STRUCTURE_NAMES
+            if self.space_of(name) is MemorySpace.SHARED
+        )
+
+    def validate(
+        self, complexity: DataStructureComplexity, hierarchy: MemoryHierarchy
+    ) -> None:
+        """Raise :class:`PlacementError` if the placement cannot be realised."""
+        shared_needed = self.shared_bytes_per_block(complexity)
+        available = hierarchy.shared_memory_per_sm
+        if shared_needed > available:
+            raise PlacementError(
+                f"placement {self.name or self.assignment} needs {shared_needed} B of shared "
+                f"memory per block but only {available} B are available per SM"
+            )
+        total_global = sum(
+            footprint
+            for name, footprint in self.structure_bytes(complexity).items()
+            if self.space_of(name) is MemorySpace.GLOBAL
+        )
+        capacity = hierarchy.device.global_memory_bytes
+        if total_global > capacity:
+            raise PlacementError(
+                f"global-memory footprint {total_global} B exceeds device capacity {capacity} B"
+            )
+
+    def fits(self, complexity: DataStructureComplexity, hierarchy: MemoryHierarchy) -> bool:
+        """``True`` when :meth:`validate` would not raise."""
+        try:
+            self.validate(complexity, hierarchy)
+        except PlacementError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def recommended(
+        cls,
+        complexity: DataStructureComplexity,
+        device: DeviceSpec,
+    ) -> "DataPlacement":
+        """The paper's recommendation, degraded gracefully when space is tight.
+
+        1. Prefer ``JM`` + ``PTM`` in shared memory (Table III scenario).
+        2. If they do not fit together, keep only ``JM`` (same access count
+           as ``LM`` but half the size, and much larger than ``PTM``).
+        3. If even ``JM`` alone does not fit, fall back to all-global with a
+           large L1.
+        """
+        shared_capacity = FermiCacheConfig.PREFER_SHARED.shared_bytes()
+        shared_capacity = min(shared_capacity, device.onchip_memory_bytes)
+        candidates = [
+            cls.shared_ptm_jm(),
+            cls.shared_structures(["JM"]),
+            cls.shared_structures(["PTM"]),
+            cls.all_global(),
+        ]
+        hierarchy_cache: dict[FermiCacheConfig, MemoryHierarchy] = {}
+        for candidate in candidates:
+            hierarchy = hierarchy_cache.setdefault(
+                candidate.cache_config, MemoryHierarchy(device, candidate.cache_config)
+            )
+            if candidate.fits(complexity, hierarchy):
+                return candidate
+        return cls.all_global()
+
+    def describe(self, complexity: DataStructureComplexity) -> list[dict[str, object]]:
+        """Per-structure summary rows (name, space, bytes, accesses)."""
+        footprints = self.structure_bytes(complexity)
+        accesses = complexity.accesses()
+        return [
+            {
+                "structure": name,
+                "space": self.space_of(name).value,
+                "bytes": footprints[name],
+                "accesses_per_lb": accesses[name],
+            }
+            for name in STRUCTURE_NAMES
+        ]

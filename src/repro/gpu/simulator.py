@@ -1,0 +1,293 @@
+"""Analytical timing model of the GPU bounding kernel.
+
+The reproduction has no CUDA hardware, so the *performance* side of the
+paper (Tables II/III, Figures 4/5) is driven by this model.  It is kept
+deliberately simple — a handful of architectural mechanisms, each of which
+maps to a sentence of the paper's own analysis:
+
+1. **Work per thread.**  One thread evaluates one lower bound: it walks
+   ``m(m-1)/2`` machine couples times ``n`` Johnson positions, performing a
+   few arithmetic instructions and the Table I memory accesses per step
+   (complexity ``O(m^2 n)``, the paper's granularity argument).
+2. **Memory placement.**  Every access is charged an *amortised* cost that
+   depends on the memory space the structure is mapped to: shared memory is
+   a couple of cycles, global memory costs more, and its cost depends on
+   how much of the working set fits in the L1 slice of the Fermi on-chip
+   memory (this is what makes the shared-memory placement pay off more for
+   the large instances, exactly as in Figure 4).
+3. **Occupancy.**  The active-warp count from the occupancy calculator
+   determines how well the remaining global-memory latency is hidden.
+4. **Device utilisation.**  Blocks are distributed over the SMs; small
+   pools (few blocks) leave SMs idle or imbalanced — the paper's "the
+   number of blocks (16) ... is not sufficient" observation — which the
+   model captures by timing the busiest SM.
+5. **Transfers and host overhead.**  Each pool pays the PCIe round trip of
+   :class:`~repro.gpu.transfer.TransferModel` plus a per-node host-side cost
+   (pool selection / encoding / elimination), which is what erodes the
+   speed-up of small instances at very large pool sizes.
+
+All constants live in :class:`KernelCostModel` and are documented as
+calibration constants; EXPERIMENTS.md reports the paper-vs-model deltas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.gpu.device import DeviceSpec, TESLA_C2050, KIB
+from repro.gpu.memory import MemoryHierarchy, MemorySpace
+from repro.gpu.occupancy import OccupancyCalculator, OccupancyResult
+from repro.gpu.placement import DataPlacement, STRUCTURE_NAMES
+from repro.gpu.transfer import TransferModel, TransferTiming
+
+__all__ = ["KernelCostModel", "KernelTiming", "GpuSimulator"]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Break-down of the simulated evaluation of one pool (seconds)."""
+
+    pool_size: int
+    kernel_s: float
+    transfer_s: float
+    host_overhead_s: float
+    launch_overhead_s: float
+    occupancy: OccupancyResult
+    per_thread_cycles: float
+
+    @property
+    def total_s(self) -> float:
+        return self.kernel_s + self.transfer_s + self.host_overhead_s + self.launch_overhead_s
+
+    @property
+    def per_node_s(self) -> float:
+        return self.total_s / self.pool_size if self.pool_size else 0.0
+
+
+@dataclass(frozen=True)
+class KernelCostModel:
+    """Calibration constants of the kernel cost model.
+
+    The default values were chosen once, by hand, so that the modelled
+    speed-ups land in the ranges reported by the paper for the Tesla
+    C2050 / Xeon E5520 pair; they are *not* fitted per experiment.
+    """
+
+    #: arithmetic cycles per (couple, job) iteration of the kernel
+    cycles_per_iteration: float = 6.0
+    #: cycles charged per access to shared memory / registers
+    shared_access_cycles: float = 2.5
+    #: cycles charged per access to an L1-resident global location
+    l1_hit_cycles: float = 5.0
+    #: raw DRAM latency (cycles); warp-broadcast + full occupancy reduce the
+    #: *exposed* cost to ``dram_latency_cycles / warp_size`` at 32 active warps
+    dram_latency_cycles: float = 320.0
+    #: reference active-warp count at which the exposed DRAM cost is minimal
+    full_hiding_warps: float = 32.0
+    #: fraction of global accesses served by L2 even when the working set
+    #: overflows L1 (the matrices are broadcast across warps, so L2 catches them)
+    l2_backstop_hit_fraction: float = 0.6
+    #: maximal L1 hit rate (cold misses, tags, per-node data competing)
+    max_l1_hit_rate: float = 0.95
+    #: host-side fixed cost per node (selection, encoding, elimination), seconds
+    host_cost_per_node_s: float = 0.03e-6
+    #: additional per-node host cost when the pending pool becomes very large
+    #: (the host-side pool spills out of the CPU caches); saturating term
+    host_pool_pressure_s: float = 0.09e-6
+    #: pool size at which half of the pool-pressure penalty applies
+    pool_pressure_half_size: int = 32768
+    #: registers used per thread by the bounding kernel (paper: 26)
+    registers_per_thread: int = 26
+
+    def with_overrides(self, **kwargs: float) -> "KernelCostModel":
+        """Copy with some constants replaced (used by ablation benchmarks)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class GpuSimulator:
+    """Simulated execution of the bounding kernel on a device.
+
+    Parameters
+    ----------
+    device:
+        The simulated GPU (defaults to the paper's Tesla C2050).
+    placement:
+        Data-structure placement (defaults to everything in global memory).
+    cost_model:
+        Calibration constants.
+    transfer:
+        Host<->device transfer model; built from the device when omitted.
+    """
+
+    device: DeviceSpec = TESLA_C2050
+    placement: DataPlacement = field(default_factory=DataPlacement.all_global)
+    cost_model: KernelCostModel = field(default_factory=KernelCostModel)
+    transfer: TransferModel | None = None
+
+    def _transfer_model(self) -> TransferModel:
+        return self.transfer if self.transfer is not None else TransferModel(self.device)
+
+    def hierarchy(self) -> MemoryHierarchy:
+        return MemoryHierarchy(self.device, self.placement.cache_config)
+
+    # ------------------------------------------------------------------ #
+    # Occupancy of the kernel under this placement
+    # ------------------------------------------------------------------ #
+    def occupancy(
+        self, complexity: DataStructureComplexity, threads_per_block: int = 256
+    ) -> OccupancyResult:
+        """Occupancy of the bounding kernel for an instance size."""
+        hierarchy = self.hierarchy()
+        shared_per_block = self.placement.shared_bytes_per_block(complexity)
+        calculator = OccupancyCalculator(self.device)
+        return calculator.compute(
+            threads_per_block=threads_per_block,
+            registers_per_thread=self.cost_model.registers_per_thread,
+            shared_memory_per_block=shared_per_block,
+            shared_memory_available=hierarchy.shared_memory_per_sm,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-thread cost
+    # ------------------------------------------------------------------ #
+    def _global_hit_rate(self, complexity: DataStructureComplexity) -> float:
+        """L1 hit rate of the global-memory resident structures.
+
+        The hot working set is whatever part of ``PTM``/``LM``/``JM`` is not
+        in shared memory; if it fits in the L1 slice the hit rate saturates
+        at :attr:`KernelCostModel.max_l1_hit_rate`, otherwise it degrades
+        proportionally to the capacity ratio.
+        """
+        hierarchy = self.hierarchy()
+        footprints = self.placement.structure_bytes(complexity)
+        working_set = sum(
+            footprints[name]
+            for name in ("PTM", "LM", "JM")
+            if self.placement.space_of(name) is MemorySpace.GLOBAL
+        )
+        l1 = hierarchy.l1_cache_per_sm
+        if working_set <= 0:
+            return self.cost_model.max_l1_hit_rate
+        backstop = self.cost_model.l2_backstop_hit_fraction
+        ratio = backstop + (1.0 - backstop) * (l1 / working_set)
+        return float(min(self.cost_model.max_l1_hit_rate, max(0.05, ratio)))
+
+    def _access_cost_cycles(
+        self,
+        complexity: DataStructureComplexity,
+        occupancy: OccupancyResult,
+    ) -> dict[str, float]:
+        """Amortised cycles per access for each structure under the placement."""
+        cm = self.cost_model
+        hit = self._global_hit_rate(complexity)
+        # The matrices are read at the same address by every thread of a warp
+        # (they are instance data, not node data), so a miss is paid once per
+        # warp; with fewer active warps there is less other work to overlap
+        # with the stall, hence the sqrt penalty on low occupancy.
+        warps = max(1.0, float(occupancy.active_warps_per_sm))
+        exposed = cm.dram_latency_cycles / self.device.warp_size
+        miss_cost = exposed * math.sqrt(cm.full_hiding_warps / warps)
+        global_cost = hit * cm.l1_hit_cycles + (1.0 - hit) * miss_cost
+        costs: dict[str, float] = {}
+        for name in STRUCTURE_NAMES:
+            space = self.placement.space_of(name)
+            if space is MemorySpace.SHARED:
+                costs[name] = cm.shared_access_cycles
+            elif space in (MemorySpace.REGISTERS, MemorySpace.CONSTANT):
+                costs[name] = cm.shared_access_cycles
+            else:
+                costs[name] = global_cost
+        return costs
+
+    def per_thread_cycles(
+        self,
+        complexity: DataStructureComplexity,
+        occupancy: OccupancyResult,
+        n_remaining: int | None = None,
+    ) -> float:
+        """Effective cycles one thread spends evaluating one lower bound."""
+        cm = self.cost_model
+        n = complexity.n
+        n_prime = n if n_remaining is None else int(n_remaining)
+        inner_iterations = complexity.n_couples * n
+        compute = cm.cycles_per_iteration * inner_iterations
+        accesses = complexity.accesses(n_prime)
+        costs = self._access_cost_cycles(complexity, occupancy)
+        memory = sum(accesses[name] * costs[name] for name in STRUCTURE_NAMES)
+        return float(compute + memory)
+
+    # ------------------------------------------------------------------ #
+    # Pool-level timing
+    # ------------------------------------------------------------------ #
+    def kernel_time_s(
+        self,
+        complexity: DataStructureComplexity,
+        pool_size: int,
+        threads_per_block: int = 256,
+        n_remaining: int | None = None,
+    ) -> tuple[float, OccupancyResult, float]:
+        """Kernel execution time for one pool (seconds).
+
+        Returns ``(seconds, occupancy, per_thread_cycles)``.  The model
+        times the *busiest* SM: blocks are distributed round-robin over the
+        multiprocessors and executed in cohorts of ``active_blocks_per_sm``
+        concurrent blocks; each cohort's duration is the maximum of its
+        compute-throughput bound and the latency floor of a single thread.
+        """
+        if pool_size < 0:
+            raise ValueError("pool_size must be non-negative")
+        occupancy = self.occupancy(complexity, threads_per_block)
+        cycles = self.per_thread_cycles(complexity, occupancy, n_remaining)
+        if pool_size == 0:
+            return 0.0, occupancy, cycles
+        if occupancy.active_blocks_per_sm == 0:
+            raise ValueError(
+                "kernel cannot launch: the shared-memory placement does not fit "
+                "(occupancy is zero)"
+            )
+
+        device = self.device
+        blocks = math.ceil(pool_size / threads_per_block)
+        blocks_on_busiest_sm = math.ceil(blocks / device.n_multiprocessors)
+        concurrent = occupancy.active_blocks_per_sm
+
+        total_cycles = 0.0
+        remaining = blocks_on_busiest_sm
+        while remaining > 0:
+            cohort_blocks = min(concurrent, remaining)
+            remaining -= cohort_blocks
+            resident_threads = cohort_blocks * threads_per_block
+            throughput_bound = resident_threads * cycles / device.cores_per_multiprocessor
+            latency_floor = cycles
+            total_cycles += max(throughput_bound, latency_floor)
+        return total_cycles / device.clock_hz, occupancy, cycles
+
+    def evaluate_pool(
+        self,
+        complexity: DataStructureComplexity,
+        pool_size: int,
+        threads_per_block: int = 256,
+        n_remaining: int | None = None,
+    ) -> KernelTiming:
+        """Full simulated cost of evaluating one pool of sub-problems."""
+        kernel_s, occupancy, cycles = self.kernel_time_s(
+            complexity, pool_size, threads_per_block, n_remaining
+        )
+        transfer: TransferTiming = self._transfer_model().round_trip(
+            pool_size, n_jobs=complexity.n, n_machines=complexity.m
+        )
+        cm = self.cost_model
+        pressure = pool_size / (pool_size + cm.pool_pressure_half_size) if pool_size else 0.0
+        host = pool_size * (cm.host_cost_per_node_s + cm.host_pool_pressure_s * pressure)
+        return KernelTiming(
+            pool_size=pool_size,
+            kernel_s=kernel_s,
+            transfer_s=transfer.host_to_device_s + transfer.device_to_host_s,
+            host_overhead_s=host,
+            launch_overhead_s=transfer.fixed_overhead_s,
+            occupancy=occupancy,
+            per_thread_cycles=cycles,
+        )

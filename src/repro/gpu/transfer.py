@@ -1,0 +1,92 @@
+"""Host <-> device transfer model.
+
+Each Branch-and-Bound iteration ships a pool of sub-problems to the device
+and retrieves one lower bound per sub-problem.  The paper encodes a
+sub-problem compactly (the permutation prefix / scheduled-job set and the
+per-machine release times), so the transferred volume per node is small but
+the *per-transfer* fixed cost (driver launch, PCIe transaction setup) is
+what makes tiny pools inefficient — this is the "best ratio between lower
+bound evaluation time ... and its total communication time" trade-off the
+paper discusses when explaining the optimal pool sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["TransferTiming", "TransferModel"]
+
+
+@dataclass(frozen=True)
+class TransferTiming:
+    """Break-down of one host->device->host round trip (seconds)."""
+
+    host_to_device_s: float
+    device_to_host_s: float
+    fixed_overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.host_to_device_s + self.device_to_host_s + self.fixed_overhead_s
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Simple latency + bandwidth PCIe model.
+
+    Parameters
+    ----------
+    device:
+        The device whose effective PCIe bandwidth is used.
+    latency_us:
+        Fixed cost per transfer direction (driver call + DMA setup).
+    node_payload_bytes:
+        Bytes shipped *per sub-problem* on the way in.  A sub-problem is
+        encoded as the scheduled-job bitmap plus the ``m`` release times
+        (4-byte each) — about ``n/8 + 4m`` bytes; the default of 128 bytes
+        covers the paper's largest instances (200 jobs, 20 machines) with
+        alignment padding.
+    result_bytes:
+        Bytes returned per sub-problem (one 4-byte lower bound).
+    """
+
+    device: DeviceSpec
+    latency_us: float = 15.0
+    node_payload_bytes: int = 128
+    result_bytes: int = 4
+
+    def payload_for_instance(self, n_jobs: int, n_machines: int) -> int:
+        """Per-node payload for a given instance size (bitmap + release times)."""
+        bitmap = -(-n_jobs // 8)
+        release = 4 * n_machines
+        raw = bitmap + release
+        # align to 32 bytes like the CUDA struct would be
+        return -(-raw // 32) * 32
+
+    def round_trip(
+        self,
+        pool_size: int,
+        n_jobs: int | None = None,
+        n_machines: int | None = None,
+    ) -> TransferTiming:
+        """Timing of shipping ``pool_size`` nodes in and their bounds out."""
+        if pool_size < 0:
+            raise ValueError("pool_size must be non-negative")
+        if n_jobs is not None and n_machines is not None:
+            payload = self.payload_for_instance(n_jobs, n_machines)
+        else:
+            payload = self.node_payload_bytes
+        bandwidth = self.device.pcie_bandwidth_gbs * 1e9  # bytes/s
+        h2d = pool_size * payload / bandwidth
+        d2h = pool_size * self.result_bytes / bandwidth
+        fixed = 2 * self.latency_us * 1e-6 + self.device.kernel_launch_overhead_us * 1e-6
+        return TransferTiming(host_to_device_s=h2d, device_to_host_s=d2h, fixed_overhead_s=fixed)
+
+    def instance_upload(self, total_structure_bytes: int) -> float:
+        """One-off cost of copying the instance matrices to the device (seconds)."""
+        if total_structure_bytes < 0:
+            raise ValueError("total_structure_bytes must be non-negative")
+        bandwidth = self.device.pcie_bandwidth_gbs * 1e9
+        return self.latency_us * 1e-6 + total_structure_bytes / bandwidth

@@ -1,0 +1,194 @@
+"""CPU-side cost models.
+
+Two models live here:
+
+* :class:`CpuCostModel` — the per-lower-bound cost of the *serial* B&B on
+  one CPU core.  This is the ``T_cpu`` side of every speed-up ratio in the
+  paper (Tables II, III, IV and Figures 4, 5).
+* :class:`MulticoreScalingModel` — the scaling behaviour of the
+  multi-threaded B&B of Section V.  The paper observes a clearly sub-linear
+  speed-up (×4 with 3 threads up to only ×9–×11 with 9–11 threads) and
+  attributes the flattening to "additional page faults and context switches"
+  — i.e. a per-thread contention overhead that grows with the thread count,
+  plus a serial fraction (pool management) that cannot be parallelised.
+  The model combines both mechanisms (Amdahl + linear contention).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.gpu.device import CpuSpec, XEON_E5520, CORE_I7_970, KIB
+
+__all__ = ["CpuCostModel", "MulticoreScalingModel"]
+
+
+@dataclass(frozen=True)
+class CpuCostModel:
+    """Per-lower-bound execution cost of the serial B&B on one CPU core.
+
+    The lower bound performs ``m(m-1)/2 * n`` inner iterations (Johnson scan
+    over every machine couple).  On a CPU each iteration costs a handful of
+    cycles; when the instance matrices (stored as 4-byte ``int`` on the
+    host) overflow the per-core cache the cost per iteration rises — this is
+    why, in the paper, the serial bound becomes relatively *more* expensive
+    on the big 200x20 instances, which in turn is part of why the GPU
+    speed-up keeps growing with the instance size.
+
+    Parameters
+    ----------
+    cpu:
+        The CPU executing the serial reference (default: the paper's
+        Xeon E5520 host).
+    cycles_per_iteration:
+        Cost of one inner iteration when the working set is cache resident.
+    cache_penalty_cycles:
+        Additional cycles per iteration when the working set completely
+        overflows the cache (scaled linearly in between).
+    cache_bytes:
+        Effective per-core cache capacity (L2 on Nehalem-class CPUs).
+    host_element_bytes:
+        Size of one matrix element on the host (the C implementation uses
+        ``int``).
+    """
+
+    cpu: CpuSpec = XEON_E5520
+    cycles_per_iteration: float = 8.0
+    cache_penalty_cycles: float = 3.0
+    cache_bytes: int = 256 * KIB
+    host_element_bytes: int = 4
+    #: fixed cost per machine couple (loop setup, the min() reductions of
+    #: lines 06-07/18 of the pseudo-code, branch mispredictions); it is
+    #: amortised over ``n`` inner iterations so it only matters for small
+    #: instances — which is why the serial bound is relatively more
+    #: expensive per iteration on 20x20 than on 200x20
+    per_couple_overhead_cycles: float = 25.0
+
+    # ------------------------------------------------------------------ #
+    def working_set_bytes(self, complexity: DataStructureComplexity) -> int:
+        """Bytes touched per bound evaluation on the host (PTM + LM + JM)."""
+        sizes = complexity.sizes()
+        return (sizes["PTM"] + sizes["LM"] + sizes["JM"]) * self.host_element_bytes
+
+    def cycles_per_iteration_effective(self, complexity: DataStructureComplexity) -> float:
+        """Per-iteration cycles including the cache-pressure penalty."""
+        pressure = min(1.0, self.working_set_bytes(complexity) / self.cache_bytes)
+        return self.cycles_per_iteration + self.cache_penalty_cycles * pressure
+
+    def lower_bound_cycles(
+        self, complexity: DataStructureComplexity, n_remaining: int | None = None
+    ) -> float:
+        """Cycles of one lower-bound evaluation."""
+        n = complexity.n if n_remaining is None else int(n_remaining)
+        iterations = complexity.n_couples * complexity.n
+        # already-scheduled jobs are skipped cheaply: charge them 1 cycle
+        useful = complexity.n_couples * n
+        skipped = iterations - useful
+        per_iter = self.cycles_per_iteration_effective(complexity)
+        overhead = complexity.n_couples * self.per_couple_overhead_cycles
+        return useful * per_iter + skipped * 1.0 + overhead
+
+    def lower_bound_seconds(
+        self, complexity: DataStructureComplexity, n_remaining: int | None = None
+    ) -> float:
+        """Seconds of one lower-bound evaluation on one core."""
+        return self.lower_bound_cycles(complexity, n_remaining) / (self.cpu.clock_ghz * 1e9)
+
+    def pool_seconds(
+        self,
+        complexity: DataStructureComplexity,
+        pool_size: int,
+        n_remaining: int | None = None,
+        bounding_fraction: float = 0.985,
+    ) -> float:
+        """Serial time to bound a pool of ``pool_size`` sub-problems.
+
+        ``bounding_fraction`` is the share of the total B&B time spent in
+        the bounding operator (the paper measures ~98.5 %); the remaining
+        1.5 % (selection, branching, elimination) is added on top so the
+        serial reference reflects a full B&B iteration, not just the kernel.
+        """
+        if pool_size < 0:
+            raise ValueError("pool_size must be non-negative")
+        if not 0.0 < bounding_fraction <= 1.0:
+            raise ValueError("bounding_fraction must be in (0, 1]")
+        bounding = pool_size * self.lower_bound_seconds(complexity, n_remaining)
+        return bounding / bounding_fraction
+
+
+@dataclass(frozen=True)
+class MulticoreScalingModel:
+    """Scaling model of the multi-threaded (pthread) B&B of Section V.
+
+    ``speedup(t) = t_eff / (serial_fraction * t_eff + (1 - serial_fraction))``
+    with ``t_eff = t / (1 + contention_per_thread * (t - 1))`` — an Amdahl
+    law whose parallel part is degraded by a per-thread contention term
+    (page faults, context switches, shared work-pool locking).
+
+    Default constants are chosen so the modelled speed-ups land in the
+    ranges of Table IV (×4–×4.4 with 3 threads, ×9–×11 with 9–11 threads on
+    a 6-core / 12-thread i7-970); they are documented calibration constants,
+    not per-row fits.
+    """
+
+    cpu: CpuSpec = CORE_I7_970
+    #: the CPU running the *serial* reference the speed-ups are computed
+    #: against (the paper normalises both the GPU and the multi-threaded
+    #: runs to a single core of the Xeon E5520 host)
+    reference_cpu: CpuSpec = XEON_E5520
+    #: fraction of the serial runtime that cannot be parallelised (pool management)
+    serial_fraction: float = 0.005
+    #: relative throughput loss added by every extra thread
+    contention_per_thread: float = 0.02
+    #: additional efficiency loss per thread beyond the physical core count
+    #: (hyper-threads share execution resources)
+    smt_efficiency: float = 0.6
+    #: instance-size sensitivity: larger instances stress the shared caches
+    #: slightly more, which is why the paper's Table IV rows decrease a
+    #: little from 20x20 to 200x20
+    cache_sharing_penalty: float = 0.04
+
+    @property
+    def per_core_performance_ratio(self) -> float:
+        """Single-core performance of :attr:`cpu` relative to the reference.
+
+        The i7-970 runs at 3.20 GHz vs the reference Xeon's 2.27 GHz, which
+        is why Table IV reports speed-ups slightly above the thread count
+        for small thread counts.
+        """
+        return self.cpu.clock_ghz / self.reference_cpu.clock_ghz
+
+    def effective_parallelism(self, n_threads: int) -> float:
+        """Useful parallelism extracted by ``n_threads`` software threads."""
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        physical = min(n_threads, self.cpu.n_cores)
+        extra = max(0, n_threads - self.cpu.n_cores)
+        raw = physical + self.smt_efficiency * extra
+        contention = 1.0 + self.contention_per_thread * (n_threads - 1)
+        return raw / contention
+
+    def speedup(self, n_threads: int, complexity: DataStructureComplexity | None = None) -> float:
+        """Speed-up over the serial B&B with ``n_threads`` worker threads."""
+        parallel = self.effective_parallelism(n_threads)
+        amdahl = 1.0 / (self.serial_fraction + (1.0 - self.serial_fraction) / parallel)
+        base = amdahl * self.per_core_performance_ratio
+        if complexity is None:
+            return base
+        # mild instance-size degradation (shared LLC pressure)
+        size_factor = 1.0 - self.cache_sharing_penalty * math.log10(max(complexity.n, 10) / 10.0)
+        return base * size_factor
+
+    def speedup_for_gflops(
+        self, gflops: float, complexity: DataStructureComplexity | None = None
+    ) -> float:
+        """Speed-up of the multi-threaded B&B given an aggregate GFLOPS budget.
+
+        Section V compares the GPU and the multi-threaded CPU at equal
+        theoretical peak; this translates a GFLOPS budget into a thread
+        count on the reference CPU and evaluates the scaling model there.
+        """
+        threads = max(1, int(round(self.cpu.cores_for_gflops(gflops))))
+        return self.speedup(threads, complexity)

@@ -1,0 +1,88 @@
+"""Speed-up and parallel-efficiency arithmetic.
+
+The paper's "parallel efficiency" is the ratio ``T_cpu / T_gpu`` (it is a
+speed-up, not an efficiency in the classical sense); these helpers keep that
+definition in one place and provide a small container for speed-up series
+(one value per pool size / thread count) used by the experiment harness and
+the report formatter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["speedup", "efficiency", "SpeedupSeries"]
+
+
+def speedup(serial_time: float, parallel_time: float) -> float:
+    """``T_serial / T_parallel`` (the paper's "parallel efficiency")."""
+    if serial_time < 0 or parallel_time <= 0:
+        raise ValueError("times must be positive (serial may be zero)")
+    return serial_time / parallel_time
+
+
+def efficiency(serial_time: float, parallel_time: float, n_workers: int) -> float:
+    """Classical parallel efficiency: speed-up divided by the worker count."""
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    return speedup(serial_time, parallel_time) / n_workers
+
+
+@dataclass
+class SpeedupSeries:
+    """A labelled series of speed-ups, e.g. one table row of the paper.
+
+    ``points`` maps the x-value (pool size, thread count, ...) to the
+    speed-up achieved there.
+    """
+
+    label: str
+    points: dict[float, float] = field(default_factory=dict)
+
+    def add(self, x: float, value: float) -> None:
+        if value <= 0:
+            raise ValueError("speed-ups must be positive")
+        self.points[float(x)] = float(value)
+
+    def xs(self) -> list[float]:
+        return sorted(self.points)
+
+    def values(self) -> list[float]:
+        return [self.points[x] for x in self.xs()]
+
+    @property
+    def best(self) -> tuple[float, float]:
+        """``(x, speedup)`` of the best point."""
+        if not self.points:
+            raise ValueError("empty series")
+        x = max(self.points, key=lambda key: self.points[key])
+        return x, self.points[x]
+
+    @property
+    def mean(self) -> float:
+        if not self.points:
+            raise ValueError("empty series")
+        return sum(self.points.values()) / len(self.points)
+
+    def relative_to(self, other: "SpeedupSeries") -> "SpeedupSeries":
+        """Point-wise ratio of two series (e.g. shared-memory vs all-global)."""
+        common = sorted(set(self.points) & set(other.points))
+        ratio = SpeedupSeries(label=f"{self.label} / {other.label}")
+        for x in common:
+            ratio.add(x, self.points[x] / other.points[x])
+        return ratio
+
+    @classmethod
+    def from_mapping(cls, label: str, mapping: Mapping[float, float]) -> "SpeedupSeries":
+        series = cls(label=label)
+        for x, value in mapping.items():
+            series.add(x, value)
+        return series
+
+    @classmethod
+    def from_pairs(cls, label: str, pairs: Iterable[tuple[float, float]]) -> "SpeedupSeries":
+        series = cls(label=label)
+        for x, value in pairs:
+            series.add(x, value)
+        return series

@@ -1,0 +1,112 @@
+"""Wall-clock timing utilities for the measured benchmarks.
+
+The experiment harness reports two kinds of numbers: *modelled* times from
+the simulator/cost models and *measured* times of the actual Python
+implementations (scalar vs vectorised bounding, serial vs process-parallel
+search).  These helpers keep the measured side honest: a monotonic timer, a
+context-manager :class:`Timer`, and a small repeat-and-take-best measurement
+routine in the spirit of :mod:`timeit`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+__all__ = ["Timer", "measure_callable", "estimate_timer_resolution"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Context manager measuring elapsed wall-clock time.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed_s >= 0.0
+    True
+    """
+
+    label: str = ""
+    elapsed_s: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("timer already running")
+        self._running = True
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if not self._running:
+            raise RuntimeError("timer is not running")
+        self.elapsed_s += time.perf_counter() - self._start
+        self._running = False
+        return self.elapsed_s
+
+    def reset(self) -> None:
+        self.elapsed_s = 0.0
+        self._running = False
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Result of :func:`measure_callable`."""
+
+    best_s: float
+    mean_s: float
+    repeats: int
+    result: object = None
+
+
+def measure_callable(
+    func: Callable[[], T],
+    repeats: int = 3,
+    warmup: int = 1,
+) -> Measurement:
+    """Measure ``func`` a few times and keep the best / mean wall-clock time.
+
+    A small number of warm-up calls is executed first so one-time costs
+    (lazy imports, NumPy buffer allocation) do not pollute the measurement.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    result: object = None
+    for _ in range(warmup):
+        result = func()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        times.append(time.perf_counter() - start)
+    return Measurement(
+        best_s=min(times), mean_s=sum(times) / len(times), repeats=repeats, result=result
+    )
+
+
+def estimate_timer_resolution(samples: int = 200) -> float:
+    """Estimate the resolution of :func:`time.perf_counter` on this host."""
+    if samples < 2:
+        raise ValueError("samples must be >= 2")
+    deltas = []
+    previous = time.perf_counter()
+    for _ in range(samples):
+        current = time.perf_counter()
+        if current != previous:
+            deltas.append(current - previous)
+            previous = current
+    return min(deltas) if deltas else 0.0

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flowshop import FlowShopInstance, random_instance, taillard_instance
+from repro.flowshop.bounds import LowerBoundData
+
+
+@pytest.fixture(scope="session")
+def tiny_instance() -> FlowShopInstance:
+    """3 jobs x 2 machines — small enough to reason about by hand."""
+    return FlowShopInstance([[4, 3], [2, 5], [6, 2]], name="tiny-3x2")
+
+
+@pytest.fixture(scope="session")
+def small_instance() -> FlowShopInstance:
+    """6 jobs x 4 machines — brute-forceable ground truth."""
+    return random_instance(6, 4, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_instance_data(small_instance: FlowShopInstance) -> LowerBoundData:
+    return LowerBoundData(small_instance)
+
+
+@pytest.fixture(scope="session")
+def medium_instance() -> FlowShopInstance:
+    """8 jobs x 5 machines — still brute-forceable, more interesting tree."""
+    return random_instance(8, 5, seed=17)
+
+
+@pytest.fixture(scope="session")
+def paper_instance() -> FlowShopInstance:
+    """A Taillard-style 20x20 instance (the smallest class of the paper)."""
+    return taillard_instance(20, 20, index=1)
+
+
+@pytest.fixture(scope="session")
+def paper_instance_data(paper_instance: FlowShopInstance) -> LowerBoundData:
+    return LowerBoundData(paper_instance)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,70 @@
+"""Tests for the text rendering of figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ascii_plot import bar_chart, figure_to_text, sparkline
+from repro.perf.speedup import SpeedupSeries
+
+
+@pytest.fixture()
+def series():
+    return {
+        "gpu": SpeedupSeries.from_mapping("gpu", {20: 60.0, 200: 105.0}),
+        "cpu": SpeedupSeries.from_mapping("cpu", {20: 8.0, 200: 7.7}),
+    }
+
+
+class TestBarChart:
+    def test_contains_all_labels_and_values(self, series):
+        text = bar_chart(series)
+        assert "gpu" in text and "cpu" in text
+        assert "105.0" in text and "8.0" in text
+        assert "jobs = 20" in text and "jobs = 200" in text
+
+    def test_bars_scale_with_values(self, series):
+        text = bar_chart(series, width=40)
+        lines = [line for line in text.splitlines() if "|" in line]
+        gpu_200 = next(l for l in lines if l.strip().startswith("gpu") and "105.0" in l)
+        cpu_200 = next(l for l in lines if l.strip().startswith("cpu") and "7.7" in l)
+        assert gpu_200.count("#") > cpu_200.count("#")
+
+    def test_validation(self, series):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart(series, width=2)
+        with pytest.raises(ValueError):
+            bar_chart({"empty": SpeedupSeries("empty")})
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_uses_increasing_levels(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert line == "".join(sorted(line))
+
+    def test_constant_series(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestFigureToText:
+    def test_contains_title_and_trends(self, series):
+        text = figure_to_text("Figure 5", series)
+        assert text.startswith("Figure 5")
+        assert "trend per series" in text
+        assert "gpu:" in text
+
+    def test_renders_real_figure5(self):
+        from repro.experiments import figure5
+
+        text = figure_to_text("Figure 5 - GPU vs multithreaded", figure5())
+        assert "gpu" in text
+        assert "multithreaded" in text

@@ -1,0 +1,33 @@
+"""Tests for the exhaustive reference solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bb.bruteforce import brute_force_optimum, enumerate_makespans
+from repro.flowshop import FlowShopInstance, makespan, random_instance
+
+
+class TestBruteForce:
+    def test_enumerates_all_permutations(self):
+        inst = random_instance(4, 3, seed=0)
+        entries = list(enumerate_makespans(inst))
+        assert len(entries) == 24
+        orders = {order for order, _ in entries}
+        assert len(orders) == 24
+
+    def test_optimum_is_minimal(self):
+        inst = random_instance(5, 3, seed=1)
+        order, value = brute_force_optimum(inst)
+        assert value == min(v for _, v in enumerate_makespans(inst))
+        assert makespan(inst, order) == value
+
+    def test_refuses_large_instances(self):
+        inst = random_instance(11, 2, seed=0)
+        with pytest.raises(ValueError):
+            brute_force_optimum(inst)
+
+    def test_known_johnson_example(self):
+        inst = FlowShopInstance([[3, 6], [5, 2], [1, 2]])
+        _, value = brute_force_optimum(inst)
+        assert value == 12

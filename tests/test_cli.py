@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.flowshop import random_instance, write_json_file, write_taillard_file
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.engine == "gpu"
+        assert args.jobs == 20 and args.machines == 10
+        assert args.pool_size == 8192
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--engine", "quantum"])
+
+
+class TestSolveCommand:
+    def test_solve_generated_instance_gpu(self, capsys):
+        code = main(["solve", "--jobs", "7", "--machines", "4", "--pool-size", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "optimal  : True" in out
+
+    def test_solve_serial_engine(self, capsys):
+        code = main(["solve", "--jobs", "6", "--machines", "3", "--engine", "serial"])
+        assert code == 0
+        assert "engine   : serial" in capsys.readouterr().out
+
+    def test_solve_cluster_engine(self, capsys):
+        code = main(
+            ["solve", "--jobs", "6", "--machines", "3", "--engine", "cluster",
+             "--nodes", "2", "--pool-size", "32"]
+        )
+        assert code == 0
+        assert "simulated device" in capsys.readouterr().out
+
+    def test_solve_from_taillard_file(self, tmp_path, capsys):
+        instance = random_instance(6, 3, seed=1)
+        path = write_taillard_file(instance, tmp_path / "inst.txt")
+        code = main(["solve", "--file", str(path), "--engine", "serial"])
+        assert code == 0
+        assert "inst" in capsys.readouterr().out
+
+    def test_solve_from_json_file(self, tmp_path, capsys):
+        instance = random_instance(6, 3, seed=2)
+        path = write_json_file(instance, tmp_path / "inst.json")
+        code = main(["solve", "--file", str(path), "--engine", "serial"])
+        assert code == 0
+
+    def test_missing_file_errors(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--file", "/nonexistent/instance.txt"])
+
+
+class TestAutotuneCommand:
+    def test_autotune_model_mode(self, capsys):
+        code = main(["autotune", "--jobs", "20", "--machines", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best pool size" in out
+        assert "predicted speed-up" in out
+
+
+class TestEvaluateCommand:
+    def test_evaluate_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "report.json"
+        code = main(["evaluate", "--skip-measured", "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        payload = json.loads(output.read_text())
+        names = {a["name"] for a in payload["artefacts"]}
+        assert {"table1", "table2", "table3", "table4", "figure4", "figure5"} <= names

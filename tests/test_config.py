@@ -1,0 +1,61 @@
+"""Tests for :mod:`repro.core.config`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PAPER_BLOCK_SIZE, PAPER_POOL_SIZES, GpuBBConfig
+from repro.gpu.placement import DataPlacement
+
+
+class TestPaperConstants:
+    def test_pool_sizes_match_tables(self):
+        assert PAPER_POOL_SIZES == (4096, 8192, 16384, 32768, 65536, 131072, 262144)
+
+    def test_block_size(self):
+        assert PAPER_BLOCK_SIZE == 256
+
+    def test_pool_sizes_are_block_multiples(self):
+        assert all(p % PAPER_BLOCK_SIZE == 0 for p in PAPER_POOL_SIZES)
+
+
+class TestGpuBBConfig:
+    def test_defaults(self):
+        config = GpuBBConfig()
+        assert config.pool_size == 8192
+        assert config.threads_per_block == 256
+        assert config.placement is None
+        assert config.blocks_per_pool == 32
+
+    def test_with_pool_size(self):
+        config = GpuBBConfig().with_pool_size(4096)
+        assert config.pool_size == 4096
+        assert GpuBBConfig().pool_size == 8192  # original untouched
+
+    def test_with_placement(self):
+        placement = DataPlacement.all_global()
+        config = GpuBBConfig().with_placement(placement)
+        assert config.placement is placement
+
+    def test_describe(self):
+        payload = GpuBBConfig(pool_size=1024).describe()
+        assert payload["pool_size"] == 1024
+        assert payload["placement"] == "auto"
+        assert payload["device"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuBBConfig(pool_size=0)
+        with pytest.raises(ValueError):
+            GpuBBConfig(threads_per_block=0)
+        with pytest.raises(ValueError):
+            GpuBBConfig(threads_per_block=2048)
+        with pytest.raises(ValueError):
+            GpuBBConfig(max_nodes=0)
+        with pytest.raises(ValueError):
+            GpuBBConfig(max_time_s=0)
+        with pytest.raises(ValueError):
+            GpuBBConfig(max_iterations=0)
+
+    def test_blocks_per_pool_rounds_up(self):
+        assert GpuBBConfig(pool_size=1000).blocks_per_pool == 4

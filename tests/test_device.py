@@ -1,0 +1,81 @@
+"""Tests for device / CPU specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import (
+    CORE_I7_970,
+    GTX_480,
+    TESLA_C1060,
+    TESLA_C2050,
+    CpuSpec,
+    DeviceSpec,
+    XEON_E5520,
+)
+
+
+class TestTeslaC2050:
+    def test_paper_figures(self):
+        """The preset must match the characteristics quoted in Section IV."""
+        dev = TESLA_C2050
+        assert dev.total_cores == 448
+        assert dev.n_multiprocessors == 14
+        assert dev.cores_per_multiprocessor == 32
+        assert dev.clock_ghz == pytest.approx(1.15)
+        assert dev.warp_size == 32
+        assert dev.peak_gflops_double == pytest.approx(515.0)
+        assert dev.default_shared_memory_bytes == 48 * 1024
+        assert dev.onchip_memory_bytes == 64 * 1024
+
+    def test_recommended_min_blocks_is_twice_sms(self):
+        """The paper: blocks should be at least 2x the multiprocessor count (28)."""
+        assert TESLA_C2050.recommended_min_blocks() == 28
+
+    def test_shared_memory_reconfiguration(self):
+        dev = TESLA_C2050.with_shared_memory(16 * 1024)
+        assert dev.default_shared_memory_bytes == 16 * 1024
+        assert dev.l1_cache_bytes == 48 * 1024
+        with pytest.raises(ValueError):
+            TESLA_C2050.with_shared_memory(128 * 1024)
+
+    def test_max_resident_threads(self):
+        assert TESLA_C2050.max_resident_threads == 14 * 1536
+
+
+class TestDeviceValidation:
+    def test_rejects_zero_multiprocessors(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", n_multiprocessors=0, cores_per_multiprocessor=8, clock_ghz=1.0, global_memory_bytes=1)
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", n_multiprocessors=1, cores_per_multiprocessor=8, clock_ghz=0.0, global_memory_bytes=1)
+
+    def test_other_presets_are_consistent(self):
+        for dev in (TESLA_C1060, GTX_480):
+            assert dev.total_cores == dev.n_multiprocessors * dev.cores_per_multiprocessor
+            assert dev.clock_hz == pytest.approx(dev.clock_ghz * 1e9)
+
+
+class TestCpuSpecs:
+    def test_xeon_reference(self):
+        assert XEON_E5520.n_cores == 8
+        assert XEON_E5520.clock_ghz == pytest.approx(2.27)
+
+    def test_i7_per_core_peak(self):
+        """The paper's Table IV accounting: 76.8 GFLOPS chip peak, 6 cores."""
+        assert CORE_I7_970.peak_gflops_double == pytest.approx(76.8)
+        assert CORE_I7_970.peak_gflops_per_core == pytest.approx(76.8 / 6)
+
+    def test_gflops_scaling(self):
+        assert CORE_I7_970.gflops_for_cores(3) == pytest.approx(38.4)
+        assert CORE_I7_970.cores_for_gflops(76.8) == pytest.approx(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuSpec(name="bad", n_cores=4, n_threads=2, clock_ghz=2.0, peak_gflops_double=10)
+        with pytest.raises(ValueError):
+            CORE_I7_970.gflops_for_cores(-1)
+        with pytest.raises(ValueError):
+            CORE_I7_970.cores_for_gflops(-1)

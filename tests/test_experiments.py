@@ -1,0 +1,167 @@
+"""Tests for the table / figure reproduction harnesses.
+
+These tests assert the *shape* requirements of the reproduction: who wins,
+by roughly what factor, and where the crossovers fall — without requiring
+exact numerical agreement with the paper's testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    PAPER_BOUNDING_FRACTION,
+    PAPER_INSTANCES,
+    PAPER_POOL_SIZES,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    figure4,
+    figure5,
+    measure_bounding_fraction,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.paper_values import PAPER_BEST_POOL_SIZE
+from repro.experiments.table1 import format_table1
+from repro.experiments.table4 import table4_gflops_header
+from repro.flowshop import random_instance
+
+
+@pytest.fixture(scope="module")
+def t2():
+    return table2()
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return table3()
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return table4()
+
+
+class TestTable1:
+    def test_matches_paper_formulas(self):
+        rows = {r.structure: r for r in table1(200, 20)}
+        assert rows["PTM"].size_elements == 4000
+        assert rows["LM"].size_elements == 38000
+        assert rows["JM"].accesses == 38000
+        assert rows["RM"].size_elements == 20
+        assert rows["MM"].accesses == 380
+        # packed footprints quoted in Section IV-B
+        assert rows["JM"].size_bytes_packed == 38000
+        assert rows["PTM"].size_bytes_packed == 4000
+
+    def test_formatting(self):
+        text = format_table1(table1(200, 20))
+        assert "PTM" in text and "JM" in text and "Table I" in text
+
+
+class TestTable2:
+    def test_speedups_in_paper_ballpark(self, t2):
+        """Every cell within 35% of the published value; mean within 15%."""
+        comparison = t2.compare(PAPER_TABLE2)
+        assert comparison.max_absolute_relative_error < 0.35
+        assert comparison.mean_absolute_relative_error < 0.15
+
+    def test_speedup_grows_with_instance_size_at_large_pools(self, t2):
+        column = [t2.get(klass, 262144) for klass in ((20, 20), (50, 20), (100, 20), (200, 20))]
+        assert column == sorted(column)
+
+    def test_small_pools_are_worse(self, t2):
+        for klass in PAPER_INSTANCES:
+            assert t2.get(klass, 4096) < t2.get(klass, PAPER_BEST_POOL_SIZE[klass])
+
+    def test_average_row_present(self, t2):
+        assert "average" in t2.rows
+        assert len(t2.rows["average"]) == len(PAPER_POOL_SIZES)
+
+    def test_small_instance_peaks_at_moderate_pool(self, t2):
+        """The paper: 20x20 peaks at a moderate pool size, not at the largest."""
+        best = t2.best_column((20, 20))
+        assert best <= 32768
+
+    def test_large_instance_prefers_large_pool(self, t2):
+        best = t2.best_column((200, 20))
+        assert best >= 65536
+
+
+class TestTable3:
+    def test_speedups_in_paper_ballpark(self, t3):
+        comparison = t3.compare(PAPER_TABLE3)
+        assert comparison.max_absolute_relative_error < 0.35
+        assert comparison.mean_absolute_relative_error < 0.15
+
+    def test_shared_memory_always_helps(self, t2, t3):
+        """Table III dominates Table II cell by cell (the paper's 23% claim)."""
+        for klass in PAPER_INSTANCES:
+            for pool in PAPER_POOL_SIZES:
+                assert t3.get(klass, pool) > t2.get(klass, pool)
+
+    def test_peak_speedup_around_100x(self, t3):
+        assert 85 <= t3.get((200, 20), 262144) <= 115
+
+    def test_improvement_larger_for_large_instances(self, t2, t3):
+        gain_small = t3.get((20, 20), 262144) / t2.get((20, 20), 262144)
+        gain_large = t3.get((200, 20), 262144) / t2.get((200, 20), 262144)
+        assert gain_large > gain_small
+
+
+class TestTable4:
+    def test_speedups_in_paper_ballpark(self, t4):
+        comparison = t4.compare(PAPER_TABLE4)
+        assert comparison.max_absolute_relative_error < 0.35
+        assert comparison.mean_absolute_relative_error < 0.20
+
+    def test_growth_with_threads_is_sublinear(self, t4):
+        for klass in PAPER_INSTANCES:
+            row = [t4.get(klass, t) for t in (3, 5, 7, 9, 11)]
+            assert row == sorted(row)
+            assert row[-1] < 14  # far from linear scaling at 11 threads
+
+    def test_gflops_header(self):
+        header = table4_gflops_header()
+        assert header[7] == pytest.approx(537.6)
+        assert header[3] == pytest.approx(230.4)
+
+
+class TestFigures:
+    def test_figure4_shared_dominates(self):
+        series = figure4()
+        for x, shared_value in series["shared_ptm_jm"].points.items():
+            assert shared_value > series["all_global"].points[x]
+
+    def test_figure4_monotone_in_instance_size(self):
+        series = figure4()
+        assert series["shared_ptm_jm"].values() == sorted(series["shared_ptm_jm"].values())
+
+    def test_figure5_gpu_wins_by_an_order_of_magnitude(self):
+        """The crossover claim of Section V: at equal GFLOPS the GPU B&B is
+        roughly 7-14x faster than the multi-threaded B&B on every class."""
+        series = figure5()
+        for x in series["gpu"].points:
+            ratio = series["gpu"].points[x] / series["multithreaded"].points[x]
+            assert 5.0 <= ratio <= 18.0
+
+    def test_figure5_gap_grows_with_instance_size(self):
+        series = figure5()
+        xs = sorted(series["gpu"].points)
+        ratios = [series["gpu"].points[x] / series["multithreaded"].points[x] for x in xs]
+        assert ratios == sorted(ratios)
+
+
+class TestBoundingFraction:
+    def test_bounding_dominates(self):
+        result = measure_bounding_fraction(
+            instance=random_instance(12, 20, seed=0), max_nodes=120
+        )
+        assert result.fraction > 0.85
+        assert result.nodes_bounded > 0
+        assert result.paper_fraction == PAPER_BOUNDING_FRACTION
+        summary = result.summary()
+        assert summary["bounding_fraction"] == pytest.approx(result.fraction)

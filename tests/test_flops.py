@@ -1,0 +1,58 @@
+"""Tests for the GFLOPS accounting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import CORE_I7_970, TESLA_C2050
+from repro.perf.flops import (
+    TABLE_IV_GFLOPS,
+    FlopsBudget,
+    cores_for_equal_gflops,
+    theoretical_gflops,
+)
+
+
+class TestTheoreticalGflops:
+    def test_device_peak(self):
+        assert theoretical_gflops(TESLA_C2050) == pytest.approx(515.0)
+
+    def test_cpu_scaling(self):
+        assert theoretical_gflops(CORE_I7_970, n_cores=3) == pytest.approx(38.4)
+        assert theoretical_gflops(CORE_I7_970) == pytest.approx(76.8)
+
+    def test_device_with_cores_rejected(self):
+        with pytest.raises(ValueError):
+            theoretical_gflops(TESLA_C2050, n_cores=4)
+
+    def test_cores_for_equal_gflops(self):
+        cores = cores_for_equal_gflops(CORE_I7_970, TESLA_C2050)
+        assert cores == pytest.approx(515.0 / 12.8, rel=1e-3)
+
+
+class TestTableIvHeader:
+    def test_published_values(self):
+        assert TABLE_IV_GFLOPS[3] == pytest.approx(230.4)
+        assert TABLE_IV_GFLOPS[7] == pytest.approx(537.6)
+        assert TABLE_IV_GFLOPS[11] == pytest.approx(844.8)
+
+    def test_values_scale_linearly_with_threads(self):
+        for threads, value in TABLE_IV_GFLOPS.items():
+            assert value == pytest.approx(76.8 * threads)
+
+
+class TestFlopsBudget:
+    def test_paper_budget_maps_to_seven_threads(self):
+        """~500 GFLOPS corresponds to 7 threads in the paper's accounting."""
+        budget = FlopsBudget(TESLA_C2050.peak_gflops_double)
+        assert budget.cpu_threads(CORE_I7_970, per_thread_gflops=76.8) == 7
+
+    def test_matches_device(self):
+        assert FlopsBudget(500.0).matches_device(TESLA_C2050)
+        assert not FlopsBudget(100.0).matches_device(TESLA_C2050)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlopsBudget(0)
+        with pytest.raises(ValueError):
+            FlopsBudget(100).cpu_threads(CORE_I7_970, per_thread_gflops=0)

@@ -1,0 +1,66 @@
+"""Tests for the auxiliary instance generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flowshop import correlated_instance, random_instance, structured_instance
+
+
+class TestRandomInstance:
+    def test_shape_and_range(self):
+        inst = random_instance(10, 5, seed=0, low=5, high=20)
+        assert inst.shape == (10, 5)
+        assert inst.processing_times.min() >= 5
+        assert inst.processing_times.max() <= 20
+
+    def test_reproducible(self):
+        a = random_instance(8, 3, seed=7)
+        b = random_instance(8, 3, seed=7)
+        assert np.array_equal(a.processing_times, b.processing_times)
+
+    def test_different_seeds_differ(self):
+        a = random_instance(8, 3, seed=7)
+        b = random_instance(8, 3, seed=8)
+        assert not np.array_equal(a.processing_times, b.processing_times)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            random_instance(5, 5, low=10, high=5)
+
+    def test_metadata(self):
+        inst = random_instance(5, 5, seed=3)
+        assert inst.metadata["generator"] == "uniform"
+        assert inst.metadata["seed"] == 3
+
+
+class TestCorrelatedInstance:
+    def test_positive_times(self):
+        inst = correlated_instance(20, 5, seed=1, spread=30)
+        assert inst.processing_times.min() >= 1
+
+    def test_jobs_are_correlated(self):
+        """Per-job variance should be smaller than cross-job variance."""
+        inst = correlated_instance(30, 10, seed=2, spread=5)
+        pt = inst.processing_times.astype(float)
+        within = pt.var(axis=1).mean()
+        job_means = pt.mean(axis=1)
+        across = job_means.var()
+        assert across > within
+
+
+class TestStructuredInstance:
+    def test_bottleneck_machine_dominates(self):
+        inst = structured_instance(20, 6, bottleneck=2, seed=0)
+        loads = inst.processing_times.sum(axis=0)
+        assert loads[2] == loads.max()
+        assert inst.metadata["bottleneck"] == 2
+
+    def test_default_bottleneck_is_middle(self):
+        inst = structured_instance(10, 7, seed=0)
+        assert inst.metadata["bottleneck"] == 3
+
+    def test_rejects_bad_bottleneck(self):
+        with pytest.raises(ValueError):
+            structured_instance(10, 4, bottleneck=9)

@@ -1,0 +1,136 @@
+"""Tests for :mod:`repro.flowshop.instance`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flowshop import FlowShopInstance, makespan
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        inst = FlowShopInstance([[1, 2, 3], [4, 5, 6]])
+        assert inst.n_jobs == 2
+        assert inst.n_machines == 3
+        assert inst.shape == (2, 3)
+
+    def test_matrix_is_read_only(self):
+        inst = FlowShopInstance([[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            inst.processing_times[0, 0] = 99
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            FlowShopInstance([1, 2, 3])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FlowShopInstance(np.zeros((0, 3), dtype=np.int64))
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            FlowShopInstance([[1, -2], [3, 4]])
+
+    def test_rejects_non_integer_times(self):
+        with pytest.raises(ValueError):
+            FlowShopInstance([[1.5, 2.0], [3.0, 4.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            FlowShopInstance([[float("nan"), 2.0], [3.0, 4.0]])
+
+    def test_accepts_integer_valued_floats(self):
+        inst = FlowShopInstance([[1.0, 2.0], [3.0, 4.0]])
+        assert inst.processing_times.dtype == np.int64
+
+    def test_metadata_copied(self):
+        meta = {"seed": 3}
+        inst = FlowShopInstance([[1, 2]], metadata=meta)
+        meta["seed"] = 99
+        assert inst.metadata["seed"] == 3
+
+    def test_from_rows(self):
+        inst = FlowShopInstance.from_rows([[1, 2], [3, 4]], name="rows")
+        assert inst.name == "rows"
+        assert inst.n_jobs == 2
+
+
+class TestAccessors:
+    def test_job_and_machine_times(self):
+        inst = FlowShopInstance([[1, 2, 3], [4, 5, 6]])
+        assert inst.job_times(1).tolist() == [4, 5, 6]
+        assert inst.machine_times(2).tolist() == [3, 6]
+        assert inst.machine_load(0) == 5
+        assert inst.job_total_time(0) == 6
+        assert inst.total_processing_time == 21
+
+    def test_out_of_range_indices(self):
+        inst = FlowShopInstance([[1, 2], [3, 4]])
+        with pytest.raises(IndexError):
+            inst.job_times(5)
+        with pytest.raises(IndexError):
+            inst.machine_times(-1 - inst.n_machines)
+
+    def test_restricted_to_jobs(self):
+        inst = FlowShopInstance([[1, 2], [3, 4], [5, 6]], name="base")
+        sub = inst.restricted_to_jobs([2, 0])
+        assert sub.n_jobs == 2
+        assert sub.processing_times.tolist() == [[5, 6], [1, 2]]
+        assert sub.metadata["job_subset"] == (2, 0)
+
+    def test_restricted_to_jobs_rejects_duplicates(self):
+        inst = FlowShopInstance([[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            inst.restricted_to_jobs([0, 0])
+
+    def test_restricted_to_machines(self):
+        inst = FlowShopInstance([[1, 2, 3], [4, 5, 6]])
+        sub = inst.restricted_to_machines([2])
+        assert sub.n_machines == 1
+        assert sub.processing_times.tolist() == [[3], [6]]
+
+
+class TestBounds:
+    def test_trivial_bounds_bracket_makespan(self):
+        inst = FlowShopInstance([[4, 3], [2, 5], [6, 2]])
+        best = min(
+            makespan(inst, order)
+            for order in ([0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0])
+        )
+        assert inst.trivial_lower_bound() <= best <= inst.trivial_upper_bound()
+
+    @given(
+        st.integers(2, 6),
+        st.integers(1, 4),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_trivial_lower_bound_is_admissible(self, n_jobs, n_machines, seed):
+        rng = np.random.default_rng(seed)
+        pt = rng.integers(1, 30, size=(n_jobs, n_machines))
+        inst = FlowShopInstance(pt)
+        # identity order gives *a* makespan; the LB must not exceed any makespan
+        assert inst.trivial_lower_bound() <= makespan(inst, list(range(n_jobs)))
+
+
+class TestEqualityAndSerialisation:
+    def test_round_trip(self):
+        inst = FlowShopInstance([[1, 2], [3, 4]], name="x", metadata={"k": 1})
+        again = FlowShopInstance.from_dict(inst.to_dict())
+        assert again == inst
+        assert again.name == "x"
+
+    def test_equality_ignores_name(self):
+        a = FlowShopInstance([[1, 2]], name="a")
+        b = FlowShopInstance([[1, 2]], name="b")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = FlowShopInstance([[1, 2]])
+        b = FlowShopInstance([[1, 3]])
+        assert a != b
+        assert a != "not an instance"

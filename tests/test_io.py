@@ -1,0 +1,75 @@
+"""Tests for instance file I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flowshop import (
+    FlowShopInstance,
+    dumps_taillard,
+    loads_taillard,
+    random_instance,
+    read_json_file,
+    read_taillard_file,
+    write_json_file,
+    write_taillard_file,
+)
+
+
+class TestTaillardFormat:
+    def test_round_trip_job_major(self, small_instance):
+        text = dumps_taillard(small_instance)
+        again = loads_taillard(text, name="again")
+        assert again == small_instance
+        assert again.name == "again"
+
+    def test_round_trip_machine_major(self, small_instance):
+        text = dumps_taillard(small_instance, job_major=False)
+        again = loads_taillard(text, job_major=False)
+        assert again == small_instance
+
+    def test_header_parsed(self):
+        inst = loads_taillard("2 3\n1 2 3\n4 5 6\n")
+        assert inst.shape == (2, 3)
+        assert inst.processing_times.tolist() == [[1, 2, 3], [4, 5, 6]]
+
+    def test_tolerates_commas_and_whitespace(self):
+        inst = loads_taillard("2 2\n 1, 2\n3,4 ")
+        assert inst.processing_times.tolist() == [[1, 2], [3, 4]]
+
+    def test_rejects_wrong_count(self):
+        with pytest.raises(ValueError):
+            loads_taillard("2 3\n1 2 3 4 5")
+
+    def test_rejects_bad_tokens(self):
+        with pytest.raises(ValueError):
+            loads_taillard("2 2\n1 2 3 x")
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ValueError):
+            loads_taillard("0 2\n")
+        with pytest.raises(ValueError):
+            loads_taillard("3")
+
+    def test_file_round_trip(self, tmp_path, small_instance):
+        path = write_taillard_file(small_instance, tmp_path / "inst.txt")
+        again = read_taillard_file(path)
+        assert again == small_instance
+        assert again.name == "inst"
+
+
+class TestJsonFormat:
+    def test_file_round_trip_preserves_metadata(self, tmp_path):
+        inst = random_instance(5, 3, seed=9)
+        path = write_json_file(inst, tmp_path / "inst.json")
+        again = read_json_file(path)
+        assert again == inst
+        assert again.metadata["seed"] == 9
+        assert again.name == inst.name
+
+    def test_json_is_human_readable(self, tmp_path, small_instance):
+        path = write_json_file(small_instance, tmp_path / "inst.json")
+        text = path.read_text()
+        assert "processing_times" in text
+        assert "n_jobs" in text

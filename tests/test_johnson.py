@@ -1,0 +1,126 @@
+"""Tests for :mod:`repro.flowshop.johnson`."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flowshop import (
+    FlowShopInstance,
+    johnson_makespan,
+    johnson_order,
+    johnson_order_with_lags,
+    makespan,
+    two_machine_makespan,
+    two_machine_makespan_with_lags,
+)
+
+times = st.lists(st.integers(0, 50), min_size=1, max_size=7)
+
+
+class TestJohnsonOrder:
+    def test_textbook_example(self):
+        # Classic example: optimal order is job 2, 0, 1 with makespan 12
+        a = [3, 5, 1]
+        b = [6, 2, 2]
+        order = johnson_order(a, b)
+        assert order.tolist() == [2, 0, 1]
+        assert johnson_makespan(a, b) == 12
+
+    def test_order_is_permutation(self):
+        order = johnson_order([5, 1, 4, 2], [2, 3, 4, 1])
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            johnson_order([1, 2], [1])
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            johnson_order([1, -2], [1, 1])
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_johnson_is_optimal_for_two_machines(self, data):
+        n = data.draw(st.integers(2, 6))
+        a = data.draw(st.lists(st.integers(1, 30), min_size=n, max_size=n))
+        b = data.draw(st.lists(st.integers(1, 30), min_size=n, max_size=n))
+        best = min(
+            two_machine_makespan(a, b, perm) for perm in itertools.permutations(range(n))
+        )
+        assert johnson_makespan(a, b) == best
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_johnson_matches_flowshop_makespan(self, data):
+        """The 2-machine recurrence agrees with the general flow-shop recurrence."""
+        n = data.draw(st.integers(1, 6))
+        a = data.draw(st.lists(st.integers(1, 30), min_size=n, max_size=n))
+        b = data.draw(st.lists(st.integers(1, 30), min_size=n, max_size=n))
+        inst = FlowShopInstance(np.column_stack([a, b]))
+        order = johnson_order(a, b)
+        assert two_machine_makespan(a, b, order) == makespan(inst, order)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_subset_consistency(self, data):
+        """Removing jobs from a Johnson order leaves a Johnson-optimal order.
+
+        This is the property that lets the paper precompute ``JM`` once and
+        reuse it for every sub-problem by skipping scheduled jobs.
+        """
+        n = data.draw(st.integers(3, 6))
+        a = np.array(data.draw(st.lists(st.integers(1, 30), min_size=n, max_size=n)))
+        b = np.array(data.draw(st.lists(st.integers(1, 30), min_size=n, max_size=n)))
+        subset = data.draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=n))
+        subset = sorted(subset)
+
+        full_order = johnson_order(a, b)
+        filtered = [j for j in full_order if j in subset]
+        # makespan of the filtered order on the restricted jobs
+        sub_a, sub_b = a[subset], b[subset]
+        remap = {job: i for i, job in enumerate(subset)}
+        filtered_local = [remap[j] for j in filtered]
+        best = min(
+            two_machine_makespan(sub_a, sub_b, perm)
+            for perm in itertools.permutations(range(len(subset)))
+        )
+        assert two_machine_makespan(sub_a, sub_b, filtered_local) == best
+
+
+class TestJohnsonWithLags:
+    def test_zero_lags_reduce_to_plain_johnson(self):
+        a = [3, 5, 1, 7]
+        b = [6, 2, 2, 4]
+        lags = [0, 0, 0, 0]
+        assert johnson_order_with_lags(a, b, lags).tolist() == johnson_order(a, b).tolist()
+
+    def test_lagged_makespan_respects_start_offsets(self):
+        a, b, lags = [2, 3], [4, 1], [1, 2]
+        base = two_machine_makespan_with_lags(a, b, lags, [0, 1])
+        shifted = two_machine_makespan_with_lags(a, b, lags, [0, 1], start_a=5, start_b=0)
+        assert shifted >= base
+        assert two_machine_makespan_with_lags(a, b, lags, [0, 1], start_b=100) >= 100
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_lagged_johnson_is_optimal(self, data):
+        """Johnson's rule on (a+d, d+b) solves the two-machine problem with lags."""
+        n = data.draw(st.integers(2, 5))
+        a = data.draw(st.lists(st.integers(1, 20), min_size=n, max_size=n))
+        b = data.draw(st.lists(st.integers(1, 20), min_size=n, max_size=n))
+        lags = data.draw(st.lists(st.integers(0, 20), min_size=n, max_size=n))
+        best = min(
+            two_machine_makespan_with_lags(a, b, lags, perm)
+            for perm in itertools.permutations(range(n))
+        )
+        order = johnson_order_with_lags(a, b, lags)
+        assert two_machine_makespan_with_lags(a, b, lags, order) == best
+
+    def test_rejects_order_that_is_not_permutation(self):
+        with pytest.raises(ValueError):
+            two_machine_makespan_with_lags([1, 2], [3, 4], [0, 0], [0, 0])

@@ -1,0 +1,50 @@
+"""Tests for the placement analysis (:mod:`repro.core.mapping`)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.mapping import analyze_placements, default_candidates, recommend_placement
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.gpu.device import TESLA_C2050
+from repro.gpu.placement import DataPlacement
+
+
+class TestAnalysis:
+    def test_every_candidate_is_reported(self):
+        complexity = DataStructureComplexity(n=50, m=20)
+        analyses = analyze_placements(complexity, TESLA_C2050)
+        assert len(analyses) == len(default_candidates())
+
+    def test_fitting_placements_sorted_first_by_cost(self):
+        complexity = DataStructureComplexity(n=100, m=20)
+        analyses = analyze_placements(complexity, TESLA_C2050)
+        fits = [a.fits for a in analyses]
+        # once a non-fitting entry appears, no fitting entry may follow
+        assert fits == sorted(fits, reverse=True)
+        fitting_costs = [a.per_thread_cycles for a in analyses if a.fits]
+        assert fitting_costs == sorted(fitting_costs)
+
+    def test_non_fitting_marked(self):
+        complexity = DataStructureComplexity(n=200, m=20)
+        analyses = analyze_placements(complexity, TESLA_C2050)
+        by_name = {a.name: a for a in analyses}
+        assert not by_name["shared-JM-LM"].fits
+        assert math.isinf(by_name["shared-JM-LM"].per_thread_cycles)
+
+    def test_recommendation_matches_paper(self):
+        """PTM + JM in shared memory is the best fitting placement for every
+        instance class of the paper (Section IV-B's conclusion)."""
+        for n in (20, 50, 100, 200):
+            complexity = DataStructureComplexity(n=n, m=20)
+            placement = recommend_placement(complexity, TESLA_C2050)
+            assert placement.name == "shared-PTM-JM"
+
+    def test_recommendation_falls_back_when_nothing_fits(self):
+        complexity = DataStructureComplexity(n=2000, m=20)
+        placement = recommend_placement(complexity, TESLA_C2050)
+        assert isinstance(placement, DataPlacement)
+        # the fallback must always be realisable
+        assert placement.shared_bytes_per_block(complexity) <= 48 * 1024

@@ -1,0 +1,80 @@
+"""Tests for the GPU memory hierarchy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import TESLA_C2050
+from repro.gpu.memory import FermiCacheConfig, MemoryHierarchy, MemorySpace, MemorySpec
+
+
+class TestFermiCacheConfig:
+    def test_splits_sum_to_64kb(self):
+        for config in FermiCacheConfig:
+            assert config.shared_bytes() + config.l1_bytes() == 64 * 1024
+
+    def test_paper_scenarios(self):
+        assert FermiCacheConfig.PREFER_SHARED.shared_bytes() == 48 * 1024
+        assert FermiCacheConfig.PREFER_L1.shared_bytes() == 16 * 1024
+
+
+class TestMemorySpec:
+    def test_effective_latency_interpolates(self):
+        spec = MemorySpec(MemorySpace.GLOBAL, 1024, latency_cycles=400, cached_latency_cycles=80)
+        assert spec.effective_latency(0.0) == 400
+        assert spec.effective_latency(1.0) == 80
+        assert spec.effective_latency(0.5) == pytest.approx(240)
+
+    def test_effective_latency_validates_rate(self):
+        spec = MemorySpec(MemorySpace.SHARED, 1024, latency_cycles=30)
+        with pytest.raises(ValueError):
+            spec.effective_latency(1.5)
+
+    def test_no_cache_means_flat_latency(self):
+        spec = MemorySpec(MemorySpace.SHARED, 1024, latency_cycles=30)
+        assert spec.effective_latency(0.9) == 30
+
+
+class TestMemoryHierarchy:
+    def test_shared_and_l1_follow_cache_config(self):
+        shared = MemoryHierarchy(TESLA_C2050, FermiCacheConfig.PREFER_SHARED)
+        l1 = MemoryHierarchy(TESLA_C2050, FermiCacheConfig.PREFER_L1)
+        assert shared.shared_memory_per_sm == 48 * 1024
+        assert shared.l1_cache_per_sm == 16 * 1024
+        assert l1.shared_memory_per_sm == 16 * 1024
+        assert l1.l1_cache_per_sm == 48 * 1024
+
+    def test_latency_ordering(self):
+        """Registers < shared < global; the ordering drives every placement decision."""
+        hierarchy = MemoryHierarchy(TESLA_C2050)
+        registers = hierarchy.access_cycles(MemorySpace.REGISTERS)
+        shared = hierarchy.access_cycles(MemorySpace.SHARED)
+        global_mem = hierarchy.spec(MemorySpace.GLOBAL).latency_cycles
+        assert registers < shared < global_mem
+
+    def test_global_capacity_is_device_memory(self):
+        hierarchy = MemoryHierarchy(TESLA_C2050)
+        assert hierarchy.spec(MemorySpace.GLOBAL).capacity_bytes == TESLA_C2050.global_memory_bytes
+
+    def test_shared_is_per_block(self):
+        hierarchy = MemoryHierarchy(TESLA_C2050)
+        assert hierarchy.spec(MemorySpace.SHARED).per_block is True
+        assert hierarchy.spec(MemorySpace.GLOBAL).per_block is False
+
+    def test_bigger_l1_improves_hit_rate(self):
+        prefer_l1 = MemoryHierarchy(TESLA_C2050, FermiCacheConfig.PREFER_L1)
+        prefer_shared = MemoryHierarchy(TESLA_C2050, FermiCacheConfig.PREFER_SHARED)
+        assert prefer_l1.global_hit_rate() >= prefer_shared.global_hit_rate()
+
+    def test_latency_override(self):
+        hierarchy = MemoryHierarchy(
+            TESLA_C2050, latency_overrides={MemorySpace.SHARED: 5.0}
+        )
+        assert hierarchy.spec(MemorySpace.SHARED).latency_cycles == 5.0
+
+    def test_describe_lists_all_spaces(self):
+        hierarchy = MemoryHierarchy(TESLA_C2050)
+        description = hierarchy.describe()
+        assert set(description) == {space.value for space in MemorySpace}
+        for payload in description.values():
+            assert "latency_cycles" in payload and "capacity_bytes" in payload

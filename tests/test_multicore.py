@@ -1,0 +1,80 @@
+"""Tests for the multi-core Branch-and-Bound baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bb import MulticoreBranchAndBound, SequentialBranchAndBound, brute_force_optimum
+from repro.flowshop import random_instance
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_matches_bruteforce(self, small_instance, backend, depth):
+        _, optimum = brute_force_optimum(small_instance)
+        result = MulticoreBranchAndBound(
+            small_instance, n_workers=2, backend=backend, decomposition_depth=depth
+        ).solve()
+        assert result.best_makespan == optimum
+        assert result.proved_optimal
+
+    def test_process_backend(self, small_instance):
+        _, optimum = brute_force_optimum(small_instance)
+        result = MulticoreBranchAndBound(
+            small_instance, n_workers=2, backend="process", decomposition_depth=1
+        ).solve()
+        assert result.best_makespan == optimum
+
+    def test_matches_sequential_on_medium_instance(self, medium_instance):
+        serial = SequentialBranchAndBound(medium_instance).solve()
+        parallel = MulticoreBranchAndBound(
+            medium_instance, n_workers=4, backend="thread", decomposition_depth=1
+        ).solve()
+        assert parallel.best_makespan == serial.best_makespan
+
+    def test_selection_strategy_forwarded(self, small_instance):
+        result = MulticoreBranchAndBound(
+            small_instance, n_workers=1, backend="serial", selection="best-first"
+        ).solve()
+        _, optimum = brute_force_optimum(small_instance)
+        assert result.best_makespan == optimum
+
+
+class TestConfigurationValidation:
+    def test_rejects_unknown_backend(self, small_instance):
+        with pytest.raises(ValueError):
+            MulticoreBranchAndBound(small_instance, backend="gpu")
+
+    def test_rejects_bad_depth(self, small_instance):
+        with pytest.raises(ValueError):
+            MulticoreBranchAndBound(small_instance, decomposition_depth=0)
+
+    def test_depth_clamped_to_jobs(self, tiny_instance):
+        solver = MulticoreBranchAndBound(
+            tiny_instance, backend="serial", decomposition_depth=10
+        )
+        assert solver.decomposition_depth == tiny_instance.n_jobs
+        result = solver.solve()
+        assert result.proved_optimal
+
+
+class TestDecomposition:
+    def test_frontier_size(self, small_instance):
+        solver = MulticoreBranchAndBound(small_instance, decomposition_depth=2, backend="serial")
+        prefixes = solver._frontier_prefixes()
+        n = small_instance.n_jobs
+        assert len(prefixes) == n * (n - 1)
+        assert all(len(p) == 2 and p[0] != p[1] for p in prefixes)
+
+    def test_stats_are_merged(self, small_instance):
+        result = MulticoreBranchAndBound(
+            small_instance, n_workers=2, backend="thread", decomposition_depth=1
+        ).solve()
+        assert result.stats.nodes_bounded > 0
+        assert result.stats.time_total_s > 0
+
+    def test_reference_serial_helper(self, small_instance):
+        solver = MulticoreBranchAndBound(small_instance, backend="serial")
+        reference = solver.reference_serial()
+        assert reference.best_makespan == solver.solve().best_makespan

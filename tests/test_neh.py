@@ -1,0 +1,81 @@
+"""Tests for the NEH heuristic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bb import brute_force_optimum
+from repro.flowshop import FlowShopInstance, makespan, neh_heuristic, neh_order
+from repro.flowshop.neh import best_insertion
+
+
+class TestNeh:
+    def test_order_is_permutation(self, small_instance):
+        order = neh_order(small_instance)
+        assert sorted(order) == list(range(small_instance.n_jobs))
+
+    def test_schedule_is_feasible(self, small_instance):
+        sched = neh_heuristic(small_instance)
+        assert sched.is_feasible()
+        assert sched.makespan == makespan(small_instance, sched.order)
+
+    def test_never_below_optimum(self, small_instance):
+        _, optimum = brute_force_optimum(small_instance)
+        assert neh_heuristic(small_instance).makespan >= optimum
+
+    def test_close_to_optimum_on_small_instances(self):
+        """NEH is usually within a few percent; on 6-job instances it should
+        be within 15% of the optimum (a loose but meaningful sanity band)."""
+        gaps = []
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            inst = FlowShopInstance(rng.integers(1, 60, size=(6, 4)))
+            _, optimum = brute_force_optimum(inst)
+            gaps.append(neh_heuristic(inst).makespan / optimum)
+        assert max(gaps) <= 1.15
+
+    def test_single_job(self):
+        inst = FlowShopInstance([[5, 6, 7]])
+        assert neh_order(inst) == [0]
+        assert neh_heuristic(inst).makespan == 18
+
+    def test_identical_jobs_any_order_is_fine(self):
+        inst = FlowShopInstance([[3, 3], [3, 3], [3, 3]])
+        sched = neh_heuristic(inst)
+        assert sched.makespan == makespan(inst, [0, 1, 2])
+
+    @given(st.integers(0, 1000), st.integers(2, 7), st.integers(2, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_neh_is_a_valid_upper_bound(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        inst = FlowShopInstance(rng.integers(1, 99, size=(n, m)))
+        sched = neh_heuristic(inst)
+        # upper bound property: some permutation achieves it, and it is at
+        # least the trivial lower bound
+        assert sched.makespan >= inst.trivial_lower_bound()
+        assert sched.makespan <= inst.trivial_upper_bound()
+
+
+class TestBestInsertion:
+    def test_insertion_positions_explored(self):
+        inst = FlowShopInstance([[2, 1], [1, 2], [3, 3]])
+        pt = inst.processing_times
+        order, value = best_insertion(pt, [0, 1], 2)
+        assert len(order) == 3
+        assert set(order) == {0, 1, 2}
+        # the returned value matches the actual makespan of the returned order
+        assert value == makespan(inst, order)
+
+    def test_insertion_is_minimal(self):
+        inst = FlowShopInstance([[2, 9], [9, 2], [5, 5]])
+        pt = inst.processing_times
+        order, value = best_insertion(pt, [0, 1], 2)
+        candidates = [
+            makespan(inst, [2, 0, 1]),
+            makespan(inst, [0, 2, 1]),
+            makespan(inst, [0, 1, 2]),
+        ]
+        assert value == min(candidates)

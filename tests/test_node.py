@@ -1,0 +1,89 @@
+"""Tests for :mod:`repro.bb.node`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bb.node import Node, root_node
+from repro.flowshop.schedule import partial_completion_times
+
+
+class TestRootNode:
+    def test_root_properties(self, small_instance):
+        root = root_node(small_instance)
+        assert root.depth == 0
+        assert root.n_remaining == small_instance.n_jobs
+        assert not root.is_leaf
+        assert root.lower_bound is None
+        assert root.release.tolist() == [0] * small_instance.n_machines
+        assert root.unscheduled() == list(range(small_instance.n_jobs))
+
+    def test_scheduled_mask_empty(self, small_instance):
+        root = root_node(small_instance)
+        assert not root.scheduled_mask().any()
+
+
+class TestChildren:
+    def test_child_release_matches_schedule_module(self, small_instance):
+        root = root_node(small_instance)
+        child = root.child(2, small_instance.processing_times)
+        expected = partial_completion_times(small_instance, [2])
+        assert np.array_equal(child.release, expected)
+        grandchild = child.child(0, small_instance.processing_times)
+        expected2 = partial_completion_times(small_instance, [2, 0])
+        assert np.array_equal(grandchild.release, expected2)
+
+    def test_children_count(self, small_instance):
+        root = root_node(small_instance)
+        children = root.children(small_instance.processing_times)
+        assert len(children) == small_instance.n_jobs
+        assert {c.prefix[0] for c in children} == set(range(small_instance.n_jobs))
+
+    def test_leaf_child_has_makespan(self, tiny_instance):
+        node = root_node(tiny_instance)
+        for job in (0, 1, 2):
+            node = node.child(job, tiny_instance.processing_times)
+        assert node.is_leaf
+        assert node.makespan == node.release[-1]
+        assert node.lower_bound == node.makespan
+
+    def test_child_rejects_duplicate_job(self, small_instance):
+        root = root_node(small_instance)
+        child = root.child(1, small_instance.processing_times)
+        with pytest.raises(ValueError):
+            child.child(1, small_instance.processing_times)
+
+    def test_child_rejects_out_of_range(self, small_instance):
+        root = root_node(small_instance)
+        with pytest.raises(ValueError):
+            root.child(small_instance.n_jobs, small_instance.processing_times)
+
+    def test_parent_release_untouched(self, small_instance):
+        root = root_node(small_instance)
+        before = root.release.copy()
+        root.child(0, small_instance.processing_times)
+        assert np.array_equal(root.release, before)
+
+
+class TestOrdering:
+    def test_sort_key_prefers_smaller_bound(self, small_instance):
+        a = root_node(small_instance)
+        b = root_node(small_instance)
+        a.lower_bound = 10
+        b.lower_bound = 20
+        assert a < b
+
+    def test_tie_break_by_creation_index(self, small_instance):
+        a = root_node(small_instance)
+        b = root_node(small_instance)
+        a.lower_bound = b.lower_bound = 10
+        assert a < b  # a was created first
+
+    def test_prefix_too_long_rejected(self, small_instance):
+        with pytest.raises(ValueError):
+            Node(
+                prefix=tuple(range(small_instance.n_jobs + 1)),
+                release=np.zeros(small_instance.n_machines, dtype=np.int64),
+                n_jobs=small_instance.n_jobs,
+            )

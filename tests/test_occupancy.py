@@ -1,0 +1,100 @@
+"""Tests for the CUDA occupancy calculator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.gpu.device import TESLA_C2050
+from repro.gpu.occupancy import OccupancyCalculator
+from repro.gpu.placement import DataPlacement
+
+
+@pytest.fixture()
+def calc() -> OccupancyCalculator:
+    return OccupancyCalculator(TESLA_C2050)
+
+
+class TestPaperConfiguration:
+    def test_registers_limit_to_32_warps(self, calc):
+        """The paper: with 26 registers/thread and 256-thread blocks the
+        register file limits the kernel to 32 active warps per SM."""
+        result = calc.compute(256, registers_per_thread=26, shared_memory_per_block=0)
+        assert result.active_warps_per_sm == 32
+        assert result.active_blocks_per_sm == 4
+        assert result.limiting_factor == "registers"
+        assert result.occupancy == pytest.approx(32 / 48)
+
+    def test_shared_memory_becomes_limiting_for_large_instances(self, calc):
+        """With PTM+JM staged per block, 100x20 drops to 16 active warps."""
+        placement = DataPlacement.shared_ptm_jm()
+        for n, expected_warps in ((20, 32), (50, 32), (100, 16)):
+            complexity = DataStructureComplexity(n=n, m=20)
+            shared = placement.shared_bytes_per_block(complexity)
+            result = calc.compute(256, 26, shared, shared_memory_available=48 * 1024)
+            assert result.active_warps_per_sm == expected_warps, n
+
+    def test_200x20_shared_placement_is_tight(self, calc):
+        placement = DataPlacement.shared_ptm_jm()
+        complexity = DataStructureComplexity(n=200, m=20)
+        shared = placement.shared_bytes_per_block(complexity)
+        result = calc.compute(256, 26, shared, shared_memory_available=48 * 1024)
+        assert result.limiting_factor == "shared_memory"
+        assert 0 < result.active_warps_per_sm <= 16
+
+    def test_resident_threads(self, calc):
+        result = calc.compute(256, 26, 0)
+        assert result.resident_threads == 4 * 256 * 14
+
+
+class TestLimits:
+    def test_blocks_limit(self, calc):
+        # tiny blocks with almost no resources: the 8-blocks/SM cap binds
+        result = calc.compute(32, registers_per_thread=2, shared_memory_per_block=0)
+        assert result.active_blocks_per_sm == 8
+        assert result.limiting_factor == "blocks"
+
+    def test_warps_limit(self, calc):
+        # huge blocks: the warp cap (48) binds before anything else
+        result = calc.compute(1024, registers_per_thread=2, shared_memory_per_block=0)
+        assert result.active_blocks_per_sm == 1
+        assert result.active_warps_per_sm == 32
+
+    def test_zero_occupancy_when_shared_does_not_fit(self, calc):
+        result = calc.compute(256, 26, shared_memory_per_block=64 * 1024,
+                              shared_memory_available=48 * 1024)
+        assert result.active_blocks_per_sm == 0
+        assert not result
+
+    def test_register_allocation_granularity(self, calc):
+        # 1 register/thread still allocates in 64-register warp chunks
+        assert calc.registers_per_block(32, 1) == 64
+
+    def test_shared_memory_granularity(self, calc):
+        assert calc.shared_memory_allocation(1) == 128
+        assert calc.shared_memory_allocation(0) == 0
+        assert calc.shared_memory_allocation(129) == 256
+
+    def test_validation(self, calc):
+        with pytest.raises(ValueError):
+            calc.compute(0)
+        with pytest.raises(ValueError):
+            calc.compute(2048)
+        with pytest.raises(ValueError):
+            calc.compute(256, registers_per_thread=-1)
+        with pytest.raises(ValueError):
+            calc.compute(256, registers_per_thread=200)
+        with pytest.raises(ValueError):
+            calc.shared_memory_allocation(-1)
+
+
+class TestBestBlockSize:
+    def test_best_block_size_returns_valid_candidate(self, calc):
+        size, result = calc.best_block_size(registers_per_thread=26)
+        assert size in (64, 128, 192, 256, 384, 512, 768, 1024)
+        assert result.occupancy > 0
+
+    def test_best_block_size_improves_over_worst(self, calc):
+        _, best = calc.best_block_size(registers_per_thread=26)
+        worst = calc.compute(1024, registers_per_thread=26)
+        assert best.occupancy >= worst.occupancy

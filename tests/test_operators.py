@@ -1,0 +1,116 @@
+"""Tests for the B&B operators (:mod:`repro.bb.operators`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bb.node import root_node
+from repro.bb.operators import (
+    bound_node,
+    bound_nodes_batch,
+    branch,
+    eliminate,
+    encode_pool,
+    select_batch,
+)
+from repro.bb.pool import BestFirstPool
+from repro.flowshop.bounds import lower_bound
+
+
+class TestBranch:
+    def test_branch_root(self, small_instance):
+        children = branch(root_node(small_instance), small_instance)
+        assert len(children) == small_instance.n_jobs
+
+    def test_branch_leaf_returns_nothing(self, tiny_instance):
+        node = root_node(tiny_instance)
+        for job in (0, 1, 2):
+            node = node.child(job, tiny_instance.processing_times)
+        assert branch(node, tiny_instance) == []
+
+
+class TestBoundNode:
+    def test_bound_matches_lower_bound(self, small_instance, small_instance_data):
+        node = root_node(small_instance).child(1, small_instance.processing_times)
+        value = bound_node(node, small_instance_data)
+        assert value == lower_bound(small_instance_data, [1])
+        assert node.lower_bound == value
+
+    def test_bound_is_cached(self, small_instance, small_instance_data):
+        node = root_node(small_instance)
+        node.lower_bound = 12345
+        assert bound_node(node, small_instance_data) == 12345
+
+
+class TestEncodePool:
+    def test_encoding_shapes_and_content(self, small_instance, small_instance_data):
+        root = root_node(small_instance)
+        child = root.child(2, small_instance.processing_times)
+        mask, release = encode_pool([root, child], small_instance.n_jobs, small_instance.n_machines)
+        assert mask.shape == (2, small_instance.n_jobs)
+        assert release.shape == (2, small_instance.n_machines)
+        assert not mask[0].any()
+        assert mask[1].sum() == 1 and mask[1][2]
+        assert np.array_equal(release[1], child.release)
+
+    def test_empty_pool(self, small_instance):
+        mask, release = encode_pool([], small_instance.n_jobs, small_instance.n_machines)
+        assert mask.shape == (0, small_instance.n_jobs)
+
+
+class TestBatchBounding:
+    def test_batch_writes_back_and_matches_scalar(self, small_instance, small_instance_data):
+        root = root_node(small_instance)
+        children = branch(root, small_instance)
+        values = bound_nodes_batch(children, small_instance_data)
+        for child, value in zip(children, values):
+            assert child.lower_bound == value
+            assert value == lower_bound(small_instance_data, child.prefix)
+
+    def test_batch_empty(self, small_instance_data):
+        assert bound_nodes_batch([], small_instance_data).shape == (0,)
+
+
+class TestEliminate:
+    def test_keeps_only_improving_nodes(self, small_instance, small_instance_data):
+        root = root_node(small_instance)
+        children = branch(root, small_instance)
+        bound_nodes_batch(children, small_instance_data)
+        bounds = sorted(c.lower_bound for c in children)
+        cutoff = bounds[len(bounds) // 2]
+        survivors, pruned = eliminate(children, cutoff)
+        assert len(survivors) + pruned == len(children)
+        assert all(c.lower_bound < cutoff for c in survivors)
+
+    def test_requires_bounded_nodes(self, small_instance):
+        root = root_node(small_instance)
+        with pytest.raises(ValueError):
+            eliminate([root], 100)
+
+    def test_prunes_equal_bounds(self, small_instance, small_instance_data):
+        root = root_node(small_instance)
+        bound_node(root, small_instance_data)
+        survivors, pruned = eliminate([root], root.lower_bound)
+        assert survivors == [] and pruned == 1
+
+
+class TestSelectBatch:
+    def test_respects_limit(self, small_instance, small_instance_data):
+        pool = BestFirstPool()
+        children = branch(root_node(small_instance), small_instance)
+        bound_nodes_batch(children, small_instance_data)
+        pool.push_many(children)
+        batch = select_batch(pool, 3)
+        assert len(batch) == 3
+        assert len(pool) == len(children) - 3
+
+    def test_lazy_pruning_with_upper_bound(self, small_instance, small_instance_data):
+        pool = BestFirstPool()
+        children = branch(root_node(small_instance), small_instance)
+        bound_nodes_batch(children, small_instance_data)
+        pool.push_many(children)
+        cutoff = min(c.lower_bound for c in children)  # prune everything
+        batch = select_batch(pool, 100, upper_bound=cutoff)
+        assert batch == []
+        assert len(pool) == 0

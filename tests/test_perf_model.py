@@ -1,0 +1,103 @@
+"""Tests for the CPU cost and multi-core scaling models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.perf.model import CpuCostModel, MulticoreScalingModel
+
+
+class TestCpuCostModel:
+    def test_cost_grows_with_instance_size(self):
+        model = CpuCostModel()
+        costs = [
+            model.lower_bound_seconds(DataStructureComplexity(n=n, m=20))
+            for n in (20, 50, 100, 200)
+        ]
+        assert costs == sorted(costs)
+        # O(m^2 n): 200 jobs cost much more than 20 jobs
+        assert costs[-1] > 8 * costs[0]
+
+    def test_cost_grows_with_machines(self):
+        model = CpuCostModel()
+        small = model.lower_bound_seconds(DataStructureComplexity(n=50, m=5))
+        large = model.lower_bound_seconds(DataStructureComplexity(n=50, m=20))
+        assert large > 10 * small  # ~m^2 scaling
+
+    def test_fewer_remaining_jobs_is_cheaper(self):
+        model = CpuCostModel()
+        c = DataStructureComplexity(n=100, m=20)
+        assert model.lower_bound_seconds(c, n_remaining=50) < model.lower_bound_seconds(c)
+
+    def test_cache_pressure_raises_per_iteration_cost(self):
+        model = CpuCostModel()
+        small = model.cycles_per_iteration_effective(DataStructureComplexity(n=20, m=20))
+        large = model.cycles_per_iteration_effective(DataStructureComplexity(n=200, m=20))
+        assert large > small
+        assert large <= model.cycles_per_iteration + model.cache_penalty_cycles
+
+    def test_pool_seconds_scales_linearly(self):
+        model = CpuCostModel()
+        c = DataStructureComplexity(n=50, m=20)
+        assert model.pool_seconds(c, 2000) == pytest.approx(2 * model.pool_seconds(c, 1000))
+
+    def test_pool_seconds_includes_non_bounding_share(self):
+        model = CpuCostModel()
+        c = DataStructureComplexity(n=50, m=20)
+        pure_bounding = 1000 * model.lower_bound_seconds(c)
+        assert model.pool_seconds(c, 1000, bounding_fraction=0.985) == pytest.approx(
+            pure_bounding / 0.985
+        )
+
+    def test_validation(self):
+        model = CpuCostModel()
+        c = DataStructureComplexity(n=10, m=5)
+        with pytest.raises(ValueError):
+            model.pool_seconds(c, -1)
+        with pytest.raises(ValueError):
+            model.pool_seconds(c, 10, bounding_fraction=0.0)
+
+
+class TestMulticoreScalingModel:
+    def test_speedup_grows_with_threads(self):
+        model = MulticoreScalingModel()
+        speedups = [model.speedup(t) for t in (1, 3, 5, 7, 9, 11)]
+        assert speedups == sorted(speedups)
+
+    def test_sublinear_beyond_physical_cores(self):
+        """The paper: the slope flattens as the thread count rises."""
+        model = MulticoreScalingModel()
+        gain_low = model.speedup(5) - model.speedup(3)
+        gain_high = model.speedup(11) - model.speedup(9)
+        assert gain_high < gain_low
+
+    def test_paper_range(self):
+        """Speed-ups must land in the Table IV ballpark: ~4 at 3 threads,
+        ~9-11 at 11 threads."""
+        model = MulticoreScalingModel()
+        c = DataStructureComplexity(n=20, m=20)
+        assert 3.5 <= model.speedup(3, c) <= 5.0
+        assert 8.0 <= model.speedup(11, c) <= 12.0
+
+    def test_larger_instances_scale_slightly_worse(self):
+        model = MulticoreScalingModel()
+        small = model.speedup(7, DataStructureComplexity(n=20, m=20))
+        large = model.speedup(7, DataStructureComplexity(n=200, m=20))
+        assert large < small
+
+    def test_per_core_ratio_reflects_clocks(self):
+        model = MulticoreScalingModel()
+        assert model.per_core_performance_ratio == pytest.approx(3.20 / 2.27, rel=1e-3)
+
+    def test_speedup_for_gflops(self):
+        model = MulticoreScalingModel()
+        # ~500 GFLOPS maps to several threads; the result must be positive and finite
+        value = model.speedup_for_gflops(500.0)
+        assert 1.0 < value < 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MulticoreScalingModel().speedup(0)
+        with pytest.raises(ValueError):
+            MulticoreScalingModel().effective_parallelism(-1)

@@ -1,0 +1,48 @@
+"""Tests for the hybrid multi-core + GPU engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bb import brute_force_optimum
+from repro.core import GpuBBConfig, HybridBranchAndBound, HybridConfig
+from repro.flowshop import random_instance
+
+
+class TestHybrid:
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_matches_bruteforce(self, small_instance, depth):
+        _, optimum = brute_force_optimum(small_instance)
+        config = HybridConfig(
+            n_explorers=2, decomposition_depth=depth, gpu=GpuBBConfig(pool_size=64)
+        )
+        result = HybridBranchAndBound(small_instance, config).solve()
+        assert result.best_makespan == optimum
+        assert result.proved_optimal
+
+    def test_multiple_explorers_agree_with_single(self, small_instance):
+        single = HybridBranchAndBound(
+            small_instance, HybridConfig(n_explorers=1, gpu=GpuBBConfig(pool_size=64))
+        ).solve()
+        many = HybridBranchAndBound(
+            small_instance, HybridConfig(n_explorers=4, gpu=GpuBBConfig(pool_size=64))
+        ).solve()
+        assert single.best_makespan == many.best_makespan
+
+    def test_accumulates_device_time(self, small_instance):
+        result = HybridBranchAndBound(
+            small_instance, HybridConfig(gpu=GpuBBConfig(pool_size=64))
+        ).solve()
+        assert result.simulated_device_time_s > 0
+        assert result.stats.nodes_bounded > 0
+
+    def test_default_config(self, small_instance):
+        _, optimum = brute_force_optimum(small_instance)
+        result = HybridBranchAndBound(small_instance).solve()
+        assert result.best_makespan == optimum
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HybridConfig(n_explorers=0)
+        with pytest.raises(ValueError):
+            HybridConfig(decomposition_depth=0)

@@ -1,0 +1,110 @@
+"""Tests for data-structure placement (:mod:`repro.gpu.placement`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.gpu.device import TESLA_C2050
+from repro.gpu.memory import FermiCacheConfig, MemoryHierarchy, MemorySpace
+from repro.gpu.placement import DataPlacement, PlacementError, STRUCTURE_NAMES
+
+
+class TestConstruction:
+    def test_default_is_all_global(self):
+        placement = DataPlacement.all_global()
+        for name in STRUCTURE_NAMES:
+            assert placement.space_of(name) is MemorySpace.GLOBAL
+        assert placement.cache_config is FermiCacheConfig.PREFER_L1
+
+    def test_shared_ptm_jm(self):
+        placement = DataPlacement.shared_ptm_jm()
+        assert placement.space_of("PTM") is MemorySpace.SHARED
+        assert placement.space_of("JM") is MemorySpace.SHARED
+        assert placement.space_of("LM") is MemorySpace.GLOBAL
+        assert placement.cache_config is FermiCacheConfig.PREFER_SHARED
+
+    def test_rejects_unknown_structure(self):
+        with pytest.raises(PlacementError):
+            DataPlacement(assignment={"XYZ": MemorySpace.SHARED})
+
+    def test_rejects_bad_element_bytes(self):
+        with pytest.raises(PlacementError):
+            DataPlacement(element_bytes={"PTM": 0})
+        with pytest.raises(PlacementError):
+            DataPlacement(element_bytes={"XYZ": 1})
+
+    def test_space_of_unknown_structure(self):
+        with pytest.raises(PlacementError):
+            DataPlacement.all_global().space_of("XYZ")
+
+
+class TestFootprints:
+    def test_paper_footprints_for_200x20(self):
+        """JM ~38 KB, LM ~38 KB, PTM ~4 KB as stated in Section IV-B."""
+        placement = DataPlacement.shared_ptm_jm()
+        complexity = DataStructureComplexity(n=200, m=20)
+        footprints = placement.structure_bytes(complexity)
+        assert footprints["JM"] == 38000
+        assert footprints["LM"] == 38000
+        assert footprints["PTM"] == 4000
+
+    def test_shared_bytes_per_block(self):
+        placement = DataPlacement.shared_ptm_jm()
+        complexity = DataStructureComplexity(n=200, m=20)
+        assert placement.shared_bytes_per_block(complexity) == 42000
+
+    def test_all_global_needs_no_shared_memory(self):
+        placement = DataPlacement.all_global()
+        complexity = DataStructureComplexity(n=200, m=20)
+        assert placement.shared_bytes_per_block(complexity) == 0
+
+
+class TestValidation:
+    def test_shared_ptm_jm_fits_up_to_200_jobs(self):
+        placement = DataPlacement.shared_ptm_jm()
+        hierarchy = MemoryHierarchy(TESLA_C2050, placement.cache_config)
+        for n in (20, 50, 100, 200):
+            assert placement.fits(DataStructureComplexity(n=n, m=20), hierarchy)
+
+    def test_shared_everything_does_not_fit_for_200_jobs(self):
+        placement = DataPlacement.shared_structures(["PTM", "JM", "LM"])
+        hierarchy = MemoryHierarchy(TESLA_C2050, placement.cache_config)
+        complexity = DataStructureComplexity(n=200, m=20)
+        assert not placement.fits(complexity, hierarchy)
+        with pytest.raises(PlacementError):
+            placement.validate(complexity, hierarchy)
+
+    def test_validate_checks_global_capacity(self):
+        placement = DataPlacement.all_global()
+        tiny_device = TESLA_C2050.with_shared_memory(48 * 1024)
+        hierarchy = MemoryHierarchy(tiny_device)
+        complexity = DataStructureComplexity(n=200, m=20)
+        # normal device: fine
+        placement.validate(complexity, hierarchy)
+
+
+class TestRecommendation:
+    def test_recommended_is_shared_ptm_jm_for_paper_instances(self):
+        """The paper's recommendation should be selected whenever it fits."""
+        for n in (20, 50, 100, 200):
+            placement = DataPlacement.recommended(
+                DataStructureComplexity(n=n, m=20), TESLA_C2050
+            )
+            assert placement.name == "shared-PTM-JM"
+
+    def test_recommended_degrades_for_huge_instances(self):
+        placement = DataPlacement.recommended(
+            DataStructureComplexity(n=500, m=20), TESLA_C2050
+        )
+        # PTM+JM would need 500*190 + 500*20 = 105 KB: does not fit; JM alone
+        # does not fit either (95 KB), so the fallback must avoid them.
+        assert placement.name in ("shared-PTM", "all-global")
+
+    def test_describe_rows(self):
+        placement = DataPlacement.shared_ptm_jm()
+        rows = placement.describe(DataStructureComplexity(n=20, m=20))
+        assert [row["structure"] for row in rows] == list(STRUCTURE_NAMES)
+        by_name = {row["structure"]: row for row in rows}
+        assert by_name["PTM"]["space"] == "shared"
+        assert by_name["LM"]["space"] == "global"

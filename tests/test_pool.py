@@ -1,0 +1,117 @@
+"""Tests for the pending-node pools (:mod:`repro.bb.pool`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bb.node import Node
+from repro.bb.pool import BestFirstPool, DepthFirstPool, FifoPool, make_pool
+
+
+def _node(lb: int, n_jobs: int = 5, depth: int = 0) -> Node:
+    node = Node(prefix=tuple(range(depth)), release=np.zeros(3, dtype=np.int64), n_jobs=n_jobs)
+    node.lower_bound = lb
+    return node
+
+
+class TestBestFirstPool:
+    def test_pops_smallest_bound_first(self):
+        pool = BestFirstPool()
+        for lb in (30, 10, 20):
+            pool.push(_node(lb))
+        assert [pool.pop().lower_bound for _ in range(3)] == [10, 20, 30]
+
+    def test_peek_does_not_remove(self):
+        pool = BestFirstPool()
+        pool.push(_node(5))
+        assert pool.peek().lower_bound == 5
+        assert len(pool) == 1
+
+    def test_best_lower_bound(self):
+        pool = BestFirstPool()
+        assert pool.best_lower_bound() is None
+        pool.push(_node(42))
+        pool.push(_node(7))
+        assert pool.best_lower_bound() == 7
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BestFirstPool().pop()
+        with pytest.raises(IndexError):
+            BestFirstPool().peek()
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_drains_in_sorted_order(self, bounds):
+        pool = BestFirstPool()
+        pool.push_many(_node(lb) for lb in bounds)
+        drained = [node.lower_bound for node in pool.drain()]
+        assert drained == sorted(bounds)
+        assert len(pool) == 0
+
+
+class TestDepthFirstPool:
+    def test_lifo_order(self):
+        pool = DepthFirstPool()
+        for lb in (1, 2, 3):
+            pool.push(_node(lb))
+        assert [pool.pop().lower_bound for _ in range(3)] == [3, 2, 1]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            DepthFirstPool().pop()
+
+
+class TestFifoPool:
+    def test_fifo_order(self):
+        pool = FifoPool()
+        for lb in (1, 2, 3):
+            pool.push(_node(lb))
+        assert [pool.pop().lower_bound for _ in range(3)] == [1, 2, 3]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            FifoPool().pop()
+
+
+class TestSharedBehaviour:
+    @pytest.mark.parametrize("strategy", ["best-first", "depth-first", "fifo"])
+    def test_pop_batch(self, strategy):
+        pool = make_pool(strategy)
+        pool.push_many(_node(lb) for lb in range(10))
+        batch = pool.pop_batch(4)
+        assert len(batch) == 4
+        assert len(pool) == 6
+        rest = pool.pop_batch(100)
+        assert len(rest) == 6
+        assert len(pool) == 0
+
+    def test_pop_batch_rejects_zero(self):
+        with pytest.raises(ValueError):
+            BestFirstPool().pop_batch(0)
+
+    @pytest.mark.parametrize("strategy", ["best-first", "depth-first", "fifo"])
+    def test_max_size_seen(self, strategy):
+        pool = make_pool(strategy)
+        pool.push_many(_node(lb) for lb in range(7))
+        pool.pop_batch(7)
+        pool.push(_node(1))
+        assert pool.max_size_seen == 7
+
+    def test_bool_protocol(self):
+        pool = BestFirstPool()
+        assert not pool
+        pool.push(_node(1))
+        assert pool
+
+    def test_make_pool_aliases(self):
+        assert isinstance(make_pool("best"), BestFirstPool)
+        assert isinstance(make_pool("depth"), DepthFirstPool)
+        assert isinstance(make_pool("breadth-first"), FifoPool)
+
+    def test_make_pool_unknown(self):
+        with pytest.raises(ValueError):
+            make_pool("worst-first")

@@ -1,0 +1,71 @@
+"""Tests for incumbent / gap tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bb import SequentialBranchAndBound
+from repro.bb.progress import ProgressTracker
+from repro.flowshop import random_instance
+
+
+class TestProgressTracker:
+    def test_gap_computation(self):
+        tracker = ProgressTracker()
+        tracker.record_incumbent(100)
+        tracker.record_bound(90)
+        assert tracker.current_gap == pytest.approx(0.10)
+        assert not tracker.is_proved_optimal()
+        tracker.record_bound(100)
+        assert tracker.current_gap == pytest.approx(0.0)
+        assert tracker.is_proved_optimal()
+
+    def test_incumbent_must_improve(self):
+        tracker = ProgressTracker()
+        tracker.record_incumbent(100)
+        with pytest.raises(ValueError):
+            tracker.record_incumbent(120)
+
+    def test_gap_unknown_without_both_sides(self):
+        tracker = ProgressTracker()
+        assert tracker.current_gap is None
+        tracker.record_incumbent(50)
+        assert tracker.current_gap is None
+
+    def test_nodes_non_decreasing(self):
+        tracker = ProgressTracker()
+        tracker.record_nodes(10)
+        with pytest.raises(ValueError):
+            tracker.record_nodes(5)
+
+    def test_incumbent_trajectory(self):
+        tracker = ProgressTracker()
+        tracker.record_incumbent(100, nodes_explored=1)
+        tracker.record_bound(80, nodes_explored=5)
+        tracker.record_incumbent(95, nodes_explored=9)
+        trajectory = tracker.incumbent_trajectory()
+        assert [value for _, value in trajectory] == [100, 95]
+        assert tracker.events[-1].nodes_explored == 9
+
+    def test_attach_to_engine(self):
+        instance = random_instance(8, 4, seed=6)
+        solver = SequentialBranchAndBound(instance, initial_upper_bound=float("inf"))
+        tracker = ProgressTracker().attach_to_engine(solver)
+        result = solver.solve()
+        assert tracker.incumbent == result.best_makespan
+        # at least one improvement was recorded and they are non-increasing
+        values = [value for _, value in tracker.incumbent_trajectory()]
+        assert values and values == sorted(values, reverse=True)
+
+    def test_attach_preserves_existing_callback(self):
+        seen = []
+        instance = random_instance(7, 4, seed=6)
+        solver = SequentialBranchAndBound(
+            instance,
+            initial_upper_bound=float("inf"),
+            on_incumbent=lambda value, order: seen.append(value),
+        )
+        tracker = ProgressTracker().attach_to_engine(solver)
+        solver.solve()
+        assert seen  # the original callback still fires
+        assert tracker.incumbent == min(seen)

@@ -1,0 +1,107 @@
+"""Cross-module property-based tests (hypothesis).
+
+These are the library-wide invariants that tie the layers together:
+
+* the lower bound is admissible and the engines are exact,
+* the batched ("GPU") kernel is bit-identical to the scalar one, so every
+  engine explores an equivalent tree,
+* the simulator's timings behave monotonically in the quantities the
+  paper's analysis relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bb import SequentialBranchAndBound, brute_force_optimum
+from repro.core import GpuBBConfig, GpuBranchAndBound
+from repro.flowshop import FlowShopInstance, makespan, neh_heuristic
+from repro.flowshop.bounds import DataStructureComplexity, LowerBoundData, lower_bound, lower_bound_batch
+from repro.gpu.simulator import GpuSimulator
+
+
+def instances(max_jobs: int = 6, max_machines: int = 4):
+    return st.builds(
+        lambda n, m, seed: FlowShopInstance(
+            np.random.default_rng(seed).integers(1, 99, size=(n, m)),
+            name=f"hyp_{n}x{m}_{seed}",
+        ),
+        st.integers(2, max_jobs),
+        st.integers(2, max_machines),
+        st.integers(0, 10_000),
+    )
+
+
+class TestExactness:
+    @given(instances(max_jobs=5, max_machines=3))
+    @settings(max_examples=20, deadline=None)
+    def test_gpu_engine_is_exact(self, instance):
+        _, optimum = brute_force_optimum(instance)
+        result = GpuBranchAndBound(instance, GpuBBConfig(pool_size=32)).solve()
+        assert result.best_makespan == optimum
+        assert makespan(instance, result.best_order) == optimum
+
+    @given(instances(max_jobs=5, max_machines=3))
+    @settings(max_examples=20, deadline=None)
+    def test_serial_and_gpu_engines_agree(self, instance):
+        serial = SequentialBranchAndBound(instance).solve()
+        gpu = GpuBranchAndBound(instance, GpuBBConfig(pool_size=16)).solve()
+        assert serial.best_makespan == gpu.best_makespan
+
+    @given(instances())
+    @settings(max_examples=20, deadline=None)
+    def test_neh_upper_bound_vs_root_lower_bound(self, instance):
+        data = LowerBoundData(instance)
+        assert lower_bound(data, []) <= neh_heuristic(instance).makespan
+
+
+class TestKernelEquivalence:
+    @given(instances(), st.integers(1, 40), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_batched_kernel_equals_scalar_kernel(self, instance, batch, seed):
+        data = LowerBoundData(instance)
+        rng = np.random.default_rng(seed)
+        mask = np.zeros((batch, instance.n_jobs), dtype=bool)
+        release = np.zeros((batch, instance.n_machines), dtype=np.int64)
+        prefixes = []
+        for i in range(batch):
+            depth = int(rng.integers(0, instance.n_jobs + 1))
+            prefix = list(rng.permutation(instance.n_jobs)[:depth])
+            prefixes.append(prefix)
+            mask[i, prefix] = True
+            release[i] = data.machine_release_times(prefix)
+        assert np.array_equal(
+            lower_bound_batch(data, mask, release),
+            np.array([lower_bound(data, p) for p in prefixes]),
+        )
+
+    @given(instances())
+    @settings(max_examples=20, deadline=None)
+    def test_lower_bound_of_complete_schedule_is_its_makespan(self, instance):
+        data = LowerBoundData(instance)
+        order = list(range(instance.n_jobs))
+        assert lower_bound(data, order) == makespan(instance, order)
+
+
+class TestSimulatorMonotonicity:
+    @given(
+        st.sampled_from([20, 50, 100, 200]),
+        st.sampled_from([4096, 8192, 65536, 262144]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_kernel_time_positive_and_bounded(self, n_jobs, pool):
+        complexity = DataStructureComplexity(n=n_jobs, m=20)
+        timing = GpuSimulator().evaluate_pool(complexity, pool)
+        assert 0 < timing.kernel_s < 60.0
+        assert timing.total_s >= timing.kernel_s
+
+    @given(st.sampled_from([20, 50, 100, 200]), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_more_pool_never_takes_less_time(self, n_jobs, doubling):
+        complexity = DataStructureComplexity(n=n_jobs, m=20)
+        sim = GpuSimulator()
+        small = sim.evaluate_pool(complexity, 4096)
+        large = sim.evaluate_pool(complexity, 4096 * (2**doubling))
+        assert large.total_s >= small.total_s

@@ -1,0 +1,82 @@
+"""Tests for the experiment table rendering / comparison helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import ExperimentTable, compare_tables, format_table
+
+
+@pytest.fixture()
+def table() -> ExperimentTable:
+    t = ExperimentTable(title="demo", columns=(10, 20))
+    t.set((200, 20), 10, 40.0)
+    t.set((200, 20), 20, 60.0)
+    t.set((20, 20), 10, 30.0)
+    t.set((20, 20), 20, 35.0)
+    return t
+
+
+class TestExperimentTable:
+    def test_set_get(self, table):
+        assert table.get((200, 20), 10) == 40.0
+        with pytest.raises(KeyError):
+            table.set((200, 20), 99, 1.0)
+
+    def test_row_and_column_values(self, table):
+        assert table.row_values((200, 20)) == [40.0, 60.0]
+        assert table.column_values(10) == [40.0, 30.0]
+
+    def test_average_row(self, table):
+        table.add_average_row()
+        assert table.rows["average"][10] == pytest.approx(35.0)
+        assert table.rows["average"][20] == pytest.approx(47.5)
+
+    def test_best_column(self, table):
+        assert table.best_column((200, 20)) == 20
+
+    def test_to_dict(self, table):
+        payload = table.to_dict()
+        assert payload["title"] == "demo"
+        assert payload["rows"]["200x20"]["10"] == 40.0
+
+    def test_format_contains_all_cells(self, table):
+        text = format_table(table)
+        assert "demo" in text
+        assert "200x20" in text
+        assert "60.00" in text
+
+    def test_format_handles_missing_cells(self):
+        t = ExperimentTable(title="gaps", columns=(1, 2))
+        t.set("a", 1, 5.0)
+        assert "-" in format_table(t)
+
+
+class TestComparison:
+    def test_relative_errors(self, table):
+        reference = {(200, 20): {10: 50.0, 20: 60.0}}
+        comparison = compare_tables(table, reference)
+        assert len(comparison.cells) == 2
+        assert comparison.mean_absolute_relative_error == pytest.approx((0.2 + 0.0) / 2)
+        assert comparison.max_absolute_relative_error == pytest.approx(0.2)
+        assert not comparison.within(0.1)
+        assert comparison.within(0.25)
+
+    def test_missing_rows_ignored(self, table):
+        reference = {(999, 20): {10: 1.0}}
+        comparison = compare_tables(table, reference)
+        assert comparison.cells == []
+        with pytest.raises(ValueError):
+            _ = comparison.mean_absolute_relative_error
+
+    def test_text_rendering(self, table):
+        reference = {(200, 20): {10: 50.0}}
+        text = table.compare(reference).to_text()
+        assert "vs paper" in text
+        assert "%" in text
+
+    def test_summary(self, table):
+        reference = {(200, 20): {10: 40.0}}
+        summary = table.compare(reference).summary()
+        assert summary["cells"] == 1
+        assert summary["mean_abs_rel_error"] == pytest.approx(0.0)

@@ -1,0 +1,51 @@
+"""Tests for the all-artefacts evaluation runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import EvaluationReport, run_all, write_report
+
+
+@pytest.fixture(scope="module")
+def report() -> EvaluationReport:
+    return run_all(include_measured=False)
+
+
+class TestRunAll:
+    def test_all_paper_artefacts_present(self, report):
+        names = [a.name for a in report.artefacts]
+        assert names == ["table1", "table2", "table3", "table4", "figure4", "figure5"]
+
+    def test_comparisons_attached(self, report):
+        for name in ("table2", "table3", "table4", "figure4", "figure5"):
+            artefact = report.get(name)
+            assert artefact.comparison is not None
+            assert artefact.comparison["mean_abs_rel_error"] < 0.20
+
+    def test_table1_has_no_comparison(self, report):
+        assert report.get("table1").comparison is None
+        assert "PTM" in report.get("table1").payload["text"]
+
+    def test_get_unknown_raises(self, report):
+        with pytest.raises(KeyError):
+            report.get("table99")
+
+    def test_summary_lines(self, report):
+        lines = report.summary_lines()
+        assert len(lines) == len(report.artefacts)
+        assert any("table2" in line for line in lines)
+
+    def test_measured_artefact_optional(self):
+        measured = run_all(include_measured=True, bounding_fraction_nodes=40)
+        names = [a.name for a in measured.artefacts]
+        assert "bounding_fraction" in names
+        fraction = measured.get("bounding_fraction")
+        assert fraction.payload["bounding_fraction"] > 0.8
+
+    def test_json_round_trip(self, report, tmp_path):
+        path = write_report(report, tmp_path / "report.json")
+        payload = json.loads(path.read_text())
+        assert len(payload["artefacts"]) == len(report.artefacts)

@@ -1,0 +1,164 @@
+"""Tests for :mod:`repro.flowshop.schedule`."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flowshop import (
+    FlowShopInstance,
+    PartialSchedule,
+    Schedule,
+    completion_times,
+    makespan,
+    partial_completion_times,
+)
+from repro.flowshop.schedule import remaining_tail_times
+
+
+def random_instance_strategy(max_jobs=6, max_machines=4):
+    return st.builds(
+        lambda n, m, seed: FlowShopInstance(
+            np.random.default_rng(seed).integers(1, 50, size=(n, m))
+        ),
+        st.integers(2, max_jobs),
+        st.integers(1, max_machines),
+        st.integers(0, 10_000),
+    )
+
+
+class TestCompletionTimes:
+    def test_known_two_machine_example(self):
+        # Johnson's classic: jobs (a, b) = (3,6), (5,2), (1,2)
+        inst = FlowShopInstance([[3, 6], [5, 2], [1, 2]])
+        comp = completion_times(inst, [2, 0, 1])
+        assert comp[0].tolist() == [1, 3]
+        assert comp[1].tolist() == [4, 10]
+        assert comp[2].tolist() == [9, 12]
+        assert makespan(inst, [2, 0, 1]) == 12
+
+    def test_single_machine_is_sum(self):
+        inst = FlowShopInstance([[4], [6], [5]])
+        assert makespan(inst, [1, 0, 2]) == 15
+
+    def test_single_job(self):
+        inst = FlowShopInstance([[3, 4, 5]])
+        assert makespan(inst, [0]) == 12
+
+    def test_rejects_incomplete_permutation(self):
+        inst = FlowShopInstance([[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            makespan(inst, [0])
+
+    def test_rejects_duplicate_jobs(self):
+        inst = FlowShopInstance([[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            makespan(inst, [0, 0])
+
+    def test_rejects_out_of_range(self):
+        inst = FlowShopInstance([[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            makespan(inst, [0, 5])
+
+    @given(random_instance_strategy(), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_completion_times_monotone(self, inst, seed):
+        """Completion times increase along positions and along machines."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(inst.n_jobs)
+        comp = completion_times(inst, order)
+        # along machines for a given position
+        assert np.all(np.diff(comp, axis=1) >= 0)
+        # along positions for a given machine
+        assert np.all(np.diff(comp, axis=0) >= 0)
+
+    @given(random_instance_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_at_least_critical_path(self, inst):
+        order = list(range(inst.n_jobs))
+        value = makespan(inst, order)
+        pt = inst.processing_times
+        assert value >= int(pt.sum(axis=1).max())  # any single job's total work
+        assert value >= int(pt.sum(axis=0).max())  # any machine's total load
+        assert value <= int(pt.sum())
+
+
+class TestPartialCompletion:
+    def test_empty_prefix_is_zero(self, small_instance):
+        assert partial_completion_times(small_instance, []).tolist() == [0] * small_instance.n_machines
+
+    def test_full_prefix_matches_completion_times(self, small_instance):
+        order = list(range(small_instance.n_jobs))
+        full = completion_times(small_instance, order)[-1]
+        partial = partial_completion_times(small_instance, order)
+        assert partial.tolist() == full.tolist()
+
+    def test_prefix_extension_is_monotone(self, small_instance):
+        prefix = [2, 0]
+        shorter = partial_completion_times(small_instance, prefix)
+        longer = partial_completion_times(small_instance, prefix + [1])
+        assert np.all(longer >= shorter)
+
+    def test_remaining_tails_zero_when_all_scheduled(self, small_instance):
+        order = list(range(small_instance.n_jobs))
+        assert remaining_tail_times(small_instance, order).tolist() == [0] * small_instance.n_machines
+
+    def test_remaining_tails_last_machine_zero(self, small_instance):
+        tails = remaining_tail_times(small_instance, [0])
+        assert tails[-1] == 0
+        assert np.all(tails >= 0)
+
+
+class TestScheduleObjects:
+    def test_schedule_makespan_and_feasibility(self, small_instance):
+        order = tuple(range(small_instance.n_jobs))
+        sched = Schedule(small_instance, order)
+        assert sched.makespan == makespan(small_instance, order)
+        assert sched.is_feasible()
+        rows = sched.gantt_rows()
+        assert len(rows) == small_instance.n_machines
+        assert all(len(r) == small_instance.n_jobs for r in rows)
+
+    def test_schedule_rejects_bad_order(self, small_instance):
+        with pytest.raises(ValueError):
+            Schedule(small_instance, (0, 0, 1, 2, 3, 4))
+
+    def test_partial_schedule_children(self, small_instance):
+        ps = PartialSchedule(small_instance, (0,))
+        children = ps.children()
+        assert len(children) == small_instance.n_jobs - 1
+        assert all(child.depth == 2 for child in children)
+        assert all(child.prefix[0] == 0 for child in children)
+
+    def test_partial_schedule_extend_rejects_duplicates(self, small_instance):
+        ps = PartialSchedule(small_instance, (0,))
+        with pytest.raises(ValueError):
+            ps.extend(0)
+
+    def test_partial_to_schedule_requires_completion(self, small_instance):
+        ps = PartialSchedule(small_instance, (0,))
+        with pytest.raises(ValueError):
+            ps.to_schedule()
+        full = PartialSchedule(small_instance, tuple(range(small_instance.n_jobs)))
+        assert full.to_schedule().makespan == makespan(
+            small_instance, range(small_instance.n_jobs)
+        )
+
+    def test_completions_if(self, small_instance):
+        ps = PartialSchedule(small_instance, (1, 0))
+        rest = [j for j in range(small_instance.n_jobs) if j not in (1, 0)]
+        value = ps.completions_if(rest)
+        assert value == makespan(small_instance, [1, 0] + rest)
+
+    def test_best_completion_matches_bruteforce(self, small_instance):
+        ps = PartialSchedule(small_instance, (3,))
+        rest = list(ps.unscheduled)
+        best = min(ps.completions_if(perm) for perm in itertools.permutations(rest))
+        full_best = min(
+            makespan(small_instance, (3,) + perm) for perm in itertools.permutations(rest)
+        )
+        assert best == full_best

@@ -1,0 +1,129 @@
+"""Tests for the GPU kernel timing model (:mod:`repro.gpu.simulator`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowshop.bounds import DataStructureComplexity
+from repro.gpu.device import TESLA_C2050
+from repro.gpu.placement import DataPlacement
+from repro.gpu.simulator import GpuSimulator, KernelCostModel
+
+
+@pytest.fixture()
+def c200() -> DataStructureComplexity:
+    return DataStructureComplexity(n=200, m=20)
+
+
+@pytest.fixture()
+def c20() -> DataStructureComplexity:
+    return DataStructureComplexity(n=20, m=20)
+
+
+class TestPerThreadCost:
+    def test_cost_grows_with_instance_size(self, c20, c200):
+        sim = GpuSimulator()
+        occ20 = sim.occupancy(c20)
+        occ200 = sim.occupancy(c200)
+        assert sim.per_thread_cycles(c200, occ200) > sim.per_thread_cycles(c20, occ20)
+
+    def test_shared_placement_is_cheaper_per_thread(self, c200):
+        global_sim = GpuSimulator(placement=DataPlacement.all_global())
+        shared_sim = GpuSimulator(placement=DataPlacement.shared_ptm_jm())
+        occ_g = global_sim.occupancy(c200)
+        occ_s = shared_sim.occupancy(c200)
+        assert shared_sim.per_thread_cycles(c200, occ_s) < global_sim.per_thread_cycles(c200, occ_g)
+
+    def test_fewer_remaining_jobs_cost_less(self, c200):
+        sim = GpuSimulator()
+        occ = sim.occupancy(c200)
+        assert sim.per_thread_cycles(c200, occ, n_remaining=100) < sim.per_thread_cycles(
+            c200, occ, n_remaining=200
+        )
+
+    def test_shared_benefit_larger_for_big_instances(self, c20, c200):
+        """The Figure 4 effect: the end-to-end gain of the shared placement
+        is larger for 200x20 than for 20x20 (whose working set already fits
+        the L1 slice, and whose per-node host overheads dilute the kernel
+        improvement)."""
+        def gain(complexity):
+            g = GpuSimulator(placement=DataPlacement.all_global())
+            s = GpuSimulator(placement=DataPlacement.shared_ptm_jm())
+            pool = 262144
+            return g.evaluate_pool(complexity, pool).total_s / s.evaluate_pool(complexity, pool).total_s
+
+        assert gain(c200) > gain(c20) > 1.0
+
+
+class TestKernelTime:
+    def test_zero_pool(self, c200):
+        sim = GpuSimulator()
+        seconds, occupancy, cycles = sim.kernel_time_s(c200, 0)
+        assert seconds == 0.0
+        assert cycles > 0
+        assert occupancy.active_warps_per_sm > 0
+
+    def test_kernel_time_monotone_in_pool_size(self, c200):
+        sim = GpuSimulator()
+        times = [sim.kernel_time_s(c200, p)[0] for p in (4096, 8192, 65536, 262144)]
+        assert times == sorted(times)
+
+    def test_throughput_improves_until_saturation(self, c200):
+        """Per-node kernel time at 262144 nodes is lower than at 4096 nodes
+        (the paper's under-utilisation argument for small pools)."""
+        sim = GpuSimulator()
+        t_small = sim.kernel_time_s(c200, 4096)[0] / 4096
+        t_large = sim.kernel_time_s(c200, 262144)[0] / 262144
+        assert t_large < t_small
+
+    def test_rejects_negative_pool(self, c200):
+        with pytest.raises(ValueError):
+            GpuSimulator().kernel_time_s(c200, -1)
+
+    def test_unfittable_placement_raises(self):
+        placement = DataPlacement.shared_structures(["PTM", "JM", "LM"])
+        sim = GpuSimulator(placement=placement)
+        complexity = DataStructureComplexity(n=200, m=20)
+        with pytest.raises(ValueError):
+            sim.kernel_time_s(complexity, 1024)
+
+
+class TestEvaluatePool:
+    def test_timing_breakdown_positive(self, c200):
+        timing = GpuSimulator().evaluate_pool(c200, 8192)
+        assert timing.kernel_s > 0
+        assert timing.transfer_s > 0
+        assert timing.host_overhead_s > 0
+        assert timing.launch_overhead_s > 0
+        assert timing.total_s == pytest.approx(
+            timing.kernel_s + timing.transfer_s + timing.host_overhead_s + timing.launch_overhead_s
+        )
+        assert timing.per_node_s > 0
+
+    def test_kernel_dominates_for_large_instances(self, c200):
+        """For 200x20 the kernel time dwarfs transfers — the premise that
+        makes off-loading worthwhile."""
+        timing = GpuSimulator().evaluate_pool(c200, 262144)
+        assert timing.kernel_s > 5 * timing.transfer_s
+
+    def test_cost_model_overrides(self, c200):
+        base = GpuSimulator().evaluate_pool(c200, 8192)
+        slow = GpuSimulator(
+            cost_model=KernelCostModel().with_overrides(cycles_per_iteration=60.0)
+        ).evaluate_pool(c200, 8192)
+        assert slow.kernel_s > base.kernel_s
+
+
+class TestOccupancyIntegration:
+    def test_shared_placement_reduces_occupancy_for_large_instances(self, c200):
+        global_occ = GpuSimulator(placement=DataPlacement.all_global()).occupancy(c200)
+        shared_occ = GpuSimulator(placement=DataPlacement.shared_ptm_jm()).occupancy(c200)
+        assert shared_occ.active_warps_per_sm < global_occ.active_warps_per_sm
+
+    def test_all_global_occupancy_independent_of_instance(self, c20, c200):
+        sim = GpuSimulator(placement=DataPlacement.all_global())
+        assert (
+            sim.occupancy(c20).active_warps_per_sm
+            == sim.occupancy(c200).active_warps_per_sm
+            == 32
+        )

@@ -1,0 +1,56 @@
+"""Tests for the speed-up arithmetic helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.speedup import SpeedupSeries, efficiency, speedup
+
+
+class TestScalars:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_efficiency(self):
+        assert efficiency(10.0, 2.0, 5) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+        with pytest.raises(ValueError):
+            speedup(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            efficiency(10.0, 2.0, 0)
+
+
+class TestSpeedupSeries:
+    def test_add_and_query(self):
+        series = SpeedupSeries("gpu")
+        series.add(4096, 40.0)
+        series.add(8192, 60.0)
+        assert series.xs() == [4096.0, 8192.0]
+        assert series.values() == [40.0, 60.0]
+        assert series.best == (8192.0, 60.0)
+        assert series.mean == pytest.approx(50.0)
+
+    def test_relative_to(self):
+        shared = SpeedupSeries.from_mapping("shared", {1: 100.0, 2: 90.0})
+        global_ = SpeedupSeries.from_mapping("global", {1: 80.0, 2: 90.0, 3: 50.0})
+        ratio = shared.relative_to(global_)
+        assert ratio.points == {1.0: pytest.approx(1.25), 2.0: pytest.approx(1.0)}
+
+    def test_from_pairs(self):
+        series = SpeedupSeries.from_pairs("x", [(1, 2.0), (2, 3.0)])
+        assert series.values() == [2.0, 3.0]
+
+    def test_rejects_non_positive(self):
+        series = SpeedupSeries("x")
+        with pytest.raises(ValueError):
+            series.add(1, 0.0)
+
+    def test_empty_series_errors(self):
+        series = SpeedupSeries("x")
+        with pytest.raises(ValueError):
+            _ = series.best
+        with pytest.raises(ValueError):
+            _ = series.mean

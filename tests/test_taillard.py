@@ -1,0 +1,103 @@
+"""Tests for the Taillard instance generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flowshop.taillard import (
+    PAPER_INSTANCE_CLASSES,
+    TAILLARD_CLASSES,
+    TAILLARD_TIME_SEEDS,
+    TaillardGenerator,
+    TaillardRNG,
+    taillard_instance,
+)
+
+
+class TestTaillardRNG:
+    def test_rejects_bad_seeds(self):
+        with pytest.raises(ValueError):
+            TaillardRNG(0)
+        with pytest.raises(ValueError):
+            TaillardRNG(2**31 - 1)
+
+    def test_deterministic_sequence(self):
+        a = TaillardRNG(873654221)
+        b = TaillardRNG(873654221)
+        assert [a.next_int(1, 99) for _ in range(50)] == [b.next_int(1, 99) for _ in range(50)]
+
+    def test_lehmer_recurrence(self):
+        """One step of the generator matches 16807 * x mod (2^31 - 1)."""
+        seed = 123456789
+        rng = TaillardRNG(seed)
+        rng.next_float()
+        assert rng.state == (16807 * seed) % (2**31 - 1)
+
+    def test_uniform_range(self):
+        rng = TaillardRNG(42)
+        values = [rng.next_int(1, 99) for _ in range(2000)]
+        assert min(values) >= 1
+        assert max(values) <= 99
+        # crude uniformity check: both halves of the range are populated
+        assert sum(v <= 50 for v in values) > 500
+        assert sum(v > 50 for v in values) > 500
+
+    def test_next_int_validates_bounds(self):
+        rng = TaillardRNG(42)
+        with pytest.raises(ValueError):
+            rng.next_int(5, 1)
+
+
+class TestGenerator:
+    def test_shape_and_range(self):
+        inst = taillard_instance(20, 5, index=1)
+        assert inst.shape == (20, 5)
+        assert inst.processing_times.min() >= 1
+        assert inst.processing_times.max() <= 99
+
+    def test_known_seed_is_used_for_ta001(self):
+        gen = TaillardGenerator(20, 5, index=1)
+        seed, synthetic = gen.resolved_seed()
+        assert seed == TAILLARD_TIME_SEEDS[(20, 5, 1)]
+        assert synthetic is False
+
+    def test_unknown_instance_is_flagged_synthetic(self):
+        inst = taillard_instance(20, 20, index=1)
+        assert inst.metadata["synthetic"] is True
+
+    def test_explicit_seed_overrides_registry(self):
+        gen = TaillardGenerator(20, 5, time_seed=12345, index=1)
+        seed, synthetic = gen.resolved_seed()
+        assert seed == 12345
+        assert synthetic is False
+
+    def test_reproducibility(self):
+        a = taillard_instance(50, 20, index=3)
+        b = taillard_instance(50, 20, index=3)
+        assert np.array_equal(a.processing_times, b.processing_times)
+
+    def test_different_indices_differ(self):
+        a = taillard_instance(20, 20, index=1)
+        b = taillard_instance(20, 20, index=2)
+        assert not np.array_equal(a.processing_times, b.processing_times)
+
+    def test_generation_order_is_machine_major(self):
+        """Taillard fills the matrix machine by machine: p[j,k] uses draw k*n+j."""
+        gen = TaillardGenerator(3, 2, time_seed=873654221)
+        rng = TaillardRNG(873654221)
+        draws = [rng.next_int(1, 99) for _ in range(6)]
+        pt = gen.processing_times()
+        assert pt[:, 0].tolist() == draws[:3]
+        assert pt[:, 1].tolist() == draws[3:]
+
+    def test_paper_classes_subset_of_benchmark(self):
+        for klass in PAPER_INSTANCE_CLASSES:
+            assert klass in TAILLARD_CLASSES
+
+    def test_metadata_contents(self):
+        inst = taillard_instance(20, 10, index=4)
+        assert inst.metadata["generator"] == "taillard"
+        assert inst.metadata["class"] == (20, 10)
+        assert inst.metadata["index"] == 4
+        assert inst.name == "ta_20x10_04"

@@ -1,0 +1,66 @@
+"""Tests for the wall-clock timing utilities."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.perf.timing import Timer, estimate_timer_resolution, measure_callable
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer("t") as timer:
+            time.sleep(0.001)
+        assert timer.elapsed_s > 0
+
+    def test_accumulates_over_multiple_runs(self):
+        timer = Timer()
+        timer.start()
+        timer.stop()
+        first = timer.elapsed_s
+        timer.start()
+        time.sleep(0.001)
+        timer.stop()
+        assert timer.elapsed_s > first
+
+    def test_reset(self):
+        timer = Timer()
+        timer.start()
+        timer.stop()
+        timer.reset()
+        assert timer.elapsed_s == 0.0
+
+    def test_double_start_raises(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+
+class TestMeasureCallable:
+    def test_returns_result_and_times(self):
+        measurement = measure_callable(lambda: 41 + 1, repeats=3, warmup=1)
+        assert measurement.result == 42
+        assert measurement.best_s <= measurement.mean_s
+        assert measurement.repeats == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_callable(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            measure_callable(lambda: None, warmup=-1)
+
+
+class TestTimerResolution:
+    def test_resolution_is_positive(self):
+        assert estimate_timer_resolution() >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_timer_resolution(samples=1)

@@ -1,0 +1,58 @@
+"""Tests for the host<->device transfer model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import TESLA_C2050
+from repro.gpu.transfer import TransferModel
+
+
+@pytest.fixture()
+def model() -> TransferModel:
+    return TransferModel(TESLA_C2050)
+
+
+class TestRoundTrip:
+    def test_zero_pool_has_only_fixed_cost(self, model):
+        timing = model.round_trip(0)
+        assert timing.host_to_device_s == 0
+        assert timing.device_to_host_s == 0
+        assert timing.fixed_overhead_s > 0
+
+    def test_cost_scales_linearly_with_pool(self, model):
+        small = model.round_trip(1000, n_jobs=200, n_machines=20)
+        large = model.round_trip(2000, n_jobs=200, n_machines=20)
+        assert large.host_to_device_s == pytest.approx(2 * small.host_to_device_s)
+        assert large.device_to_host_s == pytest.approx(2 * small.device_to_host_s)
+        assert large.fixed_overhead_s == pytest.approx(small.fixed_overhead_s)
+
+    def test_bigger_instances_ship_more_bytes(self, model):
+        small = model.round_trip(1000, n_jobs=20, n_machines=20)
+        large = model.round_trip(1000, n_jobs=200, n_machines=20)
+        assert large.host_to_device_s > small.host_to_device_s
+
+    def test_per_node_cost_drops_with_pool_size(self, model):
+        """The paper's trade-off: larger pools amortise the fixed launch cost."""
+        small = model.round_trip(4096, n_jobs=200, n_machines=20)
+        large = model.round_trip(262144, n_jobs=200, n_machines=20)
+        assert small.total_s / 4096 > large.total_s / 262144
+
+    def test_rejects_negative_pool(self, model):
+        with pytest.raises(ValueError):
+            model.round_trip(-1)
+
+
+class TestPayloads:
+    def test_payload_is_aligned(self, model):
+        assert model.payload_for_instance(200, 20) % 32 == 0
+        assert model.payload_for_instance(20, 20) % 32 == 0
+
+    def test_payload_grows_with_jobs_and_machines(self, model):
+        assert model.payload_for_instance(200, 20) >= model.payload_for_instance(20, 20)
+
+    def test_instance_upload(self, model):
+        assert model.instance_upload(0) == pytest.approx(model.latency_us * 1e-6)
+        assert model.instance_upload(10**6) > model.instance_upload(10**3)
+        with pytest.raises(ValueError):
+            model.instance_upload(-1)
