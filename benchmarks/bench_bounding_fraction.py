@@ -32,9 +32,7 @@ def test_bounding_fraction_grows_with_machines(benchmark):
         narrow = measure_bounding_fraction(
             instance=taillard_instance(12, 5, index=1), max_nodes=300
         )
-        wide = measure_bounding_fraction(
-            instance=taillard_instance(12, 20, index=1), max_nodes=300
-        )
+        wide = measure_bounding_fraction(instance=taillard_instance(12, 20, index=1), max_nodes=300)
         return narrow, wide
 
     narrow, wide = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,133 @@
+"""Kernel v2 vs v1: launch throughput and end-to-end engine wall-clock.
+
+The v1 batched kernel vectorises the pool axis only, leaving a
+``n_couples * n_jobs`` Python loop per launch (3 800 interpreter round
+trips on an ``m = 20`` Taillard instance).  Kernel v2 vectorises the
+machine-couple axis as well (closed-form BLAS evaluation for small ``n``,
+``(B, n_couples)`` scan tensors otherwise) and returns bit-identical
+bounds.  This module measures both:
+
+* launch throughput of one batched evaluation at the paper's pool sizes
+  (the acceptance bar is a >= 5x improvement at pool >= 4096 on a
+  20-machine instance);
+* end-to-end wall-clock of the sequential and GPU-simulator engines, which
+  route every bounding call through the selected kernel.
+
+Runable two ways::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernel_v2.py --benchmark-only
+    PYTHONPATH=src python benchmarks/bench_kernel_v2.py   # self-checking report
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bb.sequential import SequentialBranchAndBound
+from repro.core.config import GpuBBConfig
+from repro.core.gpu_bb import GpuBranchAndBound
+from repro.experiments.protocol import synthetic_pool
+from repro.flowshop import random_instance, taillard_instance
+from repro.flowshop.bounds import LowerBoundData, lower_bound_batch, lower_bound_batch_v2
+
+POOL_SIZE = 4096
+SPEEDUP_FLOOR = 5.0
+
+
+def _launch_inputs(n_jobs=20, n_machines=20, pool_size=POOL_SIZE):
+    instance = taillard_instance(n_jobs, n_machines, index=1)
+    data = LowerBoundData(instance)
+    mask, release = synthetic_pool(instance, pool_size, seed=1)
+    return data, mask, release
+
+
+def test_kernel_v1_launch_20x20(benchmark):
+    data, mask, release = _launch_inputs()
+    values = benchmark(lower_bound_batch, data, mask, release)
+    assert values.shape == (POOL_SIZE,)
+
+
+def test_kernel_v2_launch_20x20(benchmark):
+    data, mask, release = _launch_inputs()
+    lower_bound_batch_v2(data, mask, release)  # build the cached tensors
+    values = benchmark(lower_bound_batch_v2, data, mask, release)
+    assert values.shape == (POOL_SIZE,)
+
+
+def test_kernel_v2_matches_v1_on_large_pool(benchmark):
+    data, mask, release = _launch_inputs(pool_size=8192)
+    v2 = benchmark(lower_bound_batch_v2, data, mask, release)
+    assert np.array_equal(v2, lower_bound_batch(data, mask, release))
+
+
+def test_kernel_v2_scan_strategy_launch(benchmark):
+    """The scan strategy (used for very large n_jobs) on the same pool."""
+    data, mask, release = _launch_inputs()
+    values = benchmark(lower_bound_batch_v2, data, mask, release, strategy="scan")
+    assert np.array_equal(values, lower_bound_batch(data, mask, release))
+
+
+def test_sequential_engine_v2_end_to_end(benchmark):
+    instance = random_instance(11, 10, seed=3)
+    result = benchmark(lambda: SequentialBranchAndBound(instance, kernel="v2").solve())
+    assert result.proved_optimal
+
+
+def test_gpu_engine_v2_end_to_end(benchmark):
+    instance = random_instance(10, 10, seed=5)
+    config = GpuBBConfig(pool_size=256, kernel="v2")
+    result = benchmark(lambda: GpuBranchAndBound(instance, config).solve())
+    assert result.proved_optimal
+
+
+# --------------------------------------------------------------------- #
+# Script mode: self-checking speedup report
+# --------------------------------------------------------------------- #
+def _time_launch(fn, *args, reps=5, **kwargs):
+    fn(*args, **kwargs)  # warm up caches / workspaces
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn(*args, **kwargs)
+    return (time.perf_counter() - start) / reps
+
+
+def main() -> int:
+    print(f"kernel v1 vs v2 launch throughput (pool = {POOL_SIZE}, ta 20x20)")
+    data, mask, release = _launch_inputs()
+    reference = lower_bound_batch(data, mask, release)
+    for strategy in (None, "gemm", "scan"):
+        out = lower_bound_batch_v2(data, mask, release, strategy=strategy)
+        assert np.array_equal(out, reference), f"strategy {strategy} diverged"
+    t_v1 = _time_launch(lower_bound_batch, data, mask, release)
+    t_v2 = _time_launch(lower_bound_batch_v2, data, mask, release)
+    t_scan = _time_launch(lower_bound_batch_v2, data, mask, release, strategy="scan")
+    speedup = t_v1 / t_v2
+    throughput = POOL_SIZE / t_v2
+    print(f"  v1        : {t_v1 * 1e3:8.1f} ms/launch  ({POOL_SIZE / t_v1:10.0f} bounds/s)")
+    print(f"  v2 (auto) : {t_v2 * 1e3:8.1f} ms/launch  ({throughput:10.0f} bounds/s)")
+    print(f"  v2 (scan) : {t_scan * 1e3:8.1f} ms/launch  ({POOL_SIZE / t_scan:10.0f} bounds/s)")
+    print(f"  launch speedup v2/v1: {speedup:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)")
+
+    print("end-to-end engine wall-clock (same tree either kernel)")
+    instance = random_instance(11, 10, seed=3)
+    for kernel in ("v1", "v2"):
+        start = time.perf_counter()
+        seq = SequentialBranchAndBound(instance, kernel=kernel).solve()
+        seq_s = time.perf_counter() - start
+        start = time.perf_counter()
+        gpu = GpuBranchAndBound(instance, GpuBBConfig(pool_size=256, kernel=kernel)).solve()
+        gpu_s = time.perf_counter() - start
+        assert seq.best_makespan == gpu.best_makespan
+        print(f"  kernel {kernel}: sequential {seq_s * 1e3:.1f} ms, gpu-sim {gpu_s * 1e3:.1f} ms")
+
+    if speedup < SPEEDUP_FLOOR:
+        print(f"FAIL: v2 launch speedup {speedup:.1f}x below the {SPEEDUP_FLOOR:.0f}x floor")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,9 +30,7 @@ def test_scalar_kernel_20x20(benchmark):
     prefixes = [list(np.flatnonzero(row)) for row in mask]
 
     def run():
-        return [
-            lower_bound(data, prefix, release=rel) for prefix, rel in zip(prefixes, release)
-        ]
+        return [lower_bound(data, prefix, release=rel) for prefix, rel in zip(prefixes, release)]
 
     values = benchmark(run)
     assert len(values) == POOL_SIZE

@@ -64,9 +64,12 @@ def test_cache_config_matters_for_all_global(benchmark, protocol: ExperimentProt
 
         out = {}
         for config in (FermiCacheConfig.PREFER_L1, FermiCacheConfig.PREFER_SHARED):
-            placement = DataPlacement(assignment={}, cache_config=config, name=f"global-{config.value}")
-            sim = GpuSimulator(device=protocol.device, placement=placement,
-                               cost_model=protocol.cost_model)
+            placement = DataPlacement(
+                assignment={}, cache_config=config, name=f"global-{config.value}"
+            )
+            sim = GpuSimulator(
+                device=protocol.device, placement=placement, cost_model=protocol.cost_model
+            )
             out[config.value] = sim.evaluate_pool(complexity, POOL).total_s
         return out
 

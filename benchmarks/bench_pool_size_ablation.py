@@ -24,7 +24,9 @@ def test_autotuner_tracks_paper_optimum(benchmark):
 
     choices = benchmark(tune_all)
     benchmark.extra_info["chosen_pool_sizes"] = {f"{k[0]}x{k[1]}": v for k, v in choices.items()}
-    benchmark.extra_info["paper_best"] = {f"{k[0]}x{k[1]}": v for k, v in PAPER_BEST_POOL_SIZE.items()}
+    benchmark.extra_info["paper_best"] = {
+        f"{k[0]}x{k[1]}": v for k, v in PAPER_BEST_POOL_SIZE.items()
+    }
 
     # shape: the chosen pool size never decreases with the instance size,
     # small instances stay at moderate pools, large instances go big.

@@ -9,7 +9,6 @@ from __future__ import annotations
 from _bench_utils import attach_table
 
 from repro.experiments import PAPER_TABLE2, table2
-from repro.experiments.paper_values import PAPER_BEST_POOL_SIZE, PAPER_INSTANCES
 
 
 def test_table2_full_sweep(benchmark, protocol):

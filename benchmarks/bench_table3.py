@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from _bench_utils import attach_table
 
-from repro.experiments import PAPER_TABLE2, PAPER_TABLE3, table2, table3
+from repro.experiments import PAPER_TABLE3, table2, table3
 from repro.experiments.paper_values import PAPER_INSTANCES, PAPER_POOL_SIZES
 
 

@@ -19,7 +19,13 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ClusterBranchAndBound, ClusterSpec, GpuBBConfig, GpuBranchAndBound, random_instance
+from repro import (
+    ClusterBranchAndBound,
+    ClusterSpec,
+    GpuBBConfig,
+    GpuBranchAndBound,
+    random_instance,
+)
 from repro.core.cluster import ClusterSimulator
 from repro.flowshop.bounds import DataStructureComplexity
 
@@ -44,11 +50,15 @@ def show_distributed_solve() -> None:
         instance, ClusterSpec(n_nodes=4), GpuBBConfig(pool_size=256)
     ).solve()
     print(f"Distributed solve of {instance.name}:")
-    print(f"  single GPU : C_max={single.best_makespan}  "
-          f"simulated device {single.simulated_device_time_s * 1e3:.2f} ms")
-    print(f"  4-node     : C_max={cluster.best_makespan}  "
-          f"simulated step time {cluster.simulated_device_time_s * 1e3:.2f} ms "
-          f"(incl. scatter/gather)")
+    print(
+        f"  single GPU : C_max={single.best_makespan}  "
+        f"simulated device {single.simulated_device_time_s * 1e3:.2f} ms"
+    )
+    print(
+        f"  4-node     : C_max={cluster.best_makespan}  "
+        f"simulated step time {cluster.simulated_device_time_s * 1e3:.2f} ms "
+        f"(incl. scatter/gather)"
+    )
     assert single.best_makespan == cluster.best_makespan
     print("  both engines agree on the optimum")
 

@@ -44,8 +44,10 @@ def main() -> None:
     start = time.perf_counter()
     serial = SequentialBranchAndBound(instance).solve()
     serial_s = time.perf_counter() - start
-    print(f"serial    : C_max={serial.best_makespan}  nodes={serial.stats.nodes_bounded:>6}  "
-          f"time={serial_s:.3f}s  bounding={serial.stats.bounding_fraction:.0%}")
+    print(
+        f"serial    : C_max={serial.best_makespan}  nodes={serial.stats.nodes_bounded:>6}  "
+        f"time={serial_s:.3f}s  bounding={serial.stats.bounding_fraction:.0%}"
+    )
 
     # --- multi-core -------------------------------------------------------
     start = time.perf_counter()
@@ -53,16 +55,20 @@ def main() -> None:
         instance, n_workers=4, backend="process", decomposition_depth=1
     ).solve()
     multicore_s = time.perf_counter() - start
-    print(f"multicore : C_max={multicore.best_makespan}  nodes={multicore.stats.nodes_bounded:>6}  "
-          f"time={multicore_s:.3f}s  (4 worker processes)")
+    print(
+        f"multicore : C_max={multicore.best_makespan}  nodes={multicore.stats.nodes_bounded:>6}  "
+        f"time={multicore_s:.3f}s  (4 worker processes)"
+    )
 
     # --- GPU-accelerated --------------------------------------------------
     start = time.perf_counter()
     gpu = GpuBranchAndBound(instance, GpuBBConfig(pool_size=4096)).solve()
     gpu_s = time.perf_counter() - start
-    print(f"gpu       : C_max={gpu.best_makespan}  nodes={gpu.stats.nodes_bounded:>6}  "
-          f"time={gpu_s:.3f}s  pools={gpu.stats.pools_evaluated}  "
-          f"simulated device={gpu.simulated_device_time_s * 1e3:.2f}ms")
+    print(
+        f"gpu       : C_max={gpu.best_makespan}  nodes={gpu.stats.nodes_bounded:>6}  "
+        f"time={gpu_s:.3f}s  pools={gpu.stats.pools_evaluated}  "
+        f"simulated device={gpu.simulated_device_time_s * 1e3:.2f}ms"
+    )
 
     assert serial.best_makespan == multicore.best_makespan == gpu.best_makespan
     print("\nAll engines agree on the optimal makespan.\n")
@@ -82,8 +88,10 @@ def main() -> None:
         batch_s = time.perf_counter() - start
         print(f"bounding a pool of {len(pool)} nodes on this host:")
         print(f"  scalar kernel : {scalar_s * 1e3:8.2f} ms")
-        print(f"  batched kernel: {batch_s * 1e3:8.2f} ms  "
-              f"(x{scalar_s / max(batch_s, 1e-12):.1f} faster)")
+        print(
+            f"  batched kernel: {batch_s * 1e3:8.2f} ms  "
+            f"(x{scalar_s / max(batch_s, 1e-12):.1f} faster)"
+        )
 
 
 if __name__ == "__main__":

@@ -22,9 +22,7 @@ MAX_JOBS = 10
 def enumerate_makespans(instance: FlowShopInstance) -> Iterable[tuple[tuple[int, ...], int]]:
     """Yield ``(order, makespan)`` for every permutation of the jobs."""
     if instance.n_jobs > MAX_JOBS:
-        raise ValueError(
-            f"brute force is limited to {MAX_JOBS} jobs ({instance.n_jobs} requested)"
-        )
+        raise ValueError(f"brute force is limited to {MAX_JOBS} jobs ({instance.n_jobs} requested)")
     for order in itertools.permutations(range(instance.n_jobs)):
         yield order, makespan(instance, order)
 

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.bb.node import Node, root_node
-from repro.bb.operators import bound_node, branch
+from repro.bb.operators import bound_children_batch, bound_node, branch
 from repro.bb.sequential import BBResult, SequentialBranchAndBound
 from repro.bb.stats import SearchStats
 from repro.flowshop.bounds import LowerBoundData
@@ -49,6 +49,7 @@ class SubtreeTask:
     max_nodes: Optional[int]
     max_time_s: Optional[float]
     selection: str
+    kernel: str = "v2"
 
 
 def _solve_subtree(task: SubtreeTask) -> dict:
@@ -61,6 +62,7 @@ def _solve_subtree(task: SubtreeTask) -> dict:
         selection=task.selection,
         max_nodes=task.max_nodes,
         max_time_s=task.max_time_s,
+        kernel=task.kernel,
     )
     best_makespan, best_order, stats, completed = solver.run()
     return {
@@ -83,6 +85,7 @@ class _SubtreeSolver:
         selection: str = "depth-first",
         max_nodes: Optional[int] = None,
         max_time_s: Optional[float] = None,
+        kernel: str = "v2",
     ):
         self.instance = instance
         self.data = LowerBoundData(instance)
@@ -91,6 +94,7 @@ class _SubtreeSolver:
         self.selection = selection
         self.max_nodes = max_nodes
         self.max_time_s = max_time_s
+        self.kernel = kernel
 
     def _root(self) -> Node:
         node = root_node(self.instance)
@@ -143,11 +147,11 @@ class _SubtreeSolver:
                 continue
             children = branch(current, self.instance)
             stats.nodes_branched += 1
+            t0 = time.perf_counter()
+            bound_children_batch(children, self.data, kernel=self.kernel)
+            stats.time_bounding_s += time.perf_counter() - t0
+            stats.nodes_bounded += len(children)
             for child in children:
-                t0 = time.perf_counter()
-                bound_node(child, self.data)
-                stats.time_bounding_s += time.perf_counter() - t0
-                stats.nodes_bounded += 1
                 if child.is_leaf:
                     stats.leaves_evaluated += 1
                     makespan = int(child.release[-1])
@@ -186,6 +190,11 @@ class MulticoreBranchAndBound:
         ``n(n-1)`` tasks; more tasks means better load balance.
     selection:
         Selection strategy used inside each worker.
+    kernel:
+        Batched kernel revision used by every worker to bound the children
+        of a branched node (``"v1"`` / ``"v2"``).  The scalar mode of the
+        sequential engine is not available here: workers always batch their
+        sibling sets.
     """
 
     def __init__(
@@ -198,11 +207,14 @@ class MulticoreBranchAndBound:
         initial_upper_bound: Optional[float] = None,
         max_nodes_per_task: Optional[int] = None,
         max_time_s: Optional[float] = None,
+        kernel: str = "v2",
     ):
         if backend not in ("process", "thread", "serial"):
             raise ValueError("backend must be 'process', 'thread' or 'serial'")
         if decomposition_depth < 1:
             raise ValueError("decomposition_depth must be >= 1")
+        if kernel not in ("v1", "v2"):
+            raise ValueError(f"kernel must be 'v1' or 'v2', got {kernel!r}")
         self.instance = instance
         self.n_workers = n_workers or os.cpu_count() or 1
         self.backend = backend
@@ -211,6 +223,7 @@ class MulticoreBranchAndBound:
         self.initial_upper_bound = initial_upper_bound
         self.max_nodes_per_task = max_nodes_per_task
         self.max_time_s = max_time_s
+        self.kernel = kernel
 
     # ------------------------------------------------------------------ #
     def _frontier_prefixes(self) -> list[tuple[int, ...]]:
@@ -246,6 +259,7 @@ class MulticoreBranchAndBound:
                 max_nodes=self.max_nodes_per_task,
                 max_time_s=self.max_time_s,
                 selection=self.selection,
+                kernel=self.kernel,
             )
             for prefix in self._frontier_prefixes()
         ]
@@ -266,9 +280,10 @@ class MulticoreBranchAndBound:
         completed = True
         best_makespan = int(upper_bound) if best_order else None
         for outcome in results:
-            task_stats = SearchStats(**{
-                key: outcome["stats"][key]
-                for key in (
+            task_stats = SearchStats(
+                **{
+                    key: outcome["stats"][key]
+                    for key in (
                     "nodes_bounded",
                     "nodes_branched",
                     "nodes_pruned",
@@ -280,9 +295,10 @@ class MulticoreBranchAndBound:
                     "time_branching_s",
                     "time_pool_s",
                     "max_pool_size",
-                    "simulated_device_time_s",
-                )
-            })
+                        "simulated_device_time_s",
+                    )
+                }
+            )
             stats = stats.merge(task_stats)
             completed = completed and bool(outcome["completed"])
             if outcome["best_makespan"] is not None:

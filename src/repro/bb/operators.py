@@ -16,13 +16,14 @@ import numpy as np
 
 from repro.bb.node import Node
 from repro.bb.pool import NodePool
-from repro.flowshop.bounds import LowerBoundData, lower_bound, lower_bound_batch
+from repro.flowshop.bounds import LowerBoundData, get_batch_kernel, lower_bound
 from repro.flowshop.instance import FlowShopInstance
 
 __all__ = [
     "branch",
     "bound_node",
     "bound_nodes_batch",
+    "bound_children_batch",
     "eliminate",
     "select_batch",
     "encode_pool",
@@ -52,7 +53,9 @@ def bound_node(node: Node, data: LowerBoundData, include_one_machine: bool = Fal
     return node.lower_bound
 
 
-def encode_pool(nodes: Sequence[Node], n_jobs: int, n_machines: int) -> tuple[np.ndarray, np.ndarray]:
+def encode_pool(
+    nodes: Sequence[Node], n_jobs: int, n_machines: int
+) -> tuple[np.ndarray, np.ndarray]:
     """Pack a pool of nodes into the arrays the batched kernel consumes.
 
     Returns ``(scheduled_mask, release)`` of shapes ``(B, n_jobs)`` and
@@ -73,19 +76,43 @@ def bound_nodes_batch(
     nodes: Sequence[Node],
     data: LowerBoundData,
     include_one_machine: bool = False,
+    kernel: str = "v2",
 ) -> np.ndarray:
     """Bounding operator (batched): evaluate a whole pool at once.
 
     The values are bit-identical to calling :func:`bound_node` on every
-    node; the bounds are also written back onto the nodes.
+    node — whichever ``kernel`` revision (``"v1"`` / ``"v2"``) does the
+    evaluation; the bounds are also written back onto the nodes.
     """
     if not nodes:
         return np.zeros(0, dtype=np.int64)
     mask, release = encode_pool(nodes, data.n_jobs, data.n_machines)
-    values = lower_bound_batch(data, mask, release, include_one_machine=include_one_machine)
+    values = get_batch_kernel(kernel)(data, mask, release, include_one_machine=include_one_machine)
     for node, value in zip(nodes, values):
         node.lower_bound = int(value)
     return values
+
+
+def bound_children_batch(
+    children: Sequence[Node],
+    data: LowerBoundData,
+    include_one_machine: bool = False,
+    kernel: str = "v2",
+) -> np.ndarray:
+    """Bound all children of one branched node in a single batched call.
+
+    The CPU engines historically bounded children one scalar call at a
+    time; evaluating the whole sibling set at once amortises the kernel's
+    per-launch cost exactly like the GPU off-load does (one branching step
+    produces up to ``n_jobs`` siblings).  Children whose bound is already
+    known (complete schedules get theirs at construction) are skipped.
+
+    Returns the bounds of *all* children, in order.
+    """
+    pending = [child for child in children if child.lower_bound is None]
+    if pending:
+        bound_nodes_batch(pending, data, include_one_machine=include_one_machine, kernel=kernel)
+    return np.asarray([child.lower_bound for child in children], dtype=np.int64)
 
 
 def eliminate(nodes: Iterable[Node], upper_bound: float) -> tuple[list[Node], int]:

@@ -17,8 +17,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.bb.node import Node, root_node
-from repro.bb.operators import bound_node, branch
+from repro.bb.node import root_node
+from repro.bb.operators import bound_children_batch, bound_node, branch
 from repro.bb.pool import make_pool
 from repro.bb.stats import SearchStats
 from repro.flowshop.bounds import LowerBoundData
@@ -85,6 +85,14 @@ class SequentialBranchAndBound:
         returned with ``proved_optimal=False``.
     trace:
         Record a :class:`TraceEvent` per examined node (small instances only).
+    kernel:
+        Bounding kernel used for the children of a branched node:
+        ``"v2"`` (default) and ``"v1"`` evaluate all siblings in one
+        batched call; ``"scalar"`` keeps the paper-faithful one-call-per-
+        child evaluation (used by the bounding-fraction experiment, which
+        reproduces the paper's 98.5 % measurement of exactly that path).
+        Bounds are bit-identical in every mode, so the explored tree does
+        not depend on this choice.
     """
 
     def __init__(
@@ -97,6 +105,7 @@ class SequentialBranchAndBound:
         max_time_s: Optional[float] = None,
         trace: bool = False,
         on_incumbent: Optional[Callable[[int, tuple[int, ...]], None]] = None,
+        kernel: str = "v2",
     ):
         self.instance = instance
         self.data = LowerBoundData(instance)
@@ -107,6 +116,9 @@ class SequentialBranchAndBound:
         self.max_time_s = max_time_s
         self.trace_enabled = trace
         self.on_incumbent = on_incumbent
+        if kernel not in ("scalar", "v1", "v2"):
+            raise ValueError(f"kernel must be 'scalar', 'v1' or 'v2', got {kernel!r}")
+        self.kernel = kernel
 
     # ------------------------------------------------------------------ #
     def _initial_incumbent(self) -> tuple[float, tuple[int, ...]]:
@@ -154,9 +166,7 @@ class SequentialBranchAndBound:
             if node.lower_bound >= upper_bound:
                 stats.nodes_pruned += 1
                 if self.trace_enabled:
-                    trace.append(
-                        TraceEvent(node.prefix, node.lower_bound, upper_bound, "pruned")
-                    )
+                    trace.append(TraceEvent(node.prefix, node.lower_bound, upper_bound, "pruned"))
                 continue
 
             if node.is_leaf:
@@ -169,9 +179,7 @@ class SequentialBranchAndBound:
                     if self.on_incumbent is not None:
                         self.on_incumbent(makespan, node.prefix)
                     if self.trace_enabled:
-                        trace.append(
-                            TraceEvent(node.prefix, makespan, upper_bound, "incumbent")
-                        )
+                        trace.append(TraceEvent(node.prefix, makespan, upper_bound, "incumbent"))
                 elif self.trace_enabled:
                     trace.append(TraceEvent(node.prefix, makespan, upper_bound, "leaf"))
                 stats.nodes_branched += 1  # examined, produced no children
@@ -185,12 +193,16 @@ class SequentialBranchAndBound:
             if self.trace_enabled:
                 trace.append(TraceEvent(node.prefix, node.lower_bound, upper_bound, "branched"))
 
-            # Bound + eliminate children
+            # Bound all siblings in one batched kernel call, then eliminate.
+            t0 = time.perf_counter()
+            if self.kernel == "scalar":
+                for child in children:
+                    bound_node(child, data, self.include_one_machine)
+            else:
+                bound_children_batch(children, data, self.include_one_machine, kernel=self.kernel)
+            stats.time_bounding_s += time.perf_counter() - t0
+            stats.nodes_bounded += len(children)
             for child in children:
-                t0 = time.perf_counter()
-                bound_node(child, data, self.include_one_machine)
-                stats.time_bounding_s += time.perf_counter() - t0
-                stats.nodes_bounded += 1
                 assert child.lower_bound is not None
 
                 if child.is_leaf:

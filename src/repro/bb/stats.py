@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["SearchStats"]
 
@@ -68,8 +68,7 @@ class SearchStats:
             time_branching_s=self.time_branching_s + other.time_branching_s,
             time_pool_s=self.time_pool_s + other.time_pool_s,
             max_pool_size=max(self.max_pool_size, other.max_pool_size),
-            simulated_device_time_s=self.simulated_device_time_s
-            + other.simulated_device_time_s,
+            simulated_device_time_s=self.simulated_device_time_s + other.simulated_device_time_s,
         )
 
     def as_dict(self) -> dict[str, float | int]:

@@ -48,8 +48,10 @@ def _load_instance(args: argparse.Namespace) -> FlowShopInstance:
 def _solve(args: argparse.Namespace) -> int:
     instance = _load_instance(args)
     engine = args.engine
-    print(f"instance : {instance.name or 'unnamed'} "
-          f"({instance.n_jobs} jobs x {instance.n_machines} machines)")
+    print(
+        f"instance : {instance.name or 'unnamed'} "
+        f"({instance.n_jobs} jobs x {instance.n_machines} machines)"
+    )
     print(f"engine   : {engine}")
 
     if engine == "serial":
@@ -61,25 +63,30 @@ def _solve(args: argparse.Namespace) -> int:
             instance, n_workers=args.workers, backend="process"
         ).solve()
     elif engine == "cluster":
-        config = GpuBBConfig(pool_size=args.pool_size, max_nodes=args.max_nodes,
-                             max_time_s=args.max_time)
-        result = ClusterBranchAndBound(
-            instance, ClusterSpec(n_nodes=args.nodes), config
-        ).solve()
+        config = GpuBBConfig(
+            pool_size=args.pool_size, max_nodes=args.max_nodes, max_time_s=args.max_time
+        )
+        result = ClusterBranchAndBound(instance, ClusterSpec(n_nodes=args.nodes), config).solve()
     else:  # gpu
-        config = GpuBBConfig(pool_size=args.pool_size, max_nodes=args.max_nodes,
-                             max_time_s=args.max_time)
+        config = GpuBBConfig(
+            pool_size=args.pool_size, max_nodes=args.max_nodes, max_time_s=args.max_time
+        )
         result = GpuBranchAndBound(instance, config).solve()
 
     print(f"makespan : {result.best_makespan}")
     print(f"order    : {' '.join(str(j) for j in result.best_order)}")
     print(f"optimal  : {result.proved_optimal}")
     stats = result.stats
-    print(f"nodes    : bounded={stats.nodes_bounded} pruned={stats.nodes_pruned} "
-          f"pools={stats.pools_evaluated}")
-    print(f"time     : {stats.time_total_s:.3f}s wall"
-          + (f", {stats.simulated_device_time_s * 1e3:.2f}ms simulated device"
-             if stats.simulated_device_time_s else ""))
+    print(
+        f"nodes    : bounded={stats.nodes_bounded} pruned={stats.nodes_pruned} "
+        f"pools={stats.pools_evaluated}"
+    )
+    device_note = (
+        f", {stats.simulated_device_time_s * 1e3:.2f}ms simulated device"
+        if stats.simulated_device_time_s
+        else ""
+    )
+    print(f"time     : {stats.time_total_s:.3f}s wall" + device_note)
     return 0
 
 
@@ -90,8 +97,10 @@ def _autotune(args: argparse.Namespace) -> int:
     print(f"instance        : {instance.name} ({instance.n_jobs}x{instance.n_machines})")
     print(f"mode            : {report.mode}")
     for sample in report.samples:
-        print(f"  pool {sample.pool_size:>7}: predicted speed-up x{sample.predicted_speedup:7.1f}"
-              f"  ({sample.per_node_s * 1e6:.2f} us/node)")
+        print(
+            f"  pool {sample.pool_size:>7}: predicted speed-up x{sample.predicted_speedup:7.1f}"
+            f"  ({sample.per_node_s * 1e6:.2f} us/node)"
+        )
     print(f"best pool size  : {report.best_pool_size}")
     return 0
 
@@ -126,13 +135,14 @@ def build_parser() -> argparse.ArgumentParser:
     def add_instance_arguments(p: argparse.ArgumentParser) -> None:
         p.add_argument("--file", help="instance file (Taillard text or JSON)")
         p.add_argument("--jobs", type=int, default=20, help="jobs of the generated instance")
-        p.add_argument("--machines", type=int, default=10, help="machines of the generated instance")
+        p.add_argument(
+            "--machines", type=int, default=10, help="machines of the generated instance"
+        )
         p.add_argument("--index", type=int, default=1, help="index within the Taillard class")
 
     solve = sub.add_parser("solve", help="solve one instance to optimality")
     add_instance_arguments(solve)
-    solve.add_argument("--engine", choices=("gpu", "serial", "multicore", "cluster"),
-                       default="gpu")
+    solve.add_argument("--engine", choices=("gpu", "serial", "multicore", "cluster"), default="gpu")
     solve.add_argument("--pool-size", type=int, default=8192, help="GPU off-load pool size")
     solve.add_argument("--workers", type=int, default=4, help="multicore worker count")
     solve.add_argument("--nodes", type=int, default=4, help="cluster node count")
@@ -147,10 +157,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = sub.add_parser("evaluate", help="regenerate every table/figure of the paper")
     evaluate.add_argument("--output", help="write the full JSON report to this path")
-    evaluate.add_argument("--skip-measured", action="store_true",
-                          help="skip the wall-clock measurements (faster)")
-    evaluate.add_argument("--figures", action="store_true",
-                          help="also render Figures 4 and 5 as text charts")
+    evaluate.add_argument(
+        "--skip-measured", action="store_true", help="skip the wall-clock measurements (faster)"
+    )
+    evaluate.add_argument(
+        "--figures", action="store_true", help="also render Figures 4 and 5 as text charts"
+    )
     evaluate.set_defaults(func=_evaluate)
     return parser
 

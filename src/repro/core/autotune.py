@@ -13,7 +13,7 @@ speed-up (equivalently, the smallest time per bounded node).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Literal, Sequence
 
 import numpy as np
@@ -173,9 +173,7 @@ class PoolSizeAutotuner:
         """Evaluate the candidates and return the report."""
         samples = self._model_samples() if self.mode == "model" else self._measured_samples()
         best = max(samples, key=lambda s: s.predicted_speedup)
-        return AutotuneReport(
-            best_pool_size=best.pool_size, samples=tuple(samples), mode=self.mode
-        )
+        return AutotuneReport(best_pool_size=best.pool_size, samples=tuple(samples), mode=self.mode)
 
     def tuned_config(self) -> GpuBBConfig:
         """The base configuration with the winning pool size applied."""

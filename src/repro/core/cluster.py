@@ -23,8 +23,8 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -224,6 +224,7 @@ class ClusterBranchAndBound:
                 cost_model=self.config.cost_model,
                 threads_per_block=self.config.threads_per_block,
                 include_one_machine=instance.n_machines == 1,
+                kernel=self.config.kernel,
             )
             for _ in range(self.cluster.n_nodes)
         ]

@@ -115,8 +115,8 @@ class GpuBranchAndBound:
             placement=placement,
             cost_model=self.config.cost_model,
             threads_per_block=self.config.threads_per_block,
-            include_one_machine=self.config.include_one_machine_bound
-            or instance.n_machines == 1,
+            include_one_machine=self.config.include_one_machine_bound or instance.n_machines == 1,
+            kernel=self.config.kernel,
         )
 
     # ------------------------------------------------------------------ #

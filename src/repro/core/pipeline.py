@@ -21,10 +21,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.bb.node import root_node
-from repro.bb.sequential import BBResult
 from repro.bb.stats import SearchStats
 from repro.core.config import GpuBBConfig
 from repro.core.gpu_bb import GpuBranchAndBound, GpuBBResult
@@ -36,7 +34,13 @@ __all__ = ["HybridConfig", "HybridBranchAndBound"]
 
 @dataclass(frozen=True)
 class HybridConfig:
-    """Configuration of the hybrid multi-core + GPU engine."""
+    """Configuration of the hybrid multi-core + GPU engine.
+
+    The embedded :class:`~repro.core.config.GpuBBConfig` (``gpu``) carries
+    every device-side knob, including the ``kernel`` revision selector
+    (``"v1"`` / ``"v2"``) that each explorer's executor uses for its
+    bounding launches.
+    """
 
     #: number of CPU explorer "threads" (sub-tree owners)
     n_explorers: int = 2
@@ -183,7 +187,7 @@ class HybridBranchAndBound:
 
 def _solve_from_seed(engine: GpuBranchAndBound, seed, upper_bound: float) -> GpuBBResult:
     """Run ``engine`` starting from ``seed`` instead of the instance root."""
-    from repro.bb.operators import branch, eliminate, encode_pool, select_batch
+    from repro.bb.operators import branch, eliminate, select_batch
     from repro.bb.pool import make_pool
     from repro.core.kernels import KernelLaunch
     from repro.core.gpu_bb import IterationRecord

@@ -50,9 +50,7 @@ def bar_chart(
                 continue
             value = series.points[x]
             bar = "#" * max(1, round(width * value / maximum))
-            lines.append(
-                f"  {label.ljust(label_width)} |{bar} " + value_format.format(value)
-            )
+            lines.append(f"  {label.ljust(label_width)} |{bar} " + value_format.format(value))
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
 

@@ -37,18 +37,82 @@ PAPER_BOUNDING_FRACTION: float = 0.985
 #: Table II — parallel efficiency (speed-up over one CPU core), every matrix
 #: in GPU global memory.  Keyed by (n_jobs, n_machines) -> {pool_size: value}.
 PAPER_TABLE2: dict[tuple[int, int], dict[int, float]] = {
-    (200, 20): {4096: 46.63, 8192: 60.88, 16384: 63.80, 32768: 67.51, 65536: 73.47, 131072: 75.94, 262144: 77.46},
-    (100, 20): {4096: 45.35, 8192: 58.49, 16384: 60.15, 32768: 62.75, 65536: 66.49, 131072: 66.64, 262144: 67.01},
-    (50, 20): {4096: 44.39, 8192: 58.30, 16384: 57.72, 32768: 57.68, 65536: 57.37, 131072: 57.01, 262144: 56.42},
-    (20, 20): {4096: 41.71, 8192: 50.28, 16384: 49.19, 32768: 45.90, 65536: 42.03, 131072: 41.80, 262144: 41.65},
+    (200, 20): {
+        4096: 46.63,
+        8192: 60.88,
+        16384: 63.80,
+        32768: 67.51,
+        65536: 73.47,
+        131072: 75.94,
+        262144: 77.46,
+    },
+    (100, 20): {
+        4096: 45.35,
+        8192: 58.49,
+        16384: 60.15,
+        32768: 62.75,
+        65536: 66.49,
+        131072: 66.64,
+        262144: 67.01,
+    },
+    (50, 20): {
+        4096: 44.39,
+        8192: 58.30,
+        16384: 57.72,
+        32768: 57.68,
+        65536: 57.37,
+        131072: 57.01,
+        262144: 56.42,
+    },
+    (20, 20): {
+        4096: 41.71,
+        8192: 50.28,
+        16384: 49.19,
+        32768: 45.90,
+        65536: 42.03,
+        131072: 41.80,
+        262144: 41.65,
+    },
 }
 
 #: Table III — same sweep with PTM and JM in shared memory.
 PAPER_TABLE3: dict[tuple[int, int], dict[int, float]] = {
-    (200, 20): {4096: 66.13, 8192: 87.34, 16384: 88.86, 32768: 95.23, 65536: 98.83, 131072: 99.89, 262144: 100.48},
-    (100, 20): {4096: 65.85, 8192: 86.33, 16384: 87.60, 32768: 89.18, 65536: 91.41, 131072: 92.02, 262144: 92.39},
-    (50, 20): {4096: 64.91, 8192: 81.50, 16384: 78.02, 32768: 74.16, 65536: 73.83, 131072: 73.25, 262144: 72.71},
-    (20, 20): {4096: 53.64, 8192: 61.47, 16384: 59.55, 32768: 51.39, 65536: 47.40, 131072: 46.53, 262144: 46.37},
+    (200, 20): {
+        4096: 66.13,
+        8192: 87.34,
+        16384: 88.86,
+        32768: 95.23,
+        65536: 98.83,
+        131072: 99.89,
+        262144: 100.48,
+    },
+    (100, 20): {
+        4096: 65.85,
+        8192: 86.33,
+        16384: 87.60,
+        32768: 89.18,
+        65536: 91.41,
+        131072: 92.02,
+        262144: 92.39,
+    },
+    (50, 20): {
+        4096: 64.91,
+        8192: 81.50,
+        16384: 78.02,
+        32768: 74.16,
+        65536: 73.83,
+        131072: 73.25,
+        262144: 72.71,
+    },
+    (20, 20): {
+        4096: 53.64,
+        8192: 61.47,
+        16384: 59.55,
+        32768: 51.39,
+        65536: 47.40,
+        131072: 46.53,
+        262144: 46.37,
+    },
 }
 
 #: Table IV — multi-threaded B&B speed-ups over one CPU core.
@@ -76,12 +140,7 @@ PAPER_FIGURE4: dict[str, dict[tuple[int, int], float]] = {
 #: 20x20 (x61.47) and the best pool for 200x20 (x100.48), against the
 #: 7-thread column of Table IV.
 PAPER_FIGURE5: dict[str, dict[tuple[int, int], float]] = {
-    "gpu": {
-        (200, 20): 100.48,
-        (100, 20): 92.39,
-        (50, 20): 81.50,
-        (20, 20): 61.47,
-    },
+    "gpu": {(200, 20): 100.48, (100, 20): 92.39, (50, 20): 81.50, (20, 20): 61.47},
     "multithreaded": {klass: PAPER_TABLE4[klass][7] for klass in PAPER_TABLE4},
 }
 

@@ -11,7 +11,7 @@ classes or series, columns = pool sizes or thread counts) with helpers to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Hashable, Mapping
 
 __all__ = ["ExperimentTable", "format_table", "compare_tables"]
 

@@ -150,12 +150,8 @@ def run_all(
     report.artefacts.append(_table_artefact("table2", table2(protocol=protocol), PAPER_TABLE2))
     report.artefacts.append(_table_artefact("table3", table3(protocol=protocol), PAPER_TABLE3))
     report.artefacts.append(_table_artefact("table4", table4(), PAPER_TABLE4))
-    report.artefacts.append(
-        _series_artefact("figure4", figure4(protocol=protocol), PAPER_FIGURE4)
-    )
-    report.artefacts.append(
-        _series_artefact("figure5", figure5(protocol=protocol), PAPER_FIGURE5)
-    )
+    report.artefacts.append(_series_artefact("figure4", figure4(protocol=protocol), PAPER_FIGURE4))
+    report.artefacts.append(_series_artefact("figure5", figure5(protocol=protocol), PAPER_FIGURE5))
 
     if include_measured:
         fraction = measure_bounding_fraction(max_nodes=bounding_fraction_nodes)

@@ -39,8 +39,10 @@ from repro.flowshop.johnson import (
 from repro.flowshop.bounds import (
     LowerBoundData,
     DataStructureComplexity,
+    get_batch_kernel,
     lower_bound,
     lower_bound_batch,
+    lower_bound_batch_v2,
     one_machine_bound,
 )
 from repro.flowshop.taillard import (
@@ -83,8 +85,10 @@ __all__ = [
     "two_machine_makespan_with_lags",
     "LowerBoundData",
     "DataStructureComplexity",
+    "get_batch_kernel",
     "lower_bound",
     "lower_bound_batch",
+    "lower_bound_batch_v2",
     "one_machine_bound",
     "TaillardGenerator",
     "taillard_instance",

@@ -29,12 +29,21 @@ Two evaluation paths are provided:
   same machine couples and Johnson orders in lock-step (which is also why
   the kernel is so GPU friendly — the control flow is identical across the
   pool).
+* :func:`lower_bound_batch_v2` — the same computation with the machine
+  couple axis vectorised as well: the front/tail times of *all* couples are
+  carried as ``(B, n_couples)`` tensors and only the Johnson scan dimension
+  (``n_jobs``) remains a Python loop, cutting interpreter round-trips from
+  ``n_couples * n_jobs`` to ``n_jobs``.
+
+Both batched kernels return values bit-identical to the scalar bound;
+:func:`get_batch_kernel` maps the ``"v1"`` / ``"v2"`` selector used by the
+engine configurations to the matching implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -44,9 +53,13 @@ from repro.flowshop.johnson import johnson_order_with_lags
 __all__ = [
     "machine_couples",
     "LowerBoundData",
+    "CoupleTensors",
     "DataStructureComplexity",
     "lower_bound",
     "lower_bound_batch",
+    "lower_bound_batch_v2",
+    "get_batch_kernel",
+    "BATCH_KERNELS",
     "one_machine_bound",
 ]
 
@@ -155,6 +168,33 @@ class DataStructureComplexity:
         return [(name, sizes[name], acc[name]) for name in ("PTM", "LM", "JM", "RM", "QM", "MM")]
 
 
+@dataclass(frozen=True)
+class CoupleTensors:
+    """Per-couple gather tensors consumed by the v2 (couple-vectorised) kernel.
+
+    All arrays are materialised in Johnson-scan order so that step ``i`` of
+    the kernel can address every machine couple at once:
+
+    ``a_times[i, c]``
+        processing time on the couple's first machine of the job in position
+        ``i`` of couple ``c``'s Johnson order (a gather of ``PTM`` by ``JM``).
+    ``b_times[i, c]``
+        same, for the couple's second machine.
+    ``lags[i, c]``
+        lag of that job for couple ``c`` (a gather of ``LM`` by ``JM``).
+    ``m1`` / ``m2``
+        ``(n_couples,)`` first/second machine index of every couple (the two
+        columns of ``MM``), used to gather the per-couple release times and
+        tails out of the ``(B, m)`` node vectors.
+    """
+
+    a_times: np.ndarray
+    b_times: np.ndarray
+    lags: np.ndarray
+    m1: np.ndarray
+    m2: np.ndarray
+
+
 class LowerBoundData:
     """Precomputed, instance-level data of the lower bound.
 
@@ -184,7 +224,17 @@ class LowerBoundData:
         jobs.
     """
 
-    __slots__ = ("instance", "ptm", "mm", "lm", "jm", "tails", "_complexity")
+    __slots__ = (
+        "instance",
+        "ptm",
+        "mm",
+        "lm",
+        "jm",
+        "tails",
+        "_complexity",
+        "_couple_tensors",
+        "_v2_gemm_cache",
+    )
 
     def __init__(self, instance: FlowShopInstance):
         self.instance = instance
@@ -218,6 +268,8 @@ class LowerBoundData:
         for arr in (self.mm, self.lm, self.jm, self.tails):
             arr.setflags(write=False)
         self._complexity = DataStructureComplexity(n=n, m=m)
+        self._couple_tensors: CoupleTensors | None = None
+        self._v2_gemm_cache: dict = {}
 
     # ------------------------------------------------------------------ #
     @property
@@ -241,19 +293,38 @@ class LowerBoundData:
         """The device-transferable arrays, keyed by the paper's names."""
         return {"PTM": self.ptm, "LM": self.lm, "JM": self.jm, "MM": self.mm, "TAILS": self.tails}
 
+    def couple_tensors(self) -> CoupleTensors:
+        """Gather tensors of the v2 kernel (built lazily, cached, immutable)."""
+        if self._couple_tensors is None:
+            m1 = self.mm[:, 0]
+            m2 = self.mm[:, 1]
+            a_times = self.ptm[self.jm, m1[None, :]].astype(np.int64)
+            b_times = self.ptm[self.jm, m2[None, :]].astype(np.int64)
+            lags = np.take_along_axis(self.lm, self.jm, axis=0).astype(np.int64)
+            for arr in (a_times, b_times, lags):
+                arr.setflags(write=False)
+            self._couple_tensors = CoupleTensors(
+                a_times=a_times, b_times=b_times, lags=lags, m1=m1, m2=m2
+            )
+        return self._couple_tensors
+
     # ------------------------------------------------------------------ #
     # Per-node helpers (RM / QM)
     # ------------------------------------------------------------------ #
     def machine_release_times(self, prefix: Sequence[int]) -> np.ndarray:
-        """``RM`` — per-machine completion times of the scheduled prefix."""
+        """``RM`` — per-machine completion times of the scheduled prefix.
+
+        The machine axis is vectorised: appending one job is the max-plus
+        scan ``front'[k] = max(front[k], front'[k-1]) + pt[job, k]``, whose
+        closed form ``front' = P + cummax(front - P_shifted)`` (with ``P``
+        the inclusive cumulative processing times of the job) turns the
+        former ``O(l * m)`` pure-Python double loop into ``l`` NumPy calls.
+        """
         front = np.zeros(self.n_machines, dtype=np.int64)
         pt = self.ptm
         for job in prefix:
-            prev = 0
-            for k in range(self.n_machines):
-                start = front[k] if front[k] > prev else prev
-                prev = start + pt[job, k]
-                front[k] = prev
+            csum = np.cumsum(pt[job], dtype=np.int64)
+            front = csum + np.maximum.accumulate(front - (csum - pt[job]))
         return front
 
     def min_tails(self, scheduled_mask: np.ndarray) -> np.ndarray:
@@ -287,7 +358,11 @@ def one_machine_bound(
     base case the couple-based kernel cannot cover.
     """
     mask = _scheduled_mask(data.n_jobs, prefix)
-    rm = data.machine_release_times(prefix) if release is None else np.asarray(release, dtype=np.int64)
+    rm = (
+        data.machine_release_times(prefix)
+        if release is None
+        else np.asarray(release, dtype=np.int64)
+    )
     if mask.all():
         return int(rm[-1])
     qm = data.min_tails(mask)
@@ -326,7 +401,11 @@ def lower_bound(
         ``prefix``.  For a complete schedule the bound equals its makespan.
     """
     mask = _scheduled_mask(data.n_jobs, prefix)
-    rm = data.machine_release_times(prefix) if release is None else np.asarray(release, dtype=np.int64)
+    rm = (
+        data.machine_release_times(prefix)
+        if release is None
+        else np.asarray(release, dtype=np.int64)
+    )
     if rm.shape != (data.n_machines,):
         raise ValueError(f"release vector must have shape ({data.n_machines},)")
 
@@ -364,6 +443,48 @@ def lower_bound(
     return int(best)
 
 
+def _prepare_batch(
+    data: LowerBoundData, scheduled_mask: np.ndarray, release: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+    """Shared pool validation / split of the batched kernels.
+
+    Complete schedules are resolved immediately (their bound is the realised
+    makespan ``release[:, -1]``); the remaining ("active") sub-problems get
+    their per-node ``QM`` vector computed by a masked min over the tails.
+
+    Returns ``None`` for an empty pool, otherwise the tuple
+    ``(bounds, active, mask_a, rel_a, qm, unscheduled)`` where ``bounds`` is
+    the ``(B,)`` output vector with the complete entries already filled in
+    and the ``*_a`` arrays are restricted to the active sub-problems.
+    """
+    scheduled_mask = np.asarray(scheduled_mask, dtype=bool)
+    release = np.asarray(release, dtype=np.int64)
+    if scheduled_mask.ndim != 2 or scheduled_mask.shape[1] != data.n_jobs:
+        raise ValueError(f"scheduled_mask must have shape (B, {data.n_jobs})")
+    if release.shape != (scheduled_mask.shape[0], data.n_machines):
+        raise ValueError(f"release must have shape ({scheduled_mask.shape[0]}, {data.n_machines})")
+
+    batch = scheduled_mask.shape[0]
+    if batch == 0:
+        return None
+
+    complete = scheduled_mask.all(axis=1)
+    bounds = np.zeros(batch, dtype=np.int64)
+    bounds[complete] = release[complete, -1]
+    active = ~complete
+
+    mask_a = scheduled_mask[active]
+    rel_a = release[active]
+
+    # QM: per-node minimal tails over unscheduled jobs (masked min).
+    big = np.int64(np.iinfo(np.int64).max // 4)
+    tails = np.where(mask_a[:, :, None], big, data.tails[None, :, :])
+    qm = tails.min(axis=1)  # (B_active, m)
+
+    unscheduled = ~mask_a  # (B_active, n)
+    return bounds, active, mask_a, rel_a, qm, unscheduled
+
+
 def lower_bound_batch(
     data: LowerBoundData,
     scheduled_mask: np.ndarray,
@@ -397,42 +518,19 @@ def lower_bound_batch(
         ``(B,)`` int64 vector of lower bounds, bit-identical to calling
         :func:`lower_bound` on every sub-problem individually.
     """
-    scheduled_mask = np.asarray(scheduled_mask, dtype=bool)
-    release = np.asarray(release, dtype=np.int64)
-    if scheduled_mask.ndim != 2 or scheduled_mask.shape[1] != data.n_jobs:
-        raise ValueError(f"scheduled_mask must have shape (B, {data.n_jobs})")
-    if release.shape != (scheduled_mask.shape[0], data.n_machines):
-        raise ValueError(
-            f"release must have shape ({scheduled_mask.shape[0]}, {data.n_machines})"
-        )
-
-    batch = scheduled_mask.shape[0]
-    if batch == 0:
+    prepared = _prepare_batch(data, scheduled_mask, release)
+    if prepared is None:
         return np.zeros(0, dtype=np.int64)
+    bounds, active, mask_a, rel_a, qm, unscheduled = prepared
+    if not active.any():
+        return bounds
+    n_active = mask_a.shape[0]
 
     ptm = data.ptm
     jm = data.jm
     lm = data.lm
     mm = data.mm
 
-    complete = scheduled_mask.all(axis=1)
-    bounds = np.zeros(batch, dtype=np.int64)
-    bounds[complete] = release[complete, -1]
-
-    active = ~complete
-    if not active.any():
-        return bounds
-
-    mask_a = scheduled_mask[active]
-    rel_a = release[active]
-    n_active = mask_a.shape[0]
-
-    # QM: per-node minimal tails over unscheduled jobs (masked min).
-    big = np.int64(np.iinfo(np.int64).max // 4)
-    tails = np.where(mask_a[:, :, None], big, data.tails[None, :, :])
-    qm = tails.min(axis=1)  # (B_active, m)
-
-    unscheduled = ~mask_a  # (B_active, n)
     best = np.zeros(n_active, dtype=np.int64)
 
     for c in range(data.n_couples):
@@ -464,3 +562,347 @@ def lower_bound_batch(
 
     bounds[active] = best
     return bounds
+
+
+#: Largest ``n_jobs`` for which the v2 kernel uses the closed-form BLAS path
+#: (its FLOP count grows with ``n^2`` while the scan path grows with ``n``).
+_V2_GEMM_MAX_JOBS = 128
+
+#: Sub-problems evaluated per internal tile of the v2 kernel.  Tiles keep the
+#: working set cache-resident and bound the temporary memory of very large
+#: pools (the paper off-loads up to 262144 sub-problems per launch).
+_V2_GEMM_CHUNK = 512
+_V2_SCAN_CHUNK = 512
+
+
+class _V2GemmData:
+    """Per-instance tensors of the closed-form (matmul) v2 evaluation.
+
+    The Johnson two-machine scan of couple ``c`` has the closed form::
+
+        t2_final = max(t2_0 + B_N,  t1_0 + B_N + max_j (A_j + lag_j - B_<j))
+
+    where ``A_j`` (resp. ``B_<j``) is the total processing time on the first
+    (resp. second) machine of the *unscheduled* jobs up to and including
+    (resp. strictly before) job ``j`` in the couple's Johnson order, and
+    ``B_N`` the total second-machine work of all unscheduled jobs.  Every
+    inner term is linear in the unscheduled-job indicator vector ``u``, so
+    the candidates of *all* jobs and *all* couples are one matrix product
+    ``u @ K``.  Scheduled jobs are excluded from the outer max by a
+    ``+BIG`` diagonal term inside ``K`` paired with a ``-BIG`` constant row,
+    which turns their candidates into large negative values — the masking
+    costs nothing at evaluation time.
+
+    ``kj[j]`` is the ``(C, n+1)`` slice producing the candidates of job
+    ``j`` for every couple (the extra row carries the constants); ``bf``
+    produces ``B_N``.  Everything is stored transposed — ``(C, B)`` layout —
+    so the reductions run along the long contiguous axis.
+    """
+
+    __slots__ = ("ftype", "big", "kj", "bf", "tails_t", "ptm_t", "_workspace")
+
+    def __init__(self, data: LowerBoundData, ftype: np.dtype):
+        n, n_couples = data.n_jobs, data.n_couples
+        m1, m2 = data.mm[:, 0], data.mm[:, 1]
+        self.ftype = np.dtype(ftype)
+        self.big = _v2_big_sentinel(data)
+
+        # pos[j, c]: position of job j in couple c's Johnson order.
+        pos = np.empty((n, n_couples), dtype=np.int64)
+        pos[data.jm, np.arange(n_couples)[None, :]] = np.arange(n)[:, None]
+        a_full = data.ptm[:, m1]  # (n, C) first-machine times
+        b_full = data.ptm[:, m2]  # (n, C) second-machine times
+
+        # weights[j, j', c]: contribution of job j' to job j's candidate.
+        le = pos[:, None, :] >= pos[None, :, :]
+        lt = pos[:, None, :] > pos[None, :, :]
+        weights = a_full[None, :, :] * le - b_full[None, :, :] * lt
+        diag = np.arange(n)
+        weights[diag, diag, :] += self.big
+        weights += b_full[None, :, :]  # bake B_N into every candidate
+        const = np.broadcast_to((data.lm - self.big)[:, None, :], (n, 1, n_couples))
+        kj = np.concatenate([weights, const], axis=1)  # (n, n+1, C)
+        self.kj = np.ascontiguousarray(kj.transpose(0, 2, 1)).astype(self.ftype)
+
+        bf = np.concatenate([b_full, np.zeros((1, n_couples), dtype=np.int64)], axis=0)
+        self.bf = np.ascontiguousarray(bf.T).astype(self.ftype)  # (C, n+1)
+        self.tails_t = np.ascontiguousarray(data.tails.T).astype(self.ftype)  # (m, n)
+        self.ptm_t = np.ascontiguousarray(data.ptm.T).astype(self.ftype)  # (m, n)
+        self._workspace: tuple[np.ndarray, ...] | None = None
+
+    def workspace(self, n: int, n_couples: int, chunk: int) -> tuple[np.ndarray, ...]:
+        """Reusable per-chunk buffers (avoids page faults on every launch)."""
+        if self._workspace is None or self._workspace[0].shape[1] != chunk:
+            self._workspace = (
+                np.empty((n_couples, chunk), dtype=self.ftype),  # running max
+                np.empty((n_couples, chunk), dtype=self.ftype),  # gemm target
+                np.empty((n + 1, chunk), dtype=self.ftype),  # indicators
+            )
+        return self._workspace
+
+
+def _v2_big_sentinel(data: LowerBoundData) -> int:
+    """Masking offset strictly dominating every legitimate candidate value."""
+    max_pt = int(data.ptm.max()) if data.ptm.size else 0
+    max_lag = int(data.lm.max()) if data.lm.size else 0
+    return 2 * (data.n_jobs * max_pt + max_lag) + 1
+
+
+def _v2_value_bound(data: LowerBoundData, release: np.ndarray) -> int:
+    """Upper bound on the magnitude of any intermediate v2 value."""
+    release_max = int(release.max()) if release.size else 0
+    return release_max + 4 * _v2_big_sentinel(data) + 1
+
+
+def _v2_gemm_data(data: LowerBoundData, ftype: np.dtype) -> _V2GemmData:
+    cache = data._v2_gemm_cache
+    key = np.dtype(ftype).name
+    if key not in cache:
+        cache[key] = _V2GemmData(data, ftype)
+    return cache[key]
+
+
+def _lower_bound_batch_v2_gemm(
+    data: LowerBoundData,
+    mask_a: np.ndarray,
+    rel_a: np.ndarray,
+    include_one_machine: bool,
+    ftype: np.dtype,
+) -> np.ndarray:
+    """Closed-form v2 evaluation: one BLAS product per Johnson position.
+
+    Receives only the *active* (incomplete) sub-problems; returns their
+    ``(B_active,)`` bounds.  All float arithmetic operates on integers far
+    below the mantissa limit of ``ftype`` (guarded by
+    :func:`_v2_value_bound`), so the results are exact and bit-identical to
+    the int64 reference once converted back.
+    """
+    n, n_couples = data.n_jobs, data.n_couples
+    gd = _v2_gemm_data(data, ftype)
+
+    # Transposed — (axis, B) — copies so every chunked slice keeps the long
+    # batch dimension contiguous (strided inner loops defeat SIMD).
+    mask_t = np.ascontiguousarray(mask_a.T)  # (n, B_active)
+    rel_t = np.ascontiguousarray(rel_a.T).astype(gd.ftype)  # (m, B_active)
+    m2 = data.mm[:, 1]
+    n_active = mask_a.shape[0]
+    best = np.empty(n_active, dtype=np.int64)
+
+    chunk = min(_V2_GEMM_CHUNK, n_active)
+    running, target, indicators = gd.workspace(n, n_couples, chunk)
+    for start in range(0, n_active, chunk):
+        end = min(start + chunk, n_active)
+        width = end - start
+        full = width == chunk
+
+        u = indicators[:, :width] if full else np.empty((n + 1, width), dtype=gd.ftype)
+        u[:n] = ~mask_t[:, start:end]
+        u[n] = 1.0
+
+        # QM (transposed): minimal tails over the unscheduled jobs.
+        masked_tails = np.where(
+            mask_t[:, None, start:end], np.inf, gd.tails_t.T[:, :, None]
+        )  # (n, m, width)
+        qm_t = masked_tails.min(axis=0)  # (m, width)
+
+        if full:
+            cand_max, cand = running, target
+            np.dot(gd.kj[0], u, out=cand_max)
+        else:
+            cand_max = np.dot(gd.kj[0], u)
+            cand = np.empty_like(cand_max)
+        for j in range(1, n):
+            if full:
+                np.dot(gd.kj[j], u, out=cand)
+            else:
+                cand = np.dot(gd.kj[j], u)
+            np.maximum(cand_max, cand, out=cand_max)
+
+        work_b = np.dot(gd.bf, u)  # (C, width): B_N per couple
+        front1 = rel_t[:, start:end][data.mm[:, 0]]  # (C, width)
+        front2 = rel_t[:, start:end][m2]
+        front1 += cand_max[:, :width]
+        front2 += work_b
+        np.maximum(front2, front1, out=front2)
+        front2 += qm_t[m2]
+        value = front2
+
+        if include_one_machine:
+            loads = np.dot(gd.ptm_t, u[:n])  # (m, width)
+            loads += rel_t[:, start:end]
+            loads += qm_t
+            one_mach = loads.max(axis=0)
+            best[start:end] = np.maximum(value.max(axis=0), one_mach).astype(np.int64)
+        else:
+            best[start:end] = value.max(axis=0).astype(np.int64)
+
+    return best
+
+
+def _lower_bound_batch_v2_scan(
+    data: LowerBoundData,
+    mask_a: np.ndarray,
+    rel_a: np.ndarray,
+    include_one_machine: bool,
+    dtype: np.dtype,
+) -> np.ndarray:
+    """Couple-vectorised Johnson scan: ``(B, n_couples)`` front tensors.
+
+    Receives only the *active* (incomplete) sub-problems; returns their
+    ``(B_active,)`` bounds.  Carries ``t_m1`` / ``t_m2`` for all couples at
+    once and loops only over the ``n_jobs`` scan positions — ``n``
+    interpreter iterations instead of the v1 kernel's ``n_couples * n``.
+    Scheduled jobs contribute zero to every tensor; the candidate of a
+    masked step is then ``t_m1`` which can never win the max
+    (``t_m2 >= t_m1`` is re-established by the first unmasked step, and
+    every active sub-problem has at least one unscheduled job in every
+    couple's order), so no sentinel masking is needed.
+    """
+    n = data.n_jobs
+    unscheduled = ~mask_a
+    ct = data.couple_tensors()
+    a_sc = ct.a_times.astype(dtype)
+    b_sc = ct.b_times.astype(dtype)
+    alg_sc = (ct.a_times + ct.lags).astype(dtype)
+    jm = data.jm
+    big = np.int64(np.iinfo(np.int64).max // 4)
+    n_active = mask_a.shape[0]
+    best = np.empty(n_active, dtype=np.int64)
+
+    chunk = _V2_SCAN_CHUNK
+    for start in range(0, n_active, chunk):
+        end = min(start + chunk, n_active)
+        mask_c = mask_a[start:end]
+        unsched_c = unscheduled[start:end]
+        rel_c = rel_a[start:end]
+
+        tails = np.where(mask_c[:, :, None], big, data.tails[None, :, :])
+        qm = tails.min(axis=1)  # (width, m)
+
+        present = unsched_c[:, jm]  # (width, n, C) in Johnson order
+        a_m = present * a_sc[None]
+        b_m = present * b_sc[None]
+        alg_m = present * alg_sc[None]
+
+        t_m1 = rel_c[:, ct.m1].astype(dtype)
+        t_m2 = rel_c[:, ct.m2].astype(dtype)
+        ready = np.empty_like(t_m1)
+        for i in range(n):
+            np.add(t_m1, alg_m[:, i], out=ready)
+            np.maximum(t_m2, ready, out=t_m2)
+            np.add(t_m1, a_m[:, i], out=t_m1)
+            np.add(t_m2, b_m[:, i], out=t_m2)
+        value = t_m2.astype(np.int64) + qm[:, ct.m2]
+        chunk_best = value.max(axis=1)
+
+        if include_one_machine:
+            loads = unsched_c.astype(np.int64) @ data.ptm
+            one_mach = (rel_c + loads + qm).max(axis=1)
+            chunk_best = np.maximum(chunk_best, one_mach)
+        best[start:end] = chunk_best
+
+    return best
+
+
+def lower_bound_batch_v2(
+    data: LowerBoundData,
+    scheduled_mask: np.ndarray,
+    release: np.ndarray,
+    include_one_machine: bool = False,
+    strategy: str | None = None,
+) -> np.ndarray:
+    """Couple-vectorised batched lower bound (kernel v2).
+
+    Computes exactly what :func:`lower_bound_batch` computes — bit-identical
+    values — but vectorises the machine-couple axis as well, through two
+    interchangeable evaluation strategies:
+
+    ``"gemm"``
+        The Johnson scan in closed form: the candidate values of every
+        (job, couple) pair are a single matrix product of the unscheduled
+        indicator vectors with a precomputed weight matrix
+        (:class:`_V2GemmData`), reduced by a running maximum.  Preferred for
+        ``n_jobs <= 128``; float arithmetic is exact under the
+        :func:`_v2_value_bound` guard (float32 below ``2**24``, float64
+        below ``2**53``).
+    ``"scan"``
+        ``(B, n_couples)`` front/tail tensors marching through the Johnson
+        positions — ``n_jobs`` interpreter iterations instead of v1's
+        ``n_couples * n_jobs``.  Integer tiers (int16/int32/int64) are
+        selected by the same value guard.
+
+    ``strategy=None`` picks automatically.  Pools are processed in
+    cache-sized tiles, so temporary memory stays bounded for the paper's
+    largest (262144 sub-problem) launches.
+
+    Parameters and return value are identical to :func:`lower_bound_batch`.
+    """
+    scheduled_mask = np.asarray(scheduled_mask, dtype=bool)
+    release = np.asarray(release, dtype=np.int64)
+    if scheduled_mask.ndim != 2 or scheduled_mask.shape[1] != data.n_jobs:
+        raise ValueError(f"scheduled_mask must have shape (B, {data.n_jobs})")
+    if release.shape != (scheduled_mask.shape[0], data.n_machines):
+        raise ValueError(f"release must have shape ({scheduled_mask.shape[0]}, {data.n_machines})")
+    if strategy not in (None, "gemm", "scan"):
+        raise ValueError(f"unknown v2 strategy {strategy!r}")
+
+    if scheduled_mask.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+    if data.n_couples == 0:
+        # m == 1: only the single-machine relaxation applies; the v1 kernel
+        # already evaluates it fully vectorised.
+        return lower_bound_batch(
+            data, scheduled_mask, release, include_one_machine=include_one_machine
+        )
+
+    value_bound = _v2_value_bound(data, release)
+    if strategy is None:
+        strategy = "gemm" if data.n_jobs <= _V2_GEMM_MAX_JOBS else "scan"
+
+    # Complete schedules are resolved here once; the strategy kernels only
+    # ever see the active (incomplete) sub-problems.
+    complete = scheduled_mask.all(axis=1)
+    bounds = np.zeros(scheduled_mask.shape[0], dtype=np.int64)
+    bounds[complete] = release[complete, -1]
+    active = np.flatnonzero(~complete)
+    if active.size == 0:
+        return bounds
+    mask_a = scheduled_mask[active]
+    rel_a = release[active]
+
+    if strategy == "gemm":
+        if value_bound < 2**24:
+            ftype: np.dtype = np.float32
+        elif value_bound < 2**53:
+            ftype = np.float64
+        else:  # pragma: no cover - pathological magnitudes
+            return lower_bound_batch(
+                data, scheduled_mask, release, include_one_machine=include_one_machine
+            )
+        bounds[active] = _lower_bound_batch_v2_gemm(
+            data, mask_a, rel_a, include_one_machine, ftype
+        )
+        return bounds
+
+    if value_bound < 2**15:
+        dtype: np.dtype = np.int16
+    elif value_bound < 2**31:
+        dtype = np.int32
+    else:
+        dtype = np.int64
+    bounds[active] = _lower_bound_batch_v2_scan(data, mask_a, rel_a, include_one_machine, dtype)
+    return bounds
+
+
+#: The batched kernel implementations, keyed by the engine selector value.
+BATCH_KERNELS = {"v1": lower_bound_batch, "v2": lower_bound_batch_v2}
+
+
+def get_batch_kernel(kernel: str):
+    """Resolve a ``"v1"`` / ``"v2"`` selector to the batched kernel function."""
+    try:
+        return BATCH_KERNELS[kernel]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {sorted(BATCH_KERNELS)}"
+        ) from None

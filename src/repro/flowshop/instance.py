@@ -127,9 +127,7 @@ class FlowShopInstance:
 
     def _check_machine(self, machine: int) -> None:
         if not 0 <= machine < self.n_machines:
-            raise IndexError(
-                f"machine index {machine} out of range [0, {self.n_machines})"
-            )
+            raise IndexError(f"machine index {machine} out of range [0, {self.n_machines})")
 
     # ------------------------------------------------------------------ #
     # Derived instances

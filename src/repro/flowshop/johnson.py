@@ -58,9 +58,7 @@ def johnson_comparator_key(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     group = (a > b).astype(np.int64)
     primary = np.where(group == 0, a, -b)
     # key = (group, primary, job index) -> encode as a record array for lexsort
-    return np.rec.fromarrays(
-        [group, primary, np.arange(a.size)], names="group,primary,job"
-    )
+    return np.rec.fromarrays([group, primary, np.arange(a.size)], names="group,primary,job")
 
 
 def johnson_order(a: Sequence[int] | np.ndarray, b: Sequence[int] | np.ndarray) -> np.ndarray:
@@ -111,7 +109,9 @@ def two_machine_makespan(
     order: Sequence[int] | np.ndarray | None = None,
 ) -> int:
     """Makespan of a two-machine flow shop under ``order`` (default: given order)."""
-    return two_machine_makespan_with_lags(a, b, np.zeros(len(np.atleast_1d(a)), dtype=np.int64), order)
+    return two_machine_makespan_with_lags(
+        a, b, np.zeros(len(np.atleast_1d(a)), dtype=np.int64), order
+    )
 
 
 def two_machine_makespan_with_lags(

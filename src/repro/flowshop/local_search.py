@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from repro.flowshop.instance import FlowShopInstance
 from repro.flowshop.neh import neh_order

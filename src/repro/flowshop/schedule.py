@@ -38,9 +38,7 @@ def _validate_permutation(instance: FlowShopInstance, order: Sequence[int]) -> n
     if arr.ndim != 1:
         raise ValueError("a schedule must be a 1-D sequence of job indices")
     if arr.size != instance.n_jobs:
-        raise ValueError(
-            f"schedule has {arr.size} jobs but the instance has {instance.n_jobs}"
-        )
+        raise ValueError(f"schedule has {arr.size} jobs but the instance has {instance.n_jobs}")
     seen = np.zeros(instance.n_jobs, dtype=bool)
     for job in arr:
         if not 0 <= job < instance.n_jobs:

@@ -134,9 +134,7 @@ class CpuSpec:
         if self.n_cores < 1 or self.n_threads < self.n_cores:
             raise ValueError("invalid core/thread counts")
         if self.peak_gflops_per_core == 0.0:
-            object.__setattr__(
-                self, "peak_gflops_per_core", self.peak_gflops_double / self.n_cores
-            )
+            object.__setattr__(self, "peak_gflops_per_core", self.peak_gflops_double / self.n_cores)
 
     def gflops_for_cores(self, n_cores: int) -> float:
         """Theoretical peak of ``n_cores`` cores (Section V scaling)."""

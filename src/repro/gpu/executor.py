@@ -20,11 +20,11 @@ reproduction:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.flowshop.bounds import LowerBoundData, lower_bound_batch
+from repro.flowshop.bounds import LowerBoundData, get_batch_kernel
 from repro.gpu.device import DeviceSpec, TESLA_C2050
 from repro.gpu.memory import MemoryHierarchy
 from repro.gpu.placement import DataPlacement
@@ -79,6 +79,10 @@ class GpuExecutor:
         Calibration constants of the timing model.
     threads_per_block:
         CUDA block size (the paper fixes 256).
+    kernel:
+        Batched kernel revision (``"v1"`` or ``"v2"``); see
+        :func:`repro.flowshop.bounds.get_batch_kernel`.  The returned bounds
+        are bit-identical either way.
     """
 
     def __init__(
@@ -89,10 +93,13 @@ class GpuExecutor:
         cost_model: KernelCostModel | None = None,
         threads_per_block: int = 256,
         include_one_machine: bool = False,
+        kernel: str = "v2",
     ):
         if threads_per_block < 1:
             raise ValueError("threads_per_block must be >= 1")
         self.data = data
+        self.kernel = kernel
+        self._batch_kernel = get_batch_kernel(kernel)
         self.device = device
         complexity = data.complexity
         if placement is None:
@@ -174,7 +181,7 @@ class GpuExecutor:
             n_remaining = int(round(self.data.n_jobs - scheduled_mask.sum(axis=1).mean()))
 
         start = time.perf_counter()
-        bounds = lower_bound_batch(
+        bounds = self._batch_kernel(
             self.data,
             scheduled_mask,
             release,
@@ -204,4 +211,5 @@ class GpuExecutor:
             "measured_time_s": self.measured_time_s,
             "placement": self.placement.name or "custom",
             "threads_per_block": self.threads_per_block,
+            "kernel": self.kernel,
         }

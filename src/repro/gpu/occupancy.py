@@ -163,7 +163,8 @@ class OccupancyCalculator:
         }
         active_blocks = min(limits.values())
         # deterministic tie-break: report the scarcest resource in a fixed order
-        limiting = min(limits, key=lambda k: (limits[k], ("shared_memory", "registers", "warps", "blocks").index(k)))
+        resource_order = ("shared_memory", "registers", "warps", "blocks")
+        limiting = min(limits, key=lambda k: (limits[k], resource_order.index(k)))
 
         active_warps = active_blocks * warps_per_block
         max_warps = device.max_warps_per_multiprocessor

@@ -36,7 +36,7 @@ import math
 from dataclasses import dataclass, field, replace
 
 from repro.flowshop.bounds import DataStructureComplexity
-from repro.gpu.device import DeviceSpec, TESLA_C2050, KIB
+from repro.gpu.device import DeviceSpec, TESLA_C2050
 from repro.gpu.memory import MemoryHierarchy, MemorySpace
 from repro.gpu.occupancy import OccupancyCalculator, OccupancyResult
 from repro.gpu.placement import DataPlacement, STRUCTURE_NAMES

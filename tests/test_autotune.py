@@ -45,9 +45,7 @@ class TestModelMode:
 
 class TestMeasureMode:
     def test_measured_samples(self, small_instance):
-        report = PoolSizeAutotuner(
-            small_instance, candidates=(32, 64), mode="measure"
-        ).run()
+        report = PoolSizeAutotuner(small_instance, candidates=(32, 64), mode="measure").run()
         assert report.mode == "measure"
         assert report.best_pool_size in (32, 64)
         assert all(sample.per_node_s > 0 for sample in report.samples)

@@ -166,9 +166,7 @@ class TestLowerBoundAdmissibility:
         """With m=2 the relaxation is the whole problem, so the root LB is optimal."""
         inst = _instance(6, 2, 42)
         data = LowerBoundData(inst)
-        best = min(
-            makespan(inst, perm) for perm in itertools.permutations(range(inst.n_jobs))
-        )
+        best = min(makespan(inst, perm) for perm in itertools.permutations(range(inst.n_jobs)))
         assert lower_bound(data, []) == best
 
     def test_bound_monotone_under_extension(self, small_instance, small_instance_data):

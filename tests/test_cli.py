@@ -40,10 +40,8 @@ class TestSolveCommand:
         assert "engine   : serial" in capsys.readouterr().out
 
     def test_solve_cluster_engine(self, capsys):
-        code = main(
-            ["solve", "--jobs", "6", "--machines", "3", "--engine", "cluster",
-             "--nodes", "2", "--pool-size", "32"]
-        )
+        argv = "solve --jobs 6 --machines 3 --engine cluster --nodes 2 --pool-size 32".split()
+        code = main(argv)
         assert code == 0
         assert "simulated device" in capsys.readouterr().out
 

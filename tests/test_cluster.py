@@ -7,7 +7,6 @@ import pytest
 from repro.bb import brute_force_optimum
 from repro.core import ClusterBranchAndBound, ClusterSpec, GpuBBConfig
 from repro.core.cluster import ClusterSimulator
-from repro.flowshop import random_instance
 from repro.flowshop.bounds import DataStructureComplexity
 
 

@@ -46,11 +46,23 @@ class TestTeslaC2050:
 class TestDeviceValidation:
     def test_rejects_zero_multiprocessors(self):
         with pytest.raises(ValueError):
-            DeviceSpec(name="bad", n_multiprocessors=0, cores_per_multiprocessor=8, clock_ghz=1.0, global_memory_bytes=1)
+            DeviceSpec(
+                name="bad",
+                n_multiprocessors=0,
+                cores_per_multiprocessor=8,
+                clock_ghz=1.0,
+                global_memory_bytes=1,
+            )
 
     def test_rejects_zero_clock(self):
         with pytest.raises(ValueError):
-            DeviceSpec(name="bad", n_multiprocessors=1, cores_per_multiprocessor=8, clock_ghz=0.0, global_memory_bytes=1)
+            DeviceSpec(
+                name="bad",
+                n_multiprocessors=1,
+                cores_per_multiprocessor=8,
+                clock_ghz=0.0,
+                global_memory_bytes=1,
+            )
 
     def test_other_presets_are_consistent(self):
         for dev in (TESLA_C1060, GTX_480):

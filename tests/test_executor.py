@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bb.node import root_node
@@ -33,7 +32,6 @@ class TestUpload:
 
     def test_unfittable_placement_rejected(self, paper_instance_data):
         placement = DataPlacement.shared_structures(["PTM", "JM", "LM"])
-        complexity = paper_instance_data.complexity
         # 20x20 fits everything; build a 200x20 to exceed the shared capacity
         from repro.flowshop import taillard_instance
 

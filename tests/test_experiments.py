@@ -157,9 +157,7 @@ class TestFigures:
 
 class TestBoundingFraction:
     def test_bounding_dominates(self):
-        result = measure_bounding_fraction(
-            instance=random_instance(12, 20, seed=0), max_nodes=120
-        )
+        result = measure_bounding_fraction(instance=random_instance(12, 20, seed=0), max_nodes=120)
         assert result.fraction > 0.85
         assert result.nodes_bounded > 0
         assert result.paper_fraction == PAPER_BOUNDING_FRACTION

@@ -102,9 +102,7 @@ class TestBudgets:
         assert len(result.iterations) <= 2
 
     def test_max_nodes(self, medium_instance):
-        result = GpuBranchAndBound(
-            medium_instance, GpuBBConfig(pool_size=16, max_nodes=30)
-        ).solve()
+        result = GpuBranchAndBound(medium_instance, GpuBBConfig(pool_size=16, max_nodes=30)).solve()
         assert not result.proved_optimal
         # the incumbent is still a valid schedule no worse than NEH
         assert makespan(medium_instance, result.best_order) == result.best_makespan

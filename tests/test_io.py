@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.flowshop import (
-    FlowShopInstance,
     dumps_taillard,
     loads_taillard,
     random_instance,

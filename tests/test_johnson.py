@@ -49,9 +49,7 @@ class TestJohnsonOrder:
         n = data.draw(st.integers(2, 6))
         a = data.draw(st.lists(st.integers(1, 30), min_size=n, max_size=n))
         b = data.draw(st.lists(st.integers(1, 30), min_size=n, max_size=n))
-        best = min(
-            two_machine_makespan(a, b, perm) for perm in itertools.permutations(range(n))
-        )
+        best = min(two_machine_makespan(a, b, perm) for perm in itertools.permutations(range(n)))
         assert johnson_makespan(a, b) == best
 
     @given(st.data())

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.core.mapping import analyze_placements, default_candidates, recommend_placement
 from repro.flowshop.bounds import DataStructureComplexity

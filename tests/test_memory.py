@@ -67,9 +67,7 @@ class TestMemoryHierarchy:
         assert prefer_l1.global_hit_rate() >= prefer_shared.global_hit_rate()
 
     def test_latency_override(self):
-        hierarchy = MemoryHierarchy(
-            TESLA_C2050, latency_overrides={MemorySpace.SHARED: 5.0}
-        )
+        hierarchy = MemoryHierarchy(TESLA_C2050, latency_overrides={MemorySpace.SHARED: 5.0})
         assert hierarchy.spec(MemorySpace.SHARED).latency_cycles == 5.0
 
     def test_describe_lists_all_spaces(self):

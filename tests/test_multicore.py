@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bb import MulticoreBranchAndBound, SequentialBranchAndBound, brute_force_optimum
-from repro.flowshop import random_instance
 
 
 class TestCorrectness:
@@ -51,9 +50,7 @@ class TestConfigurationValidation:
             MulticoreBranchAndBound(small_instance, decomposition_depth=0)
 
     def test_depth_clamped_to_jobs(self, tiny_instance):
-        solver = MulticoreBranchAndBound(
-            tiny_instance, backend="serial", decomposition_depth=10
-        )
+        solver = MulticoreBranchAndBound(tiny_instance, backend="serial", decomposition_depth=10)
         assert solver.decomposition_depth == tiny_instance.n_jobs
         result = solver.solve()
         assert result.proved_optimal

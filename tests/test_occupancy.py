@@ -61,8 +61,9 @@ class TestLimits:
         assert result.active_warps_per_sm == 32
 
     def test_zero_occupancy_when_shared_does_not_fit(self, calc):
-        result = calc.compute(256, 26, shared_memory_per_block=64 * 1024,
-                              shared_memory_available=48 * 1024)
+        result = calc.compute(
+            256, 26, shared_memory_per_block=64 * 1024, shared_memory_available=48 * 1024
+        )
         assert result.active_blocks_per_sm == 0
         assert not result
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.bb import brute_force_optimum
 from repro.core import GpuBBConfig, HybridBranchAndBound, HybridConfig
-from repro.flowshop import random_instance
 
 
 class TestHybrid:

@@ -88,15 +88,11 @@ class TestRecommendation:
     def test_recommended_is_shared_ptm_jm_for_paper_instances(self):
         """The paper's recommendation should be selected whenever it fits."""
         for n in (20, 50, 100, 200):
-            placement = DataPlacement.recommended(
-                DataStructureComplexity(n=n, m=20), TESLA_C2050
-            )
+            placement = DataPlacement.recommended(DataStructureComplexity(n=n, m=20), TESLA_C2050)
             assert placement.name == "shared-PTM-JM"
 
     def test_recommended_degrades_for_huge_instances(self):
-        placement = DataPlacement.recommended(
-            DataStructureComplexity(n=500, m=20), TESLA_C2050
-        )
+        placement = DataPlacement.recommended(DataStructureComplexity(n=500, m=20), TESLA_C2050)
         # PTM+JM would need 500*190 + 500*20 = 105 KB: does not fit; JM alone
         # does not fit either (95 KB), so the fallback must avoid them.
         assert placement.name in ("shared-PTM", "all-global")

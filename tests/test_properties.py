@@ -18,7 +18,12 @@ from hypothesis import strategies as st
 from repro.bb import SequentialBranchAndBound, brute_force_optimum
 from repro.core import GpuBBConfig, GpuBranchAndBound
 from repro.flowshop import FlowShopInstance, makespan, neh_heuristic
-from repro.flowshop.bounds import DataStructureComplexity, LowerBoundData, lower_bound, lower_bound_batch
+from repro.flowshop.bounds import (
+    DataStructureComplexity,
+    LowerBoundData,
+    lower_bound,
+    lower_bound_batch,
+)
 from repro.gpu.simulator import GpuSimulator
 
 

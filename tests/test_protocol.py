@@ -13,7 +13,6 @@ from repro.experiments.protocol import (
     synthetic_pool,
 )
 from repro.flowshop import lower_bound_batch
-from repro.flowshop.bounds import LowerBoundData
 from repro.flowshop.schedule import partial_completion_times
 
 

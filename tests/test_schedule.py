@@ -89,7 +89,8 @@ class TestCompletionTimes:
 
 class TestPartialCompletion:
     def test_empty_prefix_is_zero(self, small_instance):
-        assert partial_completion_times(small_instance, []).tolist() == [0] * small_instance.n_machines
+        expected = [0] * small_instance.n_machines
+        assert partial_completion_times(small_instance, []).tolist() == expected
 
     def test_full_prefix_matches_completion_times(self, small_instance):
         order = list(range(small_instance.n_jobs))
@@ -105,7 +106,8 @@ class TestPartialCompletion:
 
     def test_remaining_tails_zero_when_all_scheduled(self, small_instance):
         order = list(range(small_instance.n_jobs))
-        assert remaining_tail_times(small_instance, order).tolist() == [0] * small_instance.n_machines
+        expected = [0] * small_instance.n_machines
+        assert remaining_tail_times(small_instance, order).tolist() == expected
 
     def test_remaining_tails_last_machine_zero(self, small_instance):
         tails = remaining_tail_times(small_instance, [0])
@@ -144,9 +146,7 @@ class TestScheduleObjects:
         with pytest.raises(ValueError):
             ps.to_schedule()
         full = PartialSchedule(small_instance, tuple(range(small_instance.n_jobs)))
-        assert full.to_schedule().makespan == makespan(
-            small_instance, range(small_instance.n_jobs)
-        )
+        assert full.to_schedule().makespan == makespan(small_instance, range(small_instance.n_jobs))
 
     def test_completions_if(self, small_instance):
         ps = PartialSchedule(small_instance, (1, 0))

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.flowshop.bounds import DataStructureComplexity
-from repro.gpu.device import TESLA_C2050
 from repro.gpu.placement import DataPlacement
 from repro.gpu.simulator import GpuSimulator, KernelCostModel
 
@@ -50,7 +49,8 @@ class TestPerThreadCost:
             g = GpuSimulator(placement=DataPlacement.all_global())
             s = GpuSimulator(placement=DataPlacement.shared_ptm_jm())
             pool = 262144
-            return g.evaluate_pool(complexity, pool).total_s / s.evaluate_pool(complexity, pool).total_s
+            global_s = g.evaluate_pool(complexity, pool).total_s
+            return global_s / s.evaluate_pool(complexity, pool).total_s
 
         assert gain(c200) > gain(c20) > 1.0
 
@@ -123,7 +123,5 @@ class TestOccupancyIntegration:
     def test_all_global_occupancy_independent_of_instance(self, c20, c200):
         sim = GpuSimulator(placement=DataPlacement.all_global())
         assert (
-            sim.occupancy(c20).active_warps_per_sm
-            == sim.occupancy(c200).active_warps_per_sm
-            == 32
+            sim.occupancy(c20).active_warps_per_sm == sim.occupancy(c200).active_warps_per_sm == 32
         )
