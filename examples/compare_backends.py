@@ -49,15 +49,13 @@ def main() -> None:
         f"time={serial_s:.3f}s  bounding={serial.stats.bounding_fraction:.0%}"
     )
 
-    # --- multi-core -------------------------------------------------------
+    # --- multi-core (work-stealing, shared incumbent) ---------------------
     start = time.perf_counter()
-    multicore = MulticoreBranchAndBound(
-        instance, n_workers=4, backend="process", decomposition_depth=1
-    ).solve()
+    multicore = MulticoreBranchAndBound(instance, n_workers=4, backend="process").solve()
     multicore_s = time.perf_counter() - start
     print(
         f"multicore : C_max={multicore.best_makespan}  nodes={multicore.stats.nodes_bounded:>6}  "
-        f"time={multicore_s:.3f}s  (4 worker processes)"
+        f"time={multicore_s:.3f}s  (4 work-stealing worker processes)"
     )
 
     # --- GPU-accelerated --------------------------------------------------

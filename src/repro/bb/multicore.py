@@ -1,18 +1,24 @@
-"""Multi-threaded Branch-and-Bound baseline (Section V).
+"""Multi-core Branch-and-Bound baseline (Section V).
 
 The paper compares its GPU-accelerated B&B against a low-level (pthread)
 multi-threaded B&B in which worker threads explore disjoint parts of the
-tree and share the incumbent.  This module provides the equivalent engine
-for the reproduction:
+tree and share the incumbent.  :class:`MulticoreBranchAndBound` is the
+facade over the two parallel modes of the reproduction:
 
-* the root is decomposed down to a configurable *decomposition depth*,
-  producing many independent sub-trees;
-* the sub-trees are solved by a pool of workers (``"process"`` backend for
-  true parallelism — Python threads cannot scale CPU-bound work because of
-  the GIL, which the ``"thread"`` backend demonstrates and the tests use
-  for determinism);
-* every worker starts from the best incumbent known at launch time; the
-  final result merges the workers' bests.
+* ``mode="worksteal"`` (default, the paper-faithful engine) — the
+  :class:`~repro.bb.worksteal.WorkStealingBranchAndBound` engine: an
+  oversubscribed frontier of sub-tree chunks in a shared queue that idle
+  workers steal from, plus a shared incumbent that workers compare-and-swap
+  on improvement and poll while exploring;
+* ``mode="static"`` — the historical static split: the frontier is mapped
+  onto the workers once, every worker searches from the launch-time bound,
+  and nothing is exchanged until the final merge.  Kept as the ablation
+  baseline the work-stealing benchmarks compare against.
+
+Backends: ``"process"`` gives true parallelism (Python threads cannot scale
+CPU-bound work because of the GIL, which the ``"thread"`` backend
+demonstrates and the tests use for determinism); ``"serial"`` runs the
+tasks in the calling thread to measure decomposition overhead.
 
 The *measured* speed-up of this engine on the test machine is reported by
 the benchmarks, while the Table IV reproduction uses the calibrated
@@ -32,9 +38,13 @@ from repro.bb.node import Node, root_node
 from repro.bb.operators import bound_children_batch, bound_node, branch
 from repro.bb.sequential import BBResult, SequentialBranchAndBound
 from repro.bb.stats import SearchStats
+from repro.bb.worksteal import (
+    WorkStealingBranchAndBound,
+    frontier_prefixes,
+    initial_incumbent,
+)
 from repro.flowshop.bounds import LowerBoundData
 from repro.flowshop.instance import FlowShopInstance
-from repro.flowshop.neh import neh_heuristic
 
 __all__ = ["MulticoreBranchAndBound", "SubtreeTask"]
 
@@ -47,7 +57,8 @@ class SubtreeTask:
     prefix: tuple[int, ...]
     upper_bound: float
     max_nodes: Optional[int]
-    max_time_s: Optional[float]
+    #: shared wall-clock deadline (``time.time()`` epoch), not a per-task span
+    deadline: Optional[float]
     selection: str
     kernel: str = "v2"
 
@@ -61,21 +72,29 @@ def _solve_subtree(task: SubtreeTask) -> dict:
         upper_bound=task.upper_bound,
         selection=task.selection,
         max_nodes=task.max_nodes,
-        max_time_s=task.max_time_s,
+        deadline=task.deadline,
         kernel=task.kernel,
     )
     best_makespan, best_order, stats, completed = solver.run()
     return {
         "best_makespan": best_makespan,
         "best_order": best_order,
-        "stats": stats.as_dict(),
+        "stats": stats,
         "completed": completed,
         "prefix": task.prefix,
     }
 
 
 class _SubtreeSolver:
-    """Serial best-first search restricted to the sub-tree under a prefix."""
+    """Serial search restricted to the sub-tree under a prefix.
+
+    With ``incumbent=None`` (static mode) the solver prunes against the
+    launch-time ``upper_bound`` only.  When the work-stealing engine passes
+    a shared incumbent, the solver starts from the freshest shared bound,
+    publishes every local improvement via compare-and-swap, and polls the
+    shared bound every ``poll_interval`` pops — re-pruning its open pool
+    (:meth:`~repro.bb.pool.NodePool.prune_to`) when a peer tightened it.
+    """
 
     def __init__(
         self,
@@ -84,17 +103,23 @@ class _SubtreeSolver:
         upper_bound: float,
         selection: str = "depth-first",
         max_nodes: Optional[int] = None,
-        max_time_s: Optional[float] = None,
+        deadline: Optional[float] = None,
         kernel: str = "v2",
+        incumbent=None,
+        poll_interval: int = 64,
     ):
+        if poll_interval < 1:
+            raise ValueError("poll_interval must be >= 1")
         self.instance = instance
         self.data = LowerBoundData(instance)
         self.prefix = tuple(int(j) for j in prefix)
         self.upper_bound = float(upper_bound)
         self.selection = selection
         self.max_nodes = max_nodes
-        self.max_time_s = max_time_s
+        self.deadline = deadline
         self.kernel = kernel
+        self.incumbent = incumbent
+        self.poll_interval = poll_interval
 
     def _root(self) -> Node:
         node = root_node(self.instance)
@@ -109,6 +134,16 @@ class _SubtreeSolver:
         pool = make_pool(self.selection)
         start = time.perf_counter()
 
+        def finish(
+            best_makespan: Optional[int], best_order: tuple[int, ...], completed: bool
+        ) -> tuple[Optional[int], tuple[int, ...], SearchStats, bool]:
+            # Every exit path — including the leaf-root and pruned-root
+            # early returns — records its timing and pool high-water mark,
+            # so the merged multicore statistics stay complete.
+            stats.time_total_s = time.perf_counter() - start
+            stats.max_pool_size = pool.max_size_seen
+            return best_makespan, best_order, stats, completed
+
         node = self._root()
         t0 = time.perf_counter()
         bound_node(node, self.data)
@@ -118,28 +153,41 @@ class _SubtreeSolver:
         best_makespan: Optional[int] = None
         best_order: tuple[int, ...] = ()
         upper_bound = self.upper_bound
+        if self.incumbent is not None:
+            upper_bound = min(upper_bound, self.incumbent.get())
 
         if node.is_leaf:
             makespan = int(node.release[-1])
             stats.leaves_evaluated += 1
             if makespan < upper_bound:
-                return makespan, node.prefix, stats, True
-            return None, (), stats, True
+                if self.incumbent is not None:
+                    self.incumbent.try_update(makespan)
+                stats.incumbent_updates += 1
+                return finish(makespan, node.prefix, True)
+            return finish(None, (), True)
 
         if node.lower_bound is not None and node.lower_bound >= upper_bound:
             stats.nodes_pruned += 1
-            stats.time_total_s = time.perf_counter() - start
-            return None, (), stats, True
+            return finish(None, (), True)
 
         pool.push(node)
         completed = True
+        pops = 0
         while pool:
             if self.max_nodes is not None and stats.nodes_explored >= self.max_nodes:
                 completed = False
                 break
-            if self.max_time_s is not None and time.perf_counter() - start > self.max_time_s:
+            if self.deadline is not None and time.time() > self.deadline:
                 completed = False
                 break
+            pops += 1
+            if self.incumbent is not None and pops % self.poll_interval == 0:
+                shared = self.incumbent.get()
+                if shared < upper_bound:
+                    upper_bound = shared
+                    stats.nodes_pruned += pool.prune_to(upper_bound)
+                    if not pool:
+                        break
             current = pool.pop()
             assert current.lower_bound is not None
             if current.lower_bound >= upper_bound:
@@ -160,15 +208,15 @@ class _SubtreeSolver:
                         best_makespan = makespan
                         best_order = child.prefix
                         stats.incumbent_updates += 1
+                        if self.incumbent is not None:
+                            self.incumbent.try_update(makespan)
                     continue
                 assert child.lower_bound is not None
                 if child.lower_bound >= upper_bound:
                     stats.nodes_pruned += 1
                     continue
                 pool.push(child)
-        stats.time_total_s = time.perf_counter() - start
-        stats.max_pool_size = pool.max_size_seen
-        return best_makespan, best_order, stats, completed
+        return finish(best_makespan, best_order, completed)
 
 
 class MulticoreBranchAndBound:
@@ -184,12 +232,22 @@ class MulticoreBranchAndBound:
         ``"process"`` (true parallelism, default), ``"thread"`` (GIL-bound,
         deterministic — useful in tests), or ``"serial"`` (run the tasks in
         the calling thread; used to measure decomposition overhead).
+    mode:
+        ``"worksteal"`` (default) — the shared-incumbent work-stealing
+        engine (:class:`~repro.bb.worksteal.WorkStealingBranchAndBound`);
+        ``"static"`` — the historical one-shot split of the frontier over
+        the workers with no incumbent exchange, kept as the ablation
+        baseline.
     decomposition_depth:
         Depth down to which the root is expanded on the master before the
         sub-trees are distributed.  Depth 1 yields ``n`` tasks, depth 2
-        ``n(n-1)`` tasks; more tasks means better load balance.
+        ``n(n-1)``.  Defaults to 2 in work-stealing mode (oversubscription
+        feeds the stealing) and 1 in static mode.
     selection:
         Selection strategy used inside each worker.
+    poll_interval:
+        Work-stealing mode only: pops between two reads of the shared
+        incumbent inside a worker.
     kernel:
         Batched kernel revision used by every worker to bound the children
         of a branched node (``"v1"`` / ``"v2"``).  The scalar mode of the
@@ -202,15 +260,21 @@ class MulticoreBranchAndBound:
         instance: FlowShopInstance,
         n_workers: Optional[int] = None,
         backend: str = "process",
-        decomposition_depth: int = 1,
+        decomposition_depth: Optional[int] = None,
         selection: str = "depth-first",
         initial_upper_bound: Optional[float] = None,
         max_nodes_per_task: Optional[int] = None,
         max_time_s: Optional[float] = None,
         kernel: str = "v2",
+        mode: str = "worksteal",
+        poll_interval: int = 64,
     ):
         if backend not in ("process", "thread", "serial"):
             raise ValueError("backend must be 'process', 'thread' or 'serial'")
+        if mode not in ("worksteal", "static"):
+            raise ValueError("mode must be 'worksteal' or 'static'")
+        if decomposition_depth is None:
+            decomposition_depth = 2 if mode == "worksteal" else 1
         if decomposition_depth < 1:
             raise ValueError("decomposition_depth must be >= 1")
         if kernel not in ("v1", "v2"):
@@ -218,46 +282,54 @@ class MulticoreBranchAndBound:
         self.instance = instance
         self.n_workers = n_workers or os.cpu_count() or 1
         self.backend = backend
+        self.mode = mode
         self.decomposition_depth = min(decomposition_depth, instance.n_jobs)
         self.selection = selection
         self.initial_upper_bound = initial_upper_bound
         self.max_nodes_per_task = max_nodes_per_task
         self.max_time_s = max_time_s
         self.kernel = kernel
+        self.poll_interval = poll_interval
 
     # ------------------------------------------------------------------ #
     def _frontier_prefixes(self) -> list[tuple[int, ...]]:
         """All job prefixes of length ``decomposition_depth``."""
-        prefixes: list[tuple[int, ...]] = [()]
-        for _ in range(self.decomposition_depth):
-            extended: list[tuple[int, ...]] = []
-            for prefix in prefixes:
-                used = set(prefix)
-                for job in range(self.instance.n_jobs):
-                    if job not in used:
-                        extended.append(prefix + (job,))
-            prefixes = extended
-        return prefixes
+        return frontier_prefixes(self.instance.n_jobs, self.decomposition_depth)
 
     def _initial_incumbent(self) -> tuple[float, tuple[int, ...]]:
-        if self.initial_upper_bound is not None:
-            return float(self.initial_upper_bound), ()
-        heuristic = neh_heuristic(self.instance)
-        return float(heuristic.makespan), tuple(heuristic.order)
+        return initial_incumbent(self.instance, self.initial_upper_bound)
 
     # ------------------------------------------------------------------ #
     def solve(self) -> BBResult:
         """Run the parallel search and merge the workers' results."""
+        if self.mode == "worksteal":
+            return WorkStealingBranchAndBound(
+                self.instance,
+                n_workers=self.n_workers,
+                backend=self.backend,
+                decomposition_depth=self.decomposition_depth,
+                selection=self.selection,
+                initial_upper_bound=self.initial_upper_bound,
+                max_nodes_per_task=self.max_nodes_per_task,
+                max_time_s=self.max_time_s,
+                kernel=self.kernel,
+                poll_interval=self.poll_interval,
+            ).solve()
+        return self._solve_static()
+
+    def _solve_static(self) -> BBResult:
+        """One-shot split of the frontier over the workers (no sharing)."""
         start = time.perf_counter()
         upper_bound, best_order = self._initial_incumbent()
         payload = self.instance.to_dict()
+        deadline = time.time() + self.max_time_s if self.max_time_s is not None else None
         tasks = [
             SubtreeTask(
                 instance_payload=payload,
                 prefix=prefix,
                 upper_bound=upper_bound,
                 max_nodes=self.max_nodes_per_task,
-                max_time_s=self.max_time_s,
+                deadline=deadline,
                 selection=self.selection,
                 kernel=self.kernel,
             )
@@ -280,26 +352,7 @@ class MulticoreBranchAndBound:
         completed = True
         best_makespan = int(upper_bound) if best_order else None
         for outcome in results:
-            task_stats = SearchStats(
-                **{
-                    key: outcome["stats"][key]
-                    for key in (
-                    "nodes_bounded",
-                    "nodes_branched",
-                    "nodes_pruned",
-                    "leaves_evaluated",
-                    "incumbent_updates",
-                    "pools_evaluated",
-                    "time_total_s",
-                    "time_bounding_s",
-                    "time_branching_s",
-                    "time_pool_s",
-                    "max_pool_size",
-                        "simulated_device_time_s",
-                    )
-                }
-            )
-            stats = stats.merge(task_stats)
+            stats = stats.merge(outcome["stats"])
             completed = completed and bool(outcome["completed"])
             if outcome["best_makespan"] is not None:
                 value = int(outcome["best_makespan"])
@@ -308,8 +361,17 @@ class MulticoreBranchAndBound:
                     best_order = tuple(outcome["best_order"])
 
         stats.time_total_s = time.perf_counter() - start
-        if best_makespan is None or not best_order:
-            raise RuntimeError("parallel search terminated without an incumbent")
+        if best_makespan is None:
+            # No worker could strictly improve the initial bound, so the
+            # bound itself is the result: proven when the search completed
+            # (e.g. the caller passed the known optimal makespan), otherwise
+            # returned with ``proved_optimal=False`` like any truncated run.
+            if upper_bound == float("inf"):
+                raise RuntimeError(
+                    "parallel search terminated without an incumbent; provide "
+                    "a finite initial upper bound or let NEH seed the search"
+                )
+            best_makespan = int(upper_bound)
         return BBResult(
             instance=self.instance,
             best_makespan=best_makespan,

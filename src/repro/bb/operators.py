@@ -136,15 +136,21 @@ def eliminate(nodes: Iterable[Node], upper_bound: float) -> tuple[list[Node], in
     return survivors, pruned
 
 
-def select_batch(pool: NodePool, max_nodes: int, upper_bound: float | None = None) -> list[Node]:
+def select_batch(
+    pool: NodePool, max_nodes: int, upper_bound: float | None = None
+) -> tuple[list[Node], int]:
     """Selection operator: take up to ``max_nodes`` nodes from the pool.
 
     Nodes whose stored bound already meets the current incumbent are
     discarded on the fly (they were inserted before the incumbent improved);
     this "lazy pruning" keeps the pool implementation simple while remaining
     exact.
+
+    Returns ``(selected, n_pruned)`` so callers can credit the lazily
+    discarded nodes to their pruning statistics.
     """
     selected: list[Node] = []
+    n_pruned = 0
     while pool and len(selected) < max_nodes:
         node = pool.pop()
         if (
@@ -152,6 +158,7 @@ def select_batch(pool: NodePool, max_nodes: int, upper_bound: float | None = Non
             and node.lower_bound is not None
             and node.lower_bound >= upper_bound
         ):
+            n_pruned += 1
             continue
         selected.append(node)
-    return selected
+    return selected, n_pruned

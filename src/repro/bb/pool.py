@@ -49,6 +49,17 @@ class NodePool(ABC):
     def __len__(self) -> int:
         ...
 
+    @abstractmethod
+    def prune_to(self, upper_bound: float) -> int:
+        """Drop pending nodes whose bound cannot improve ``upper_bound``.
+
+        Called when the incumbent tightens (e.g. a peer worker of the
+        work-stealing engine broadcast a better bound) so the open pool is
+        re-pruned eagerly instead of node by node at selection time.
+        Returns the number of nodes removed; the relative order of the
+        survivors is preserved.
+        """
+
     # -- derived operations --------------------------------------------- #
     def push_many(self, nodes: Iterable[Node]) -> None:
         for node in nodes:
@@ -112,6 +123,18 @@ class BestFirstPool(NodePool):
         node = self._heap[0][1]
         return node.lower_bound
 
+    def prune_to(self, upper_bound: float) -> int:
+        kept = [
+            entry
+            for entry in self._heap
+            if entry[1].lower_bound is None or entry[1].lower_bound < upper_bound
+        ]
+        removed = len(self._heap) - len(kept)
+        if removed:
+            self._heap = kept
+            heapq.heapify(self._heap)
+        return removed
+
     def __len__(self) -> int:
         return len(self._heap)
 
@@ -134,6 +157,16 @@ class DepthFirstPool(NodePool):
             raise IndexError("pop from an empty pool")
         return self._stack.pop()
 
+    def prune_to(self, upper_bound: float) -> int:
+        kept = [
+            node
+            for node in self._stack
+            if node.lower_bound is None or node.lower_bound < upper_bound
+        ]
+        removed = len(self._stack) - len(kept)
+        self._stack = kept
+        return removed
+
     def __len__(self) -> int:
         return len(self._stack)
 
@@ -155,6 +188,16 @@ class FifoPool(NodePool):
         if not self._queue:
             raise IndexError("pop from an empty pool")
         return self._queue.popleft()
+
+    def prune_to(self, upper_bound: float) -> int:
+        kept = deque(
+            node
+            for node in self._queue
+            if node.lower_bound is None or node.lower_bound < upper_bound
+        )
+        removed = len(self._queue) - len(kept)
+        self._queue = kept
+        return removed
 
     def __len__(self) -> int:
         return len(self._queue)

@@ -60,7 +60,13 @@ def _solve(args: argparse.Namespace) -> int:
         ).solve()
     elif engine == "multicore":
         result = MulticoreBranchAndBound(
-            instance, n_workers=args.workers, backend="process"
+            instance,
+            n_workers=args.workers,
+            backend="process",
+            mode=args.parallel_mode,
+            decomposition_depth=args.decomposition_depth,
+            max_nodes_per_task=args.max_nodes,
+            max_time_s=args.max_time,
         ).solve()
     elif engine == "cluster":
         config = GpuBBConfig(
@@ -144,7 +150,27 @@ def build_parser() -> argparse.ArgumentParser:
     add_instance_arguments(solve)
     solve.add_argument("--engine", choices=("gpu", "serial", "multicore", "cluster"), default="gpu")
     solve.add_argument("--pool-size", type=int, default=8192, help="GPU off-load pool size")
-    solve.add_argument("--workers", type=int, default=4, help="multicore worker count")
+    solve.add_argument(
+        "--n-workers",
+        "--workers",
+        dest="workers",
+        type=int,
+        default=4,
+        help="multicore worker count",
+    )
+    solve.add_argument(
+        "--parallel-mode",
+        choices=("worksteal", "static"),
+        default="worksteal",
+        help="multicore engine: shared-incumbent work stealing (default) or static split",
+    )
+    solve.add_argument(
+        "--decomposition-depth",
+        type=int,
+        default=None,
+        help="prefix depth of the sub-tree decomposition "
+        "(default: 2 for worksteal, 1 for static)",
+    )
     solve.add_argument("--nodes", type=int, default=4, help="cluster node count")
     solve.add_argument("--max-nodes", type=int, default=None, help="node exploration budget")
     solve.add_argument("--max-time", type=float, default=None, help="time budget in seconds")

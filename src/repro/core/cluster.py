@@ -60,6 +60,8 @@ class ClusterSpec:
     node_payload_bytes: int = 128
     #: coordinator-side cost to merge one node's results (seconds)
     merge_cost_per_node_s: float = 10e-6
+    #: bytes of one incumbent-bound broadcast (the tightened upper bound)
+    incumbent_broadcast_bytes: int = 8
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -68,14 +70,29 @@ class ClusterSpec:
             raise ValueError("invalid interconnect parameters")
 
     def scatter_time_s(self, pool_size: int, payload_bytes: int | None = None) -> float:
-        """Time to scatter a pool of sub-problems to the nodes."""
+        """Time to scatter a pool of sub-problems to the nodes.
+
+        Each sub-problem is shipped exactly once, so the byte cost is
+        ``pool_size * payload`` regardless of how the pool splits across the
+        nodes (the last node's chunk may be short); only the per-message
+        latency scales with the node count.
+        """
         if pool_size < 0:
             raise ValueError("pool_size must be non-negative")
         payload = self.node_payload_bytes if payload_bytes is None else payload_bytes
-        per_node = math.ceil(pool_size / self.n_nodes)
-        bytes_per_node = per_node * payload
         return self.n_nodes * self.interconnect_latency_s + (
-            self.n_nodes * bytes_per_node / self.interconnect_bandwidth_bps
+            pool_size * payload / self.interconnect_bandwidth_bps
+        )
+
+    def incumbent_broadcast_time_s(self) -> float:
+        """Time for one coordinator-to-nodes broadcast of a tightened bound.
+
+        Charged once per incumbent improvement when the engines share the
+        incumbent (one extra interconnect message carrying the new upper
+        bound).
+        """
+        return self.interconnect_latency_s + (
+            self.incumbent_broadcast_bytes / self.interconnect_bandwidth_bps
         )
 
     def gather_time_s(self, pool_size: int, result_bytes: int = 4) -> float:
@@ -287,7 +304,8 @@ class ClusterBranchAndBound:
                 completed = False
                 break
             iteration += 1
-            parents = select_batch(pool, config.pool_size, upper_bound)
+            parents, lazily_pruned = select_batch(pool, config.pool_size, upper_bound)
+            stats.nodes_pruned += lazily_pruned
             if not parents:
                 break
             children: list[Node] = []
@@ -303,6 +321,7 @@ class ClusterBranchAndBound:
             stats.pools_evaluated += 1
 
             open_children: list[Node] = []
+            step_improvements = 0
             for child in children:
                 if child.is_leaf:
                     stats.leaves_evaluated += 1
@@ -311,8 +330,13 @@ class ClusterBranchAndBound:
                         upper_bound = float(value)
                         best_order = child.prefix
                         stats.incumbent_updates += 1
+                        step_improvements += 1
                 else:
                     open_children.append(child)
+            if step_improvements and config.share_incumbent:
+                # the coordinator broadcasts every tightened bound to the
+                # nodes so their next local elimination uses it
+                simulated_total += step_improvements * self.cluster.incumbent_broadcast_time_s()
             survivors, pruned = eliminate(open_children, upper_bound)
             stats.nodes_pruned += pruned
             pool.push_many(survivors)

@@ -45,6 +45,15 @@ class GpuBBConfig:
         Calibration constants of the device timing model.
     selection:
         Host-side selection strategy for the pending pool.
+    share_incumbent:
+        Propagate incumbent improvements between the parallel explorers.
+        In the hybrid engine, disabling it seeds every sub-tree with the
+        launch-time bound instead of the best found so far (still exact,
+        more nodes explored).  In the cluster engine the coordinator-side
+        search always uses the freshest bound — the flag only toggles the
+        *cost accounting* of the broadcast that a real deployment would
+        issue (one interconnect message per improvement, see
+        :meth:`~repro.core.cluster.ClusterSpec.incumbent_broadcast_time_s`).
     use_neh_upper_bound:
         Seed the incumbent with the NEH heuristic.
     include_one_machine_bound:
@@ -60,6 +69,7 @@ class GpuBBConfig:
     device: DeviceSpec = TESLA_C2050
     cost_model: KernelCostModel = field(default_factory=KernelCostModel)
     selection: str = "best-first"
+    share_incumbent: bool = True
     use_neh_upper_bound: bool = True
     include_one_machine_bound: bool = False
     max_nodes: Optional[int] = None
@@ -112,5 +122,6 @@ class GpuBBConfig:
             "placement": self.placement.name if self.placement else "auto",
             "device": self.device.name,
             "selection": self.selection,
+            "share_incumbent": self.share_incumbent,
             "use_neh_upper_bound": self.use_neh_upper_bound,
         }

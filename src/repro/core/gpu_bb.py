@@ -180,8 +180,9 @@ class GpuBranchAndBound:
 
             # --- selection -------------------------------------------------
             t0 = time.perf_counter()
-            parents = select_batch(pool, config.pool_size, upper_bound)
+            parents, lazily_pruned = select_batch(pool, config.pool_size, upper_bound)
             stats.time_pool_s += time.perf_counter() - t0
+            stats.nodes_pruned += lazily_pruned
             if not parents:
                 break
 

@@ -94,6 +94,7 @@ class HybridBranchAndBound:
         incumbent = neh_heuristic(self.instance)
         best_makespan = incumbent.makespan
         best_order = tuple(incumbent.order)
+        launch_makespan = best_makespan
 
         prefixes = self._prefixes()
         # round-robin assignment of sub-trees to explorers (kept for reporting)
@@ -109,9 +110,13 @@ class HybridBranchAndBound:
         proved = True
         all_iterations = []
 
+        share_incumbent = self.config.gpu.share_incumbent
         for explorer, owned in assignments.items():
             for prefix in owned:
-                sub_result = self._solve_subtree(prefix, best_makespan)
+                # Cooperative mode seeds each sub-tree with the best bound
+                # found so far; independent mode replays the launch-time one.
+                seed_bound = best_makespan if share_incumbent else launch_makespan
+                sub_result = self._solve_subtree(prefix, seed_bound)
                 stats = stats.merge(sub_result.stats)
                 simulated_total += sub_result.simulated_device_time_s
                 measured_total += sub_result.measured_kernel_time_s
@@ -211,7 +216,8 @@ def _solve_from_seed(engine: GpuBranchAndBound, seed, upper_bound: float) -> Gpu
             completed = False
             break
         iteration += 1
-        parents = select_batch(pool, config.pool_size, upper_bound)
+        parents, lazily_pruned = select_batch(pool, config.pool_size, upper_bound)
+        stats.nodes_pruned += lazily_pruned
         if not parents:
             break
         children = []

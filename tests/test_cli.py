@@ -25,6 +25,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "--engine", "quantum"])
 
+    def test_parallel_flags(self):
+        args = build_parser().parse_args(
+            ["solve", "--n-workers", "8", "--parallel-mode", "static", "--decomposition-depth", "3"]
+        )
+        assert args.workers == 8
+        assert args.parallel_mode == "static"
+        assert args.decomposition_depth == 3
+
+    def test_workers_alias_kept(self):
+        args = build_parser().parse_args(["solve", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_parallel_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.parallel_mode == "worksteal"
+        assert args.decomposition_depth is None
+
+    def test_unknown_parallel_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--parallel-mode", "telepathy"])
+
 
 class TestSolveCommand:
     def test_solve_generated_instance_gpu(self, capsys):
@@ -38,6 +59,39 @@ class TestSolveCommand:
         code = main(["solve", "--jobs", "6", "--machines", "3", "--engine", "serial"])
         assert code == 0
         assert "engine   : serial" in capsys.readouterr().out
+
+    def test_multicore_honours_max_nodes(self, capsys):
+        # the ta_10x8 NEH seed is not optimal, so a 1-node budget per chunk
+        # must leave the run truncated instead of silently unbounded
+        code = main(
+            "solve --jobs 10 --machines 8 --engine multicore "
+            "--n-workers 2 --max-nodes 1".split()
+        )
+        assert code == 0
+        assert "optimal  : False" in capsys.readouterr().out
+
+    def test_solve_multicore_worksteal(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--jobs",
+                "6",
+                "--machines",
+                "3",
+                "--engine",
+                "multicore",
+                "--n-workers",
+                "2",
+                "--parallel-mode",
+                "worksteal",
+                "--decomposition-depth",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine   : multicore" in out
+        assert "optimal  : True" in out
 
     def test_solve_cluster_engine(self, capsys):
         argv = "solve --jobs 6 --machines 3 --engine cluster --nodes 2 --pool-size 32".split()

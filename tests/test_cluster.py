@@ -29,6 +29,31 @@ class TestClusterSpec:
         with pytest.raises(ValueError):
             spec.scatter_time_s(-1)
 
+    def test_scatter_bills_each_subproblem_once(self):
+        # regression: a pool of 1 on a 16-node cluster used to be charged
+        # 16 payloads (2048 B) instead of 1 (128 B)
+        spec = ClusterSpec(n_nodes=16)
+        expected = 16 * spec.interconnect_latency_s + (
+            1 * spec.node_payload_bytes / spec.interconnect_bandwidth_bps
+        )
+        assert spec.scatter_time_s(1) == pytest.approx(expected)
+
+    def test_scatter_bytes_independent_of_node_count(self):
+        # same pool, more nodes: only the per-message latency may grow
+        small = ClusterSpec(n_nodes=2)
+        large = ClusterSpec(n_nodes=16)
+        pool = 1000
+        small_bytes_s = small.scatter_time_s(pool) - 2 * small.interconnect_latency_s
+        large_bytes_s = large.scatter_time_s(pool) - 16 * large.interconnect_latency_s
+        assert small_bytes_s == pytest.approx(large_bytes_s)
+
+    def test_incumbent_broadcast_time(self):
+        spec = ClusterSpec(n_nodes=8)
+        expected = spec.interconnect_latency_s + (
+            spec.incumbent_broadcast_bytes / spec.interconnect_bandwidth_bps
+        )
+        assert spec.incumbent_broadcast_time_s() == pytest.approx(expected)
+
 
 class TestClusterSimulator:
     def test_more_nodes_reduce_step_time_for_large_pools(self):
@@ -94,6 +119,24 @@ class TestClusterEngine:
         ).solve()
         assert result.simulated_device_time_s > 0
         assert result.stats.pools_evaluated >= 1
+
+    def test_incumbent_broadcast_charged_per_improvement(self, medium_instance):
+        spec = ClusterSpec(n_nodes=4)
+        shared = ClusterBranchAndBound(
+            medium_instance, spec, GpuBBConfig(pool_size=64, share_incumbent=True)
+        ).solve()
+        silent = ClusterBranchAndBound(
+            medium_instance, spec, GpuBBConfig(pool_size=64, share_incumbent=False)
+        ).solve()
+        # same tree either way (the coordinator always prunes with the bound);
+        # sharing only adds one broadcast message per improvement
+        assert shared.best_makespan == silent.best_makespan
+        assert shared.stats.nodes_bounded == silent.stats.nodes_bounded
+        improvements = shared.stats.incumbent_updates - 1  # minus the NEH seed
+        expected_extra = improvements * spec.incumbent_broadcast_time_s()
+        assert shared.simulated_device_time_s - silent.simulated_device_time_s == (
+            pytest.approx(expected_extra)
+        )
 
     def test_budget(self, medium_instance):
         result = ClusterBranchAndBound(

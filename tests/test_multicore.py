@@ -40,6 +40,69 @@ class TestCorrectness:
         assert result.best_makespan == optimum
 
 
+class TestOptimalInitialBound:
+    """Regression: an initial bound equal to the optimum used to raise
+    ``RuntimeError("parallel search terminated without an incumbent")``."""
+
+    @pytest.mark.parametrize("mode", ["static", "worksteal"])
+    def test_returns_the_proven_bound(self, small_instance, mode):
+        _, optimum = brute_force_optimum(small_instance)
+        result = MulticoreBranchAndBound(
+            small_instance,
+            n_workers=2,
+            backend="thread",
+            mode=mode,
+            initial_upper_bound=optimum,
+        ).solve()
+        assert result.best_makespan == optimum
+        assert result.proved_optimal
+
+    def test_overtight_bound_is_trusted(self, small_instance):
+        # a bound below the optimum admits no improving schedule either;
+        # the completed search returns the caller's bound unchanged
+        _, optimum = brute_force_optimum(small_instance)
+        result = MulticoreBranchAndBound(
+            small_instance,
+            n_workers=2,
+            backend="thread",
+            mode="static",
+            initial_upper_bound=optimum - 1,
+        ).solve()
+        assert result.best_makespan == optimum - 1
+        assert result.best_order == ()
+
+
+class TestSubtreeEarlyReturns:
+    """Regression: the leaf-root and pruned-root early returns left
+    ``time_total_s`` / ``max_pool_size`` unset, under-reporting timings."""
+
+    def test_leaf_root_records_timing(self, tiny_instance):
+        from repro.bb.multicore import _SubtreeSolver
+
+        solver = _SubtreeSolver(tiny_instance, prefix=(0, 1, 2), upper_bound=1e9)
+        makespan, order, stats, completed = solver.run()
+        assert completed and makespan is not None and order == (0, 1, 2)
+        assert stats.time_total_s > 0
+        assert stats.leaves_evaluated == 1
+
+    def test_rejected_leaf_root_records_timing(self, tiny_instance):
+        from repro.bb.multicore import _SubtreeSolver
+
+        solver = _SubtreeSolver(tiny_instance, prefix=(0, 1, 2), upper_bound=1)
+        makespan, order, stats, completed = solver.run()
+        assert completed and makespan is None and order == ()
+        assert stats.time_total_s > 0
+
+    def test_pruned_root_records_timing(self, small_instance):
+        from repro.bb.multicore import _SubtreeSolver
+
+        solver = _SubtreeSolver(small_instance, prefix=(0,), upper_bound=1)
+        makespan, order, stats, completed = solver.run()
+        assert completed and makespan is None
+        assert stats.nodes_pruned == 1
+        assert stats.time_total_s > 0
+
+
 class TestConfigurationValidation:
     def test_rejects_unknown_backend(self, small_instance):
         with pytest.raises(ValueError):

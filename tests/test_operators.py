@@ -101,8 +101,9 @@ class TestSelectBatch:
         children = branch(root_node(small_instance), small_instance)
         bound_nodes_batch(children, small_instance_data)
         pool.push_many(children)
-        batch = select_batch(pool, 3)
+        batch, n_pruned = select_batch(pool, 3)
         assert len(batch) == 3
+        assert n_pruned == 0
         assert len(pool) == len(children) - 3
 
     def test_lazy_pruning_with_upper_bound(self, small_instance, small_instance_data):
@@ -111,6 +112,7 @@ class TestSelectBatch:
         bound_nodes_batch(children, small_instance_data)
         pool.push_many(children)
         cutoff = min(c.lower_bound for c in children)  # prune everything
-        batch = select_batch(pool, 100, upper_bound=cutoff)
+        batch, n_pruned = select_batch(pool, 100, upper_bound=cutoff)
         assert batch == []
+        assert n_pruned == len(children)
         assert len(pool) == 0

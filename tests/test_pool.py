@@ -101,6 +101,35 @@ class TestSharedBehaviour:
         pool.push(_node(1))
         assert pool.max_size_seen == 7
 
+    @pytest.mark.parametrize("strategy", ["best-first", "depth-first", "fifo"])
+    def test_prune_to_drops_hopeless_nodes(self, strategy):
+        pool = make_pool(strategy)
+        pool.push_many(_node(lb) for lb in range(10))
+        removed = pool.prune_to(5)
+        assert removed == 5
+        assert len(pool) == 5
+        assert all(node.lower_bound < 5 for node in pool.drain())
+
+    @pytest.mark.parametrize("strategy", ["best-first", "depth-first", "fifo"])
+    def test_prune_to_preserves_order(self, strategy):
+        pool = make_pool(strategy)
+        pool.push_many(_node(lb) for lb in (3, 9, 1, 8, 2))
+        pool.prune_to(5)
+        survivors = [node.lower_bound for node in pool.drain()]
+        expected = {"best-first": [1, 2, 3], "depth-first": [2, 1, 3], "fifo": [3, 1, 2]}
+        assert survivors == expected[strategy]
+
+    def test_prune_to_keeps_unbounded_nodes(self):
+        pool = DepthFirstPool()
+        node = _node(0)
+        node.lower_bound = None
+        pool.push(node)
+        assert pool.prune_to(0) == 0
+        assert len(pool) == 1
+
+    def test_prune_to_empty_pool(self):
+        assert BestFirstPool().prune_to(10) == 0
+
     def test_bool_protocol(self):
         pool = BestFirstPool()
         assert not pool
