@@ -1,0 +1,184 @@
+"""Structure-of-arrays frontier vs object nodes: sequential solve throughput.
+
+After the bounding kernel was vectorized (PR 1), Amdahl's law moved the
+sequential engine's bottleneck into the pure-Python per-node pipeline: one
+``Node`` dataclass per child, one heap entry per push, and a row-by-row
+``encode_pool`` re-pack per bounding launch.  The block layout
+(:mod:`repro.bb.frontier`) stores the frontier as structure-of-arrays
+batches — branching, selection and elimination are array programs, bounding
+reads the arrays with zero re-packing, and best-first ties are branched and
+bounded in one launch — while exploring bit-for-bit the same tree.
+
+This module measures end-to-end sequential solve throughput (nodes bounded
+per second of search time) for both layouts on a Taillard 20x10 instance and
+asserts
+
+* both layouts report the identical ``best_makespan`` and identical
+  ``nodes_bounded`` / ``nodes_branched`` / ``nodes_pruned`` counters;
+* the stats-conservation identity ``bounded == branched + pruned + leaves``
+  on a fully solved instance (both layouts);
+* a >= 3x nodes/s floor for ``layout="block"`` over ``layout="object"``
+  (skipped in ``--smoke`` mode: shared CI runners are too noisy for a hard
+  wall-clock assertion).
+
+Runable three ways::
+
+    PYTHONPATH=src python benchmarks/bench_frontier.py                # full, asserts the floor
+    PYTHONPATH=src python benchmarks/bench_frontier.py --smoke --json out.json
+    PYTHONPATH=src python -m pytest benchmarks/bench_frontier.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bb.sequential import SequentialBranchAndBound
+from repro.flowshop import random_instance
+from repro.flowshop.taillard import taillard_instance
+
+SPEEDUP_FLOOR = 3.0
+#: exploration budget of the throughput measurement (identical trees in both
+#: layouts under the same budget, so the counters must agree exactly)
+FULL_BUDGET = 3000
+SMOKE_BUDGET = 600
+
+
+def run_once(instance, layout: str, max_nodes: int | None):
+    """One solve; returns its :class:`~repro.bb.stats.SearchStats`."""
+    engine = SequentialBranchAndBound(instance, max_nodes=max_nodes, layout=layout)
+    return engine.solve()
+
+
+def measure(instance, max_nodes: int, repeats: int) -> dict:
+    """Interleaved best-of-``repeats`` throughput of both layouts.
+
+    The denominator is ``stats.time_total_s`` — the search loop proper —
+    so the (identical, search-independent) NEH seeding cost does not dilute
+    the layout comparison.
+    """
+    for layout in ("object", "block"):  # warm the kernels / caches
+        run_once(instance, layout, min(300, max_nodes))
+    best: dict[str, object] = {}
+    for _ in range(repeats):
+        for layout in ("object", "block"):
+            result = run_once(instance, layout, max_nodes)
+            record = best.get(layout)
+            if record is None or result.stats.time_total_s < record.stats.time_total_s:
+                best[layout] = result
+    obj, blk = best["object"], best["block"]
+
+    for field in ("nodes_bounded", "nodes_branched", "nodes_pruned"):
+        a, b = getattr(obj.stats, field), getattr(blk.stats, field)
+        assert a == b, f"{field} diverged between layouts: object={a} block={b}"
+    assert obj.best_makespan == blk.best_makespan, "best_makespan diverged between layouts"
+
+    def throughput(result):
+        return result.stats.nodes_bounded / result.stats.time_total_s
+
+    return {
+        "instance": instance.name or f"{instance.n_jobs}x{instance.n_machines}",
+        "max_nodes": max_nodes,
+        "best_makespan": obj.best_makespan,
+        "nodes_bounded": obj.stats.nodes_bounded,
+        "nodes_branched": obj.stats.nodes_branched,
+        "nodes_pruned": obj.stats.nodes_pruned,
+        "object_nodes_per_s": throughput(obj),
+        "block_nodes_per_s": throughput(blk),
+        "object_time_s": obj.stats.time_total_s,
+        "block_time_s": blk.stats.time_total_s,
+        "speedup": obj.stats.time_total_s / blk.stats.time_total_s,
+    }
+
+
+def check_conservation(seed: int = 3) -> dict:
+    """Fully solve a small instance in both layouts; check the identity."""
+    instance = random_instance(10, 8, seed=seed)
+    payload: dict[str, object] = {"instance": f"10x8 seed={seed}"}
+    makespans = set()
+    for layout in ("object", "block"):
+        result = run_once(instance, layout, None)
+        stats = result.stats
+        assert result.proved_optimal
+        assert stats.nodes_bounded == (
+            stats.nodes_branched + stats.nodes_pruned + stats.leaves_evaluated
+        ), f"conservation violated in layout={layout}"
+        makespans.add(result.best_makespan)
+        payload[f"{layout}_nodes_bounded"] = stats.nodes_bounded
+    assert len(makespans) == 1, "layouts disagree on the optimum"
+    payload["best_makespan"] = makespans.pop()
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small budget, no speed-up floor assertion (CI smoke mode)",
+    )
+    parser.add_argument("--json", help="write the results to this path as JSON")
+    args = parser.parse_args(argv)
+
+    instance = taillard_instance(20, 10, index=1)
+    budget = SMOKE_BUDGET if args.smoke else FULL_BUDGET
+    repeats = 2 if args.smoke else 5
+
+    results = measure(instance, budget, repeats)
+    results["conservation"] = check_conservation()
+    results["smoke"] = args.smoke
+    results["speedup_floor"] = SPEEDUP_FLOOR
+
+    print(f"instance          : {results['instance']} (budget {budget} nodes)")
+    print(f"best makespan     : {results['best_makespan']} (identical in both layouts)")
+    print(
+        f"nodes             : bounded={results['nodes_bounded']} "
+        f"branched={results['nodes_branched']} pruned={results['nodes_pruned']} "
+        "(identical in both layouts)"
+    )
+    print(f"object layout     : {results['object_nodes_per_s']:10.0f} nodes/s")
+    print(f"block layout      : {results['block_nodes_per_s']:10.0f} nodes/s")
+    print(f"speedup           : {results['speedup']:.2f}x (floor {SPEEDUP_FLOOR}x)")
+    print(f"conservation      : ok ({results['conservation']['instance']})")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"results written to {args.json}")
+
+    if not args.smoke:
+        assert results["speedup"] >= SPEEDUP_FLOOR, (
+            f"block layout speedup {results['speedup']:.2f}x is below the "
+            f"{SPEEDUP_FLOOR}x floor"
+        )
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# pytest-benchmark entry points (same measurements, one layout per test)
+# --------------------------------------------------------------------- #
+def test_object_layout_throughput(benchmark):
+    instance = taillard_instance(20, 10, index=1)
+    result = benchmark(lambda: run_once(instance, "object", SMOKE_BUDGET))
+    assert result.stats.nodes_bounded > 0
+
+
+def test_block_layout_throughput(benchmark):
+    instance = taillard_instance(20, 10, index=1)
+    result = benchmark(lambda: run_once(instance, "block", SMOKE_BUDGET))
+    assert result.stats.nodes_bounded > 0
+
+
+def test_layouts_explore_identical_tree(benchmark):
+    instance = taillard_instance(20, 10, index=1)
+    obj = run_once(instance, "object", SMOKE_BUDGET)
+    blk = benchmark(lambda: run_once(instance, "block", SMOKE_BUDGET))
+    assert obj.best_makespan == blk.best_makespan
+    assert obj.stats.nodes_bounded == blk.stats.nodes_bounded
+    assert obj.stats.nodes_branched == blk.stats.nodes_branched
+    assert obj.stats.nodes_pruned == blk.stats.nodes_pruned
+
+
+if __name__ == "__main__":
+    sys.exit(main())

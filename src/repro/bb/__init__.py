@@ -7,6 +7,10 @@ builds on:
   prefix plus cached machine release times and lower bound).
 * :mod:`~repro.bb.pool` — pending-node pools implementing the selection
   strategies (best-first, the paper's choice; depth-first; FIFO).
+* :mod:`~repro.bb.frontier` — the structure-of-arrays node representation
+  (``layout="block"``, the default): columnar :class:`~repro.bb.frontier.
+  NodeBlock` batches, vectorized branch/bound/eliminate operators and the
+  array-backed :class:`~repro.bb.frontier.BlockFrontier` pool.
 * :mod:`~repro.bb.operators` — the four B&B operators (branching, bounding,
   selection, elimination) as composable functions.
 * :mod:`~repro.bb.sequential` — the serial B&B, the ``T_cpu`` reference of
@@ -22,6 +26,16 @@ builds on:
 * :mod:`~repro.bb.stats` — exploration statistics shared by all engines.
 """
 
+from repro.bb.frontier import (
+    BlockFrontier,
+    NodeBlock,
+    Trail,
+    bound_block,
+    branch_block,
+    eliminate_block,
+    make_frontier,
+    root_block,
+)
 from repro.bb.node import Node, root_node
 from repro.bb.pool import (
     BestFirstPool,
@@ -46,6 +60,14 @@ from repro.bb.bruteforce import brute_force_optimum
 __all__ = [
     "Node",
     "root_node",
+    "NodeBlock",
+    "Trail",
+    "BlockFrontier",
+    "root_block",
+    "branch_block",
+    "bound_block",
+    "eliminate_block",
+    "make_frontier",
     "BestFirstPool",
     "DepthFirstPool",
     "FifoPool",

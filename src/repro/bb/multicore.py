@@ -34,6 +34,16 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
+from repro.bb.frontier import (
+    BlockFrontier,
+    Trail,
+    bound_block,
+    branch_row,
+    leaf_improvements,
+    seed_block,
+)
 from repro.bb.node import Node, root_node
 from repro.bb.operators import bound_children_batch, bound_node, branch
 from repro.bb.sequential import BBResult, SequentialBranchAndBound
@@ -61,6 +71,7 @@ class SubtreeTask:
     deadline: Optional[float]
     selection: str
     kernel: str = "v2"
+    layout: str = "block"
 
 
 def _solve_subtree(task: SubtreeTask) -> dict:
@@ -74,6 +85,7 @@ def _solve_subtree(task: SubtreeTask) -> dict:
         max_nodes=task.max_nodes,
         deadline=task.deadline,
         kernel=task.kernel,
+        layout=task.layout,
     )
     best_makespan, best_order, stats, completed = solver.run()
     return {
@@ -107,9 +119,12 @@ class _SubtreeSolver:
         kernel: str = "v2",
         incumbent=None,
         poll_interval: int = 64,
+        layout: str = "block",
     ):
         if poll_interval < 1:
             raise ValueError("poll_interval must be >= 1")
+        if layout not in ("block", "object"):
+            raise ValueError(f"layout must be 'block' or 'object', got {layout!r}")
         self.instance = instance
         self.data = LowerBoundData(instance)
         self.prefix = tuple(int(j) for j in prefix)
@@ -120,6 +135,7 @@ class _SubtreeSolver:
         self.kernel = kernel
         self.incumbent = incumbent
         self.poll_interval = poll_interval
+        self.layout = layout
 
     def _root(self) -> Node:
         node = root_node(self.instance)
@@ -128,6 +144,11 @@ class _SubtreeSolver:
         return node
 
     def run(self) -> tuple[Optional[int], tuple[int, ...], SearchStats, bool]:
+        if self.layout == "block":
+            return self._run_block()
+        return self._run_object()
+
+    def _run_object(self) -> tuple[Optional[int], tuple[int, ...], SearchStats, bool]:
         from repro.bb.pool import make_pool  # local import to keep pickling light
 
         stats = SearchStats()
@@ -218,6 +239,114 @@ class _SubtreeSolver:
                 pool.push(child)
         return finish(best_makespan, best_order, completed)
 
+    def _run_block(self) -> tuple[Optional[int], tuple[int, ...], SearchStats, bool]:
+        """Block-layout twin of :meth:`_run_object` (same tree, same stats)."""
+        instance = self.instance
+        data = self.data
+        pt = instance.processing_times
+        n_jobs = instance.n_jobs
+        stats = SearchStats()
+        trail = Trail()
+        frontier = BlockFrontier(
+            n_jobs, instance.n_machines, trail, strategy=self.selection
+        )
+        start = time.perf_counter()
+
+        best_trail: Optional[int] = None
+
+        def finish(
+            best_makespan: Optional[int], completed: bool
+        ) -> tuple[Optional[int], tuple[int, ...], SearchStats, bool]:
+            stats.time_total_s = time.perf_counter() - start
+            stats.max_pool_size = frontier.max_size_seen
+            best_order = trail.prefix(best_trail) if best_trail is not None else ()
+            return best_makespan, best_order, stats, completed
+
+        seed = seed_block(instance, self.prefix, trail)
+        next_order = int(seed.order_index[0]) + 1
+        t0 = time.perf_counter()
+        bound_block(data, seed, kernel=self.kernel)
+        stats.time_bounding_s += time.perf_counter() - t0
+        stats.nodes_bounded += 1
+
+        best_makespan: Optional[int] = None
+        upper_bound = self.upper_bound
+        if self.incumbent is not None:
+            upper_bound = min(upper_bound, self.incumbent.get())
+
+        if int(seed.depth[0]) == n_jobs:
+            makespan = int(seed.release[0, -1])
+            stats.leaves_evaluated += 1
+            if makespan < upper_bound:
+                if self.incumbent is not None:
+                    self.incumbent.try_update(makespan)
+                stats.incumbent_updates += 1
+                best_trail = int(seed.trail_id[0])
+                return finish(makespan, True)
+            return finish(None, True)
+
+        if int(seed.lower_bound[0]) >= upper_bound:
+            stats.nodes_pruned += 1
+            return finish(None, True)
+
+        frontier.push_block(seed)
+        completed = True
+        pops = 0
+        while frontier:
+            if self.max_nodes is not None and stats.nodes_explored >= self.max_nodes:
+                completed = False
+                break
+            if self.deadline is not None and time.time() > self.deadline:
+                completed = False
+                break
+            pops += 1
+            if self.incumbent is not None and pops % self.poll_interval == 0:
+                shared = self.incumbent.get()
+                if shared < upper_bound:
+                    upper_bound = shared
+                    stats.nodes_pruned += frontier.prune_to(upper_bound)
+                    if not frontier:
+                        break
+            row = frontier.peek_best()
+            current_lb, current_depth, _, current_tid, mask_view, release_view = (
+                frontier.row_view(row)
+            )
+            if current_lb >= upper_bound:
+                frontier.discard(row)
+                stats.nodes_pruned += 1
+                continue
+            children = branch_row(
+                mask_view, release_view, current_depth, current_tid, trail, pt, next_order
+            )
+            frontier.discard(row)
+            next_order += len(children)
+            stats.nodes_branched += 1
+            t0 = time.perf_counter()
+            bound_block(data, children, kernel=self.kernel, siblings=True)
+            stats.time_bounding_s += time.perf_counter() - t0
+            n_children = len(children)
+            stats.nodes_bounded += n_children
+            if current_depth + 1 == n_jobs:
+                # every sibling is a complete schedule (uniform depth)
+                stats.leaves_evaluated += n_children
+                makespans = children.makespans
+                improving, _ = leaf_improvements(upper_bound, makespans)
+                for i in improving:
+                    makespan = int(makespans[i])
+                    upper_bound = float(makespan)
+                    best_makespan = makespan
+                    best_trail = int(children.trail_id[i])
+                    stats.incumbent_updates += 1
+                    if self.incumbent is not None:
+                        self.incumbent.try_update(makespan)
+                continue
+            keep = children.lower_bound < upper_bound
+            kept = int(np.count_nonzero(keep))
+            stats.nodes_pruned += n_children - kept
+            if kept:
+                frontier.push_block(children, keep if kept != n_children else None)
+        return finish(best_makespan, completed)
+
 
 class MulticoreBranchAndBound:
     """Parallel tree exploration over a pool of workers.
@@ -253,6 +382,11 @@ class MulticoreBranchAndBound:
         of a branched node (``"v1"`` / ``"v2"``).  The scalar mode of the
         sequential engine is not available here: workers always batch their
         sibling sets.
+    layout:
+        Node representation inside each worker: ``"block"`` (default)
+        explores with the structure-of-arrays frontier
+        (:mod:`repro.bb.frontier`); ``"object"`` keeps one ``Node`` per
+        sub-problem.  Both explore the identical tree per chunk.
     """
 
     def __init__(
@@ -268,6 +402,7 @@ class MulticoreBranchAndBound:
         kernel: str = "v2",
         mode: str = "worksteal",
         poll_interval: int = 64,
+        layout: str = "block",
     ):
         if backend not in ("process", "thread", "serial"):
             raise ValueError("backend must be 'process', 'thread' or 'serial'")
@@ -279,6 +414,8 @@ class MulticoreBranchAndBound:
             raise ValueError("decomposition_depth must be >= 1")
         if kernel not in ("v1", "v2"):
             raise ValueError(f"kernel must be 'v1' or 'v2', got {kernel!r}")
+        if layout not in ("block", "object"):
+            raise ValueError(f"layout must be 'block' or 'object', got {layout!r}")
         self.instance = instance
         self.n_workers = n_workers or os.cpu_count() or 1
         self.backend = backend
@@ -290,6 +427,7 @@ class MulticoreBranchAndBound:
         self.max_time_s = max_time_s
         self.kernel = kernel
         self.poll_interval = poll_interval
+        self.layout = layout
 
     # ------------------------------------------------------------------ #
     def _frontier_prefixes(self) -> list[tuple[int, ...]]:
@@ -314,6 +452,7 @@ class MulticoreBranchAndBound:
                 max_time_s=self.max_time_s,
                 kernel=self.kernel,
                 poll_interval=self.poll_interval,
+                layout=self.layout,
             ).solve()
         return self._solve_static()
 
@@ -332,6 +471,7 @@ class MulticoreBranchAndBound:
                 deadline=deadline,
                 selection=self.selection,
                 kernel=self.kernel,
+                layout=self.layout,
             )
             for prefix in self._frontier_prefixes()
         ]

@@ -19,14 +19,38 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.flowshop.instance import FlowShopInstance
 
-__all__ = ["Node", "root_node"]
+__all__ = ["Node", "root_node", "advance_release"]
 
+
+def advance_release(release: np.ndarray, times: np.ndarray) -> np.ndarray:
+    """Release times after appending one job: the max-plus machine scan.
+
+    Appending a job with per-machine times ``t`` turns the front ``F`` into
+    ``F'[k] = max(F[k], F'[k-1]) + t[k]``, whose closed form is
+    ``F' = csum + cummax(F - (csum - t))`` with ``csum`` the inclusive
+    cumulative times of the job — no per-machine Python loop.  Broadcasts
+    over leading axes, so one call advances a single ``(m,)`` front or a
+    whole ``(B, m)`` batch of (front, job) pairs.  This is the one home of
+    the recurrence shared by the object and block layouts.
+    """
+    csum = np.cumsum(times, axis=-1, dtype=np.int64)
+    front = release - csum
+    front += times
+    np.maximum.accumulate(front, axis=-1, out=front)
+    front += csum
+    return front
+
+#: Fallback for nodes constructed directly (tests, ad-hoc tooling).  Search
+#: engines never use it: :func:`root_node` attaches a fresh per-search
+#: counter that children inherit, so creation indices — and therefore
+#: selection tie-breaks and traces — are reproducible regardless of what
+#: ran earlier in the process.
 _node_counter = itertools.count()
 
 
@@ -44,8 +68,13 @@ class Node:
     lower_bound: Optional[int] = None
     #: makespan when the node is a complete schedule, else ``None``
     makespan: Optional[int] = None
-    #: monotonically increasing creation index (deterministic tie-break)
+    #: monotonically increasing creation index (deterministic tie-break);
+    #: drawn from the search's own counter when the node descends from
+    #: :func:`root_node`, from the module fallback otherwise
     order_index: int = field(default_factory=lambda: next(_node_counter))
+    #: per-search creation counter, inherited by every child (``None`` for
+    #: nodes constructed outside a search)
+    counter: Optional[Iterator[int]] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.release = np.asarray(self.release, dtype=np.int64)
@@ -95,17 +124,15 @@ class Node:
             raise ValueError(f"job {job} already scheduled in this node")
         if not 0 <= job < self.n_jobs:
             raise ValueError(f"job index {job} out of range")
-        release = self.release.copy()
-        prev = 0
-        times = processing_times[job]
-        for k in range(release.shape[0]):
-            start = release[k] if release[k] > prev else prev
-            prev = start + times[k]
-            release[k] = prev
+        release = advance_release(self.release, processing_times[job])
         child = Node(
             prefix=self.prefix + (int(job),),
             release=release,
             n_jobs=self.n_jobs,
+            order_index=(
+                next(self.counter) if self.counter is not None else next(_node_counter)
+            ),
+            counter=self.counter,
         )
         if child.is_leaf:
             child.makespan = int(release[-1])
@@ -133,9 +160,17 @@ class Node:
 
 
 def root_node(instance: FlowShopInstance) -> Node:
-    """The root of the B&B tree: the empty schedule."""
+    """The root of the B&B tree: the empty schedule, creation index 0.
+
+    The root carries a fresh per-search counter, so the creation indices of
+    every node descending from it (via :meth:`Node.child`) start at 1 and
+    are identical from one run to the next — tie-breaks and traces do not
+    depend on how many searches ran earlier in the process.
+    """
     return Node(
         prefix=(),
         release=np.zeros(instance.n_machines, dtype=np.int64),
         n_jobs=instance.n_jobs,
+        order_index=0,
+        counter=itertools.count(1),
     )

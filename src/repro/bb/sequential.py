@@ -17,6 +17,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+import numpy as np
+
+from repro.bb.frontier import (
+    BlockFrontier,
+    Trail,
+    bound_block,
+    branch_block,
+    branch_row,
+    leaf_improvements,
+    root_block,
+)
 from repro.bb.node import root_node
 from repro.bb.operators import bound_children_batch, bound_node, branch
 from repro.bb.pool import make_pool
@@ -93,6 +104,16 @@ class SequentialBranchAndBound:
         reproduces the paper's 98.5 % measurement of exactly that path).
         Bounds are bit-identical in every mode, so the explored tree does
         not depend on this choice.
+    layout:
+        Node representation of the search: ``"block"`` (default) keeps the
+        frontier as structure-of-arrays batches
+        (:mod:`repro.bb.frontier`) — branching, selection and elimination
+        are array programs and bounding reads the arrays with zero
+        re-packing; ``"object"`` is the paper-faithful one-``Node``-per-
+        sub-problem pipeline, kept for the layout ablation.  Both layouts
+        explore the identical tree and report identical results and node
+        counters.  ``kernel="scalar"`` implies the object layout (the
+        bounding-fraction experiment measures exactly that path).
     """
 
     def __init__(
@@ -106,6 +127,7 @@ class SequentialBranchAndBound:
         trace: bool = False,
         on_incumbent: Optional[Callable[[int, tuple[int, ...]], None]] = None,
         kernel: str = "v2",
+        layout: str = "block",
     ):
         self.instance = instance
         self.data = LowerBoundData(instance)
@@ -119,6 +141,13 @@ class SequentialBranchAndBound:
         if kernel not in ("scalar", "v1", "v2"):
             raise ValueError(f"kernel must be 'scalar', 'v1' or 'v2', got {kernel!r}")
         self.kernel = kernel
+        if layout not in ("block", "object"):
+            raise ValueError(f"layout must be 'block' or 'object', got {layout!r}")
+        if kernel == "scalar":
+            # the scalar kernel IS the per-node object pipeline; a columnar
+            # frontier would batch the very calls the ablation measures
+            layout = "object"
+        self.layout = layout
 
     # ------------------------------------------------------------------ #
     def _initial_incumbent(self) -> tuple[float, tuple[int, ...]]:
@@ -130,6 +159,13 @@ class SequentialBranchAndBound:
     # ------------------------------------------------------------------ #
     def solve(self) -> BBResult:
         """Run the search to completion (or until a budget is exhausted)."""
+        if self.layout == "block":
+            return self._solve_block()
+        return self._solve_object()
+
+    # ------------------------------------------------------------------ #
+    def _solve_object(self) -> BBResult:
+        """Object layout: one ``Node`` per sub-problem, heap-backed pool."""
         instance = self.instance
         data = self.data
         stats = SearchStats()
@@ -202,6 +238,7 @@ class SequentialBranchAndBound:
                 bound_children_batch(children, data, self.include_one_machine, kernel=self.kernel)
             stats.time_bounding_s += time.perf_counter() - t0
             stats.nodes_bounded += len(children)
+            survivors = []
             for child in children:
                 assert child.lower_bound is not None
 
@@ -228,13 +265,312 @@ class SequentialBranchAndBound:
                         )
                     continue
 
-                t0 = time.perf_counter()
+                survivors.append(child)
+
+            # one timing pair per branching step instead of two clock reads
+            # around every individual push
+            t0 = time.perf_counter()
+            for child in survivors:
                 pool.push(child)
-                stats.time_pool_s += time.perf_counter() - t0
+            stats.time_pool_s += time.perf_counter() - t0
 
         stats.time_total_s = time.perf_counter() - start
         stats.max_pool_size = pool.max_size_seen
 
+        if not best_order:
+            raise RuntimeError(
+                "the search terminated without an incumbent; provide a finite "
+                "initial upper bound or let NEH seed the search"
+            )
+        return BBResult(
+            instance=instance,
+            best_makespan=int(upper_bound),
+            best_order=tuple(best_order),
+            proved_optimal=completed,
+            stats=stats,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _solve_block(self) -> BBResult:
+        """Block layout: the same search over structure-of-arrays batches.
+
+        Selection pops the identical ``(lower bound, depth, creation
+        index)`` minimum, branching materializes all siblings at once,
+        bounding reads the block arrays with zero re-packing, and
+        elimination is one boolean mask — the explored tree, the result
+        and every node counter are identical to :meth:`_solve_object`.
+        """
+        instance = self.instance
+        data = self.data
+        n_jobs = instance.n_jobs
+        pt = instance.processing_times
+        stats = SearchStats()
+        trace: list[TraceEvent] = []
+        trace_on = self.trace_enabled
+
+        upper_bound, best_order = self._initial_incumbent()
+        if best_order:
+            stats.incumbent_updates += 1
+        best_trail: Optional[int] = None
+
+        trail = Trail()
+        frontier = BlockFrontier(
+            n_jobs, instance.n_machines, trail, strategy=self.selection
+        )
+        root = root_block(instance, trail)
+        next_order = 1
+        perf_counter = time.perf_counter
+        max_nodes, max_time_s = self.max_nodes, self.max_time_s
+        include_one_machine, kernel = self.include_one_machine, self.kernel
+        on_incumbent = self.on_incumbent
+
+        start = time.perf_counter()
+        t0 = time.perf_counter()
+        bound_block(data, root, self.include_one_machine, kernel=self.kernel)
+        stats.time_bounding_s += time.perf_counter() - t0
+        stats.nodes_bounded += 1
+        frontier.push_block(root)
+
+        # Tie batching (best-first, untraced runs): every node sharing the
+        # minimal (lb, depth) pair is popped in one batch and their children
+        # branched + bounded in a single launch — provably the same pop
+        # sequence as one-at-a-time selection (see pop_min_tie_batch).
+        use_batches = not trace_on and self.selection.lower() in ("best-first", "best")
+        completed = True
+        while frontier:
+            if max_nodes is not None and stats.nodes_explored >= max_nodes:
+                completed = False
+                break
+            if max_time_s is not None and perf_counter() - start > max_time_s:
+                completed = False
+                break
+
+            if use_batches:
+                remaining = max_nodes - stats.nodes_explored if max_nodes is not None else None
+                t0 = perf_counter()
+                batch = frontier.pop_min_tie_batch(remaining)
+                stats.time_pool_s += perf_counter() - t0
+                if batch is None:
+                    use_batches = False  # key packing unavailable: single pops
+                else:
+                    k = len(batch)
+                    lb0 = int(batch.lower_bound[0])
+                    depth0 = int(batch.depth[0])
+                    if lb0 >= upper_bound:
+                        stats.nodes_pruned += k
+                        continue
+                    if depth0 == n_jobs:
+                        # complete schedules sharing one makespan: the first
+                        # becomes the incumbent, the rest are pruned at its
+                        # (now equal) bound — exactly the one-at-a-time fates
+                        stats.leaves_evaluated += 1
+                        upper_bound = float(lb0)
+                        best_trail = int(batch.trail_id[0])
+                        stats.incumbent_updates += 1
+                        if on_incumbent is not None:
+                            on_incumbent(lb0, trail.prefix(best_trail))
+                        stats.nodes_branched += 1
+                        stats.nodes_pruned += k - 1
+                        continue
+                    if depth0 + 1 == n_jobs:
+                        # leaf children tighten the incumbent between member
+                        # pops, so members must be examined one at a time
+                        for i in range(k):
+                            if lb0 >= upper_bound:
+                                stats.nodes_pruned += 1
+                                continue
+                            t0 = perf_counter()
+                            children = branch_row(
+                                batch.scheduled_mask[i],
+                                batch.release[i],
+                                depth0,
+                                int(batch.trail_id[i]),
+                                trail,
+                                pt,
+                                next_order,
+                            )
+                            stats.time_branching_s += perf_counter() - t0
+                            next_order += len(children)
+                            stats.nodes_branched += 1
+                            t0 = perf_counter()
+                            bound_block(
+                                data, children, include_one_machine, kernel=kernel, siblings=True
+                            )
+                            stats.time_bounding_s += perf_counter() - t0
+                            n_children = len(children)
+                            stats.nodes_bounded += n_children
+                            stats.leaves_evaluated += n_children
+                            makespans = children.makespans
+                            improving, _ = leaf_improvements(upper_bound, makespans)
+                            for j in improving:
+                                makespan = int(makespans[j])
+                                upper_bound = float(makespan)
+                                best_trail = int(children.trail_id[j])
+                                stats.incumbent_updates += 1
+                                if on_incumbent is not None:
+                                    on_incumbent(makespan, children.prefix(j))
+                        continue
+
+                    # interior batch: one branch + one bounding launch for
+                    # the children of every tied node
+                    t0 = perf_counter()
+                    if k == 1:
+                        children = branch_row(
+                            batch.scheduled_mask[0],
+                            batch.release[0],
+                            depth0,
+                            int(batch.trail_id[0]),
+                            trail,
+                            pt,
+                            next_order,
+                        )
+                    else:
+                        children = branch_block(batch, pt, next_order)
+                    stats.time_branching_s += perf_counter() - t0
+                    next_order += len(children)
+                    stats.nodes_branched += k
+                    t0 = perf_counter()
+                    bound_block(
+                        data, children, include_one_machine, kernel=kernel, siblings=k == 1
+                    )
+                    stats.time_bounding_s += perf_counter() - t0
+                    n_children = len(children)
+                    stats.nodes_bounded += n_children
+                    keep = children.lower_bound < upper_bound
+                    pruned = n_children - int(np.count_nonzero(keep))
+                    stats.nodes_pruned += pruned
+                    if pruned and k > 1:
+                        # reconstruct the pool sizes a one-node-at-a-time
+                        # engine records between member pops (each member
+                        # contributes exactly n - depth0 children)
+                        per_member = n_jobs - depth0
+                        kept_per = np.add.reduceat(keep, np.arange(0, k * per_member, per_member))
+                        sizes = (
+                            len(frontier)
+                            + (k - 1 - np.arange(k))
+                            + np.cumsum(kept_per)
+                        )
+                        populated = kept_per > 0
+                        if populated.any():
+                            frontier.record_size_hint(int(sizes[populated].max()))
+                    t0 = perf_counter()
+                    frontier.push_block(children, keep if pruned else None)
+                    stats.time_pool_s += perf_counter() - t0
+                    continue
+
+            # Zero-copy pop: read the best row in place, branch from the
+            # views, then swap-compact it out.
+            t0 = perf_counter()
+            row = frontier.peek_best()
+            node_lb, node_depth, _, node_tid, mask_view, release_view = frontier.row_view(row)
+            stats.time_pool_s += perf_counter() - t0
+
+            if node_lb >= upper_bound:
+                frontier.discard(row)
+                stats.nodes_pruned += 1
+                if trace_on:
+                    trace.append(
+                        TraceEvent(trail.prefix(node_tid), node_lb, upper_bound, "pruned")
+                    )
+                continue
+
+            if node_depth == n_jobs:
+                makespan = int(release_view[-1])
+                frontier.discard(row)
+                stats.leaves_evaluated += 1
+                if makespan < upper_bound:
+                    upper_bound = float(makespan)
+                    best_trail = node_tid
+                    stats.incumbent_updates += 1
+                    if on_incumbent is not None:
+                        on_incumbent(makespan, trail.prefix(node_tid))
+                    if trace_on:
+                        trace.append(
+                            TraceEvent(trail.prefix(node_tid), makespan, upper_bound, "incumbent")
+                        )
+                elif trace_on:
+                    trace.append(
+                        TraceEvent(trail.prefix(node_tid), makespan, upper_bound, "leaf")
+                    )
+                stats.nodes_branched += 1  # examined, produced no children
+                continue
+
+            # Branch: every sibling in one shot, straight off the row views.
+            t0 = perf_counter()
+            children = branch_row(
+                mask_view, release_view, node_depth, node_tid, trail, pt, next_order
+            )
+            frontier.discard(row)
+            stats.time_branching_s += perf_counter() - t0
+            next_order += len(children)
+            stats.nodes_branched += 1
+            if trace_on:
+                trace.append(TraceEvent(trail.prefix(node_tid), node_lb, upper_bound, "branched"))
+
+            # Bound the sibling block straight off its arrays.
+            t0 = perf_counter()
+            bound_block(
+                data,
+                children,
+                include_one_machine,
+                kernel=kernel,
+                siblings=True,
+            )
+            stats.time_bounding_s += perf_counter() - t0
+            n_children = len(children)
+            stats.nodes_bounded += n_children
+
+            if node_depth + 1 == n_jobs:
+                # Siblings share their depth, so either every child is a
+                # complete schedule or none is.  Replicate the object
+                # layout's in-order incumbent updates with a running min.
+                stats.leaves_evaluated += n_children
+                makespans = children.makespans
+                improving, running = leaf_improvements(upper_bound, makespans)
+                for i in improving:
+                    makespan = int(makespans[i])
+                    upper_bound = float(makespan)
+                    best_trail = int(children.trail_id[i])
+                    stats.incumbent_updates += 1
+                    if on_incumbent is not None:
+                        on_incumbent(makespan, children.prefix(i))
+                if trace_on:
+                    run_after = np.minimum.accumulate(
+                        np.concatenate(([running[0]], makespans.astype(np.float64)))
+                    )[1:]
+                    for i in range(n_children):
+                        action = "incumbent" if makespans[i] < running[i] else "leaf"
+                        trace.append(
+                            TraceEvent(
+                                children.prefix(i), int(makespans[i]), float(run_after[i]), action
+                            )
+                        )
+                continue
+
+            # Eliminate + insert in one masked append.
+            keep = children.lower_bound < upper_bound
+            pruned = n_children - int(np.count_nonzero(keep))
+            stats.nodes_pruned += pruned
+            if trace_on and pruned:
+                for i in np.flatnonzero(~keep):
+                    trace.append(
+                        TraceEvent(
+                            children.prefix(i),
+                            int(children.lower_bound[i]),
+                            upper_bound,
+                            "pruned",
+                        )
+                    )
+            t0 = perf_counter()
+            frontier.push_block(children, keep if pruned else None)
+            stats.time_pool_s += perf_counter() - t0
+
+        stats.time_total_s = time.perf_counter() - start
+        stats.max_pool_size = frontier.max_size_seen
+
+        if best_trail is not None:
+            best_order = trail.prefix(best_trail)
         if not best_order:
             raise RuntimeError(
                 "the search terminated without an incumbent; provide a finite "

@@ -145,6 +145,7 @@ def _run_tasks(instance: FlowShopInstance, task_queue, incumbent, opts: dict) ->
             kernel=opts["kernel"],
             incumbent=incumbent,
             poll_interval=opts["poll_interval"],
+            layout=opts["layout"],
         )
         makespan, order, task_stats, task_completed = solver.run()
         stats = stats.merge(task_stats)
@@ -220,6 +221,11 @@ class WorkStealingBranchAndBound:
         Optional per-chunk exploration budgets.
     kernel:
         Batched bounding-kernel revision used by the workers.
+    layout:
+        Per-worker node representation: ``"block"`` (default) runs each
+        worker's exploration on the structure-of-arrays frontier
+        (:mod:`repro.bb.frontier`); ``"object"`` keeps the historical
+        one-``Node``-per-sub-problem pipeline.
     """
 
     def __init__(
@@ -234,6 +240,7 @@ class WorkStealingBranchAndBound:
         max_time_s: Optional[float] = None,
         kernel: str = "v2",
         poll_interval: int = 64,
+        layout: str = "block",
     ):
         if backend not in ("process", "thread", "serial"):
             raise ValueError("backend must be 'process', 'thread' or 'serial'")
@@ -243,6 +250,8 @@ class WorkStealingBranchAndBound:
             raise ValueError("poll_interval must be >= 1")
         if kernel not in ("v1", "v2"):
             raise ValueError(f"kernel must be 'v1' or 'v2', got {kernel!r}")
+        if layout not in ("block", "object"):
+            raise ValueError(f"layout must be 'block' or 'object', got {layout!r}")
         self.instance = instance
         self.n_workers = n_workers or os.cpu_count() or 1
         self.backend = backend
@@ -253,6 +262,7 @@ class WorkStealingBranchAndBound:
         self.max_time_s = max_time_s
         self.kernel = kernel
         self.poll_interval = poll_interval
+        self.layout = layout
 
     # ------------------------------------------------------------------ #
     def _opts(self, upper_bound: float) -> dict:
@@ -266,6 +276,7 @@ class WorkStealingBranchAndBound:
             "deadline": deadline,
             "kernel": self.kernel,
             "poll_interval": self.poll_interval,
+            "layout": self.layout,
         }
 
     # ------------------------------------------------------------------ #

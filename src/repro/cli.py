@@ -56,7 +56,7 @@ def _solve(args: argparse.Namespace) -> int:
 
     if engine == "serial":
         result = SequentialBranchAndBound(
-            instance, max_nodes=args.max_nodes, max_time_s=args.max_time
+            instance, max_nodes=args.max_nodes, max_time_s=args.max_time, layout=args.node_layout
         ).solve()
     elif engine == "multicore":
         result = MulticoreBranchAndBound(
@@ -67,15 +67,22 @@ def _solve(args: argparse.Namespace) -> int:
             decomposition_depth=args.decomposition_depth,
             max_nodes_per_task=args.max_nodes,
             max_time_s=args.max_time,
+            layout=args.node_layout,
         ).solve()
     elif engine == "cluster":
         config = GpuBBConfig(
-            pool_size=args.pool_size, max_nodes=args.max_nodes, max_time_s=args.max_time
+            pool_size=args.pool_size,
+            max_nodes=args.max_nodes,
+            max_time_s=args.max_time,
+            layout=args.node_layout,
         )
         result = ClusterBranchAndBound(instance, ClusterSpec(n_nodes=args.nodes), config).solve()
     else:  # gpu
         config = GpuBBConfig(
-            pool_size=args.pool_size, max_nodes=args.max_nodes, max_time_s=args.max_time
+            pool_size=args.pool_size,
+            max_nodes=args.max_nodes,
+            max_time_s=args.max_time,
+            layout=args.node_layout,
         )
         result = GpuBranchAndBound(instance, config).solve()
 
@@ -170,6 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="prefix depth of the sub-tree decomposition "
         "(default: 2 for worksteal, 1 for static)",
+    )
+    solve.add_argument(
+        "--node-layout",
+        choices=("block", "object"),
+        default="block",
+        help="node representation: vectorized structure-of-arrays blocks (default) "
+        "or the paper-faithful one-object-per-node pipeline",
     )
     solve.add_argument("--nodes", type=int, default=4, help="cluster node count")
     solve.add_argument("--max-nodes", type=int, default=None, help="node exploration budget")

@@ -28,6 +28,14 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.bb.frontier import (
+    BlockFrontier,
+    NodeBlock,
+    Trail,
+    branch_block,
+    leaf_improvements,
+    root_block,
+)
 from repro.bb.node import Node, root_node
 from repro.bb.operators import branch, eliminate, encode_pool, select_batch
 from repro.bb.pool import make_pool
@@ -266,8 +274,40 @@ class ClusterBranchAndBound:
         gather = self.cluster.gather_time_s(len(children))
         return scatter + slowest + gather, wall
 
+    def _distributed_bound_block(self, children: NodeBlock) -> tuple[float, float]:
+        """Bound a block across the nodes; each node reads its row slice.
+
+        ``array_split`` chunks are contiguous row ranges, so every node's
+        buffers are zero-copy views of the block — the scatter is free on
+        the host side and only billed by the interconnect model.
+        """
+        total = len(children)
+        chunks = np.array_split(np.arange(total), self.cluster.n_nodes)
+        bounds = children.lower_bound
+        slowest = 0.0
+        wall = 0.0
+        for executor, chunk in zip(self.executors, chunks):
+            if chunk.size == 0:
+                continue
+            lo, hi = int(chunk[0]), int(chunk[-1]) + 1
+            result = executor.evaluate(
+                children.scheduled_mask[lo:hi], children.release[lo:hi]
+            )
+            bounds[lo:hi] = result.bounds
+            slowest = max(slowest, result.simulated.total_s)
+            wall += result.measured_wall_s
+        scatter = self.cluster.scatter_time_s(total)
+        gather = self.cluster.gather_time_s(total)
+        return scatter + slowest + gather, wall
+
     def solve(self) -> GpuBBResult:
         """Run the distributed search to completion (or until a budget is hit)."""
+        if self.config.layout == "block":
+            return self._solve_block()
+        return self._solve_object()
+
+    def _solve_object(self) -> GpuBBResult:
+        """Object layout: per-node branching/elimination, heap-backed pool."""
         config = self.config
         instance = self.instance
         stats = SearchStats()
@@ -356,6 +396,121 @@ class ClusterBranchAndBound:
         stats.time_total_s = time.perf_counter() - start
         stats.max_pool_size = pool.max_size_seen
         stats.simulated_device_time_s = simulated_total
+        return GpuBBResult(
+            instance=instance,
+            best_makespan=int(upper_bound),
+            best_order=best_order,
+            proved_optimal=completed,
+            stats=stats,
+            iterations=iterations,
+            simulated_device_time_s=simulated_total,
+            measured_kernel_time_s=measured_total,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _solve_block(self) -> GpuBBResult:
+        """Block layout: the same distributed search over SoA batches."""
+        config = self.config
+        instance = self.instance
+        pt = instance.processing_times
+        n_jobs = instance.n_jobs
+        stats = SearchStats()
+        iterations: list[IterationRecord] = []
+
+        heuristic = neh_heuristic(instance)
+        upper_bound = float(heuristic.makespan)
+        best_order: tuple[int, ...] = tuple(heuristic.order)
+        best_trail: int | None = None
+        stats.incumbent_updates += 1
+
+        trail = Trail()
+        frontier = BlockFrontier(
+            n_jobs, instance.n_machines, trail, strategy=config.selection
+        )
+        simulated_total = 0.0
+        measured_total = 0.0
+        start = time.perf_counter()
+
+        root = root_block(instance, trail)
+        next_order = 1
+        sim_s, wall_s = self._distributed_bound_block(root)
+        simulated_total += sim_s
+        measured_total += wall_s
+        stats.nodes_bounded += 1
+        stats.pools_evaluated += 1
+        if int(root.lower_bound[0]) < upper_bound:
+            frontier.push_block(root)
+        else:
+            stats.nodes_pruned += 1
+
+        iteration = 0
+        completed = True
+        while frontier:
+            if config.max_iterations is not None and iteration >= config.max_iterations:
+                completed = False
+                break
+            if config.max_nodes is not None and stats.nodes_explored >= config.max_nodes:
+                completed = False
+                break
+            iteration += 1
+            parents, lazily_pruned = frontier.pop_batch(config.pool_size, upper_bound)
+            stats.nodes_pruned += lazily_pruned
+            if not len(parents):
+                break
+            children = branch_block(parents, pt, next_order)
+            next_order += len(children)
+            stats.nodes_branched += len(parents)
+            if not len(children):
+                continue
+            sim_s, wall_s = self._distributed_bound_block(children)
+            simulated_total += sim_s
+            measured_total += wall_s
+            stats.nodes_bounded += len(children)
+            stats.pools_evaluated += 1
+
+            leaf_mask = children.depth == n_jobs
+            n_leaves = int(np.count_nonzero(leaf_mask))
+            step_improvements = 0
+            if n_leaves:
+                leaf_rows = np.flatnonzero(leaf_mask)
+                stats.leaves_evaluated += n_leaves
+                makespans = children.release[leaf_rows, -1]
+                improving, _ = leaf_improvements(upper_bound, makespans)
+                for i in improving:
+                    upper_bound = float(makespans[i])
+                    best_trail = int(children.trail_id[leaf_rows[i]])
+                    stats.incumbent_updates += 1
+                    step_improvements += 1
+            if step_improvements and config.share_incumbent:
+                # the coordinator broadcasts every tightened bound to the
+                # nodes so their next local elimination uses it
+                simulated_total += step_improvements * self.cluster.incumbent_broadcast_time_s()
+            keep = children.lower_bound < upper_bound
+            if n_leaves:
+                keep &= ~leaf_mask
+            kept = int(np.count_nonzero(keep))
+            pruned = len(children) - n_leaves - kept
+            stats.nodes_pruned += pruned
+            frontier.push_block(children, keep)
+            iterations.append(
+                IterationRecord(
+                    iteration=iteration,
+                    launch=KernelLaunch(len(children), config.threads_per_block),
+                    nodes_offloaded=len(children),
+                    nodes_pruned=pruned,
+                    nodes_kept=kept,
+                    incumbent=upper_bound,
+                    simulated_device_s=sim_s,
+                    measured_host_s=wall_s,
+                )
+            )
+
+        stats.time_total_s = time.perf_counter() - start
+        stats.max_pool_size = frontier.max_size_seen
+        stats.simulated_device_time_s = simulated_total
+        if best_trail is not None:
+            best_order = trail.prefix(best_trail)
         return GpuBBResult(
             instance=instance,
             best_makespan=int(upper_bound),

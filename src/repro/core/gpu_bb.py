@@ -28,6 +28,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.bb.frontier import (
+    BlockFrontier,
+    NodeBlock,
+    Trail,
+    branch_block,
+    leaf_improvements,
+    root_block,
+)
 from repro.bb.node import Node, root_node
 from repro.bb.operators import branch, eliminate, encode_pool, select_batch
 from repro.bb.pool import make_pool
@@ -134,9 +142,20 @@ class GpuBranchAndBound:
             node.lower_bound = int(value)
         return result.bounds, result.simulated.total_s, result.measured_wall_s
 
+    def _offload_block(self, block: NodeBlock) -> tuple[np.ndarray, float, float]:
+        """Evaluate a block on the executor — its arrays ARE the device buffers."""
+        result = self.executor.evaluate_block(block)
+        return result.bounds, result.simulated.total_s, result.measured_wall_s
+
     # ------------------------------------------------------------------ #
     def solve(self) -> GpuBBResult:
         """Run the GPU-accelerated search."""
+        if self.config.layout == "block":
+            return self._solve_block()
+        return self._solve_object()
+
+    def _solve_object(self) -> GpuBBResult:
+        """Object layout: per-node branching/elimination, heap-backed pool."""
         config = self.config
         instance = self.instance
         stats = SearchStats()
@@ -245,6 +264,150 @@ class GpuBranchAndBound:
         stats.max_pool_size = pool.max_size_seen
         stats.simulated_device_time_s = simulated_total
 
+        if not best_order:
+            raise RuntimeError(
+                "the search terminated without an incumbent; enable the NEH seed "
+                "or provide a finite initial upper bound"
+            )
+        return GpuBBResult(
+            instance=instance,
+            best_makespan=int(upper_bound),
+            best_order=tuple(best_order),
+            proved_optimal=completed,
+            stats=stats,
+            iterations=iterations,
+            simulated_device_time_s=simulated_total,
+            measured_kernel_time_s=measured_kernel,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _solve_block(self) -> GpuBBResult:
+        """Block layout: selection, branching and elimination as array programs.
+
+        The iteration structure, explored tree and every statistic mirror
+        :meth:`_solve_object` exactly; the off-loaded buffers are the
+        block's own arrays, so no per-node packing happens anywhere.
+        """
+        config = self.config
+        instance = self.instance
+        pt = instance.processing_times
+        n_jobs = instance.n_jobs
+        stats = SearchStats()
+        iterations: list[IterationRecord] = []
+
+        upper_bound, best_order = self._initial_incumbent()
+        if best_order:
+            stats.incumbent_updates += 1
+        best_trail: Optional[int] = None
+
+        trail = Trail()
+        frontier = BlockFrontier(
+            n_jobs, instance.n_machines, trail, strategy=config.selection
+        )
+        simulated_total = 0.0
+        measured_kernel = 0.0
+
+        start = time.perf_counter()
+
+        # Bound the root on the device (a pool of one) and seed the frontier.
+        root = root_block(instance, trail)
+        next_order = 1
+        bounds, sim_s, wall_s = self._offload_block(root)
+        simulated_total += sim_s
+        measured_kernel += wall_s
+        stats.nodes_bounded += 1
+        stats.pools_evaluated += 1
+        if int(root.lower_bound[0]) < upper_bound:
+            frontier.push_block(root)
+        else:
+            stats.nodes_pruned += 1
+
+        iteration = 0
+        completed = True
+        while frontier:
+            if config.max_iterations is not None and iteration >= config.max_iterations:
+                completed = False
+                break
+            if config.max_nodes is not None and stats.nodes_explored >= config.max_nodes:
+                completed = False
+                break
+            if config.max_time_s is not None and time.perf_counter() - start > config.max_time_s:
+                completed = False
+                break
+            iteration += 1
+
+            # --- selection -------------------------------------------------
+            t0 = time.perf_counter()
+            parents, lazily_pruned = frontier.pop_batch(config.pool_size, upper_bound)
+            stats.time_pool_s += time.perf_counter() - t0
+            stats.nodes_pruned += lazily_pruned
+            if not len(parents):
+                break
+
+            # --- branching (CPU, vectorized) --------------------------------
+            t0 = time.perf_counter()
+            children = branch_block(parents, pt, next_order)
+            stats.time_branching_s += time.perf_counter() - t0
+            next_order += len(children)
+            stats.nodes_branched += len(parents)
+
+            if not len(children):
+                continue
+
+            # --- bounding (GPU off-load, zero re-packing) -------------------
+            t0 = time.perf_counter()
+            bounds, sim_s, wall_s = self._offload_block(children)
+            stats.time_bounding_s += time.perf_counter() - t0
+            simulated_total += sim_s
+            measured_kernel += wall_s
+            stats.nodes_bounded += len(children)
+            stats.pools_evaluated += 1
+
+            # --- incumbent updates from complete schedules -------------------
+            leaf_mask = children.depth == n_jobs
+            n_leaves = int(np.count_nonzero(leaf_mask))
+            if n_leaves:
+                leaf_rows = np.flatnonzero(leaf_mask)
+                stats.leaves_evaluated += n_leaves
+                makespans = children.release[leaf_rows, -1]
+                improving, _ = leaf_improvements(upper_bound, makespans)
+                for i in improving:
+                    upper_bound = float(makespans[i])
+                    best_trail = int(children.trail_id[leaf_rows[i]])
+                    stats.incumbent_updates += 1
+
+            # --- elimination fused with insertion (one masked append) ---------
+            keep = children.lower_bound < upper_bound
+            if n_leaves:
+                keep &= ~leaf_mask
+            kept = int(np.count_nonzero(keep))
+            pruned = len(children) - n_leaves - kept
+            stats.nodes_pruned += pruned
+
+            t0 = time.perf_counter()
+            frontier.push_block(children, keep)
+            stats.time_pool_s += time.perf_counter() - t0
+
+            iterations.append(
+                IterationRecord(
+                    iteration=iteration,
+                    launch=KernelLaunch(len(children), config.threads_per_block),
+                    nodes_offloaded=len(children),
+                    nodes_pruned=pruned,
+                    nodes_kept=kept,
+                    incumbent=upper_bound,
+                    simulated_device_s=sim_s,
+                    measured_host_s=wall_s,
+                )
+            )
+
+        stats.time_total_s = time.perf_counter() - start
+        stats.max_pool_size = frontier.max_size_seen
+        stats.simulated_device_time_s = simulated_total
+
+        if best_trail is not None:
+            best_order = trail.prefix(best_trail)
         if not best_order:
             raise RuntimeError(
                 "the search terminated without an incumbent; enable the NEH seed "

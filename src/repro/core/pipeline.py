@@ -22,6 +22,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.bb.frontier import (
+    BlockFrontier,
+    Trail,
+    branch_block,
+    leaf_improvements,
+    seed_block,
+)
 from repro.bb.node import root_node
 from repro.bb.stats import SearchStats
 from repro.core.config import GpuBBConfig
@@ -149,27 +158,39 @@ class HybridBranchAndBound:
         ``best_order`` is then empty).
         """
         engine = GpuBranchAndBound(self.instance, self.config.gpu)
-        # Seed the engine's pool with the prefix node instead of the root.
-        node = root_node(self.instance)
-        for job in prefix:
-            node = node.child(job, self.instance.processing_times)
+        if self.config.gpu.layout == "block":
+            trail = Trail()
+            seed = seed_block(self.instance, prefix, trail)
+            bounds, sim_s, wall_s = engine._offload_block(seed)
+            is_leaf = int(seed.depth[0]) == self.instance.n_jobs
+            seed_lb = int(seed.lower_bound[0])
+            seed_prefix = prefix
+            seed_makespan = int(seed.release[0, -1])
+        else:
+            # Seed the engine's pool with the prefix node instead of the root.
+            node = root_node(self.instance)
+            for job in prefix:
+                node = node.child(job, self.instance.processing_times)
+            bounds, sim_s, wall_s = engine._offload([node])
+            is_leaf = node.is_leaf
+            seed_lb = node.lower_bound if node.lower_bound is not None else -1
+            seed_prefix = node.prefix
+            seed_makespan = int(node.release[-1])
 
         # Bound the seed; skip the whole sub-tree if it cannot improve.
-        bounds, sim_s, wall_s = engine._offload([node])
-        if node.is_leaf:
-            makespan = int(node.release[-1])
-            improved = makespan < upper_bound
+        if is_leaf:
+            improved = seed_makespan < upper_bound
             return GpuBBResult(
                 instance=self.instance,
-                best_makespan=makespan if improved else int(upper_bound),
-                best_order=node.prefix if improved else (),
+                best_makespan=seed_makespan if improved else int(upper_bound),
+                best_order=tuple(seed_prefix) if improved else (),
                 proved_optimal=True,
                 stats=SearchStats(nodes_bounded=1, leaves_evaluated=1),
                 simulated_device_time_s=sim_s,
                 measured_kernel_time_s=wall_s,
                 config=self.config.gpu,
             )
-        if node.lower_bound is not None and node.lower_bound >= upper_bound:
+        if seed_lb >= 0 and seed_lb >= upper_bound:
             return GpuBBResult(
                 instance=self.instance,
                 best_makespan=int(upper_bound),
@@ -183,7 +204,10 @@ class HybridBranchAndBound:
 
         # Explore the sub-tree with a dedicated engine starting from the seed
         # node and from the shared incumbent.
-        result = _solve_from_seed(engine, node, float(upper_bound))
+        if self.config.gpu.layout == "block":
+            result = _solve_from_seed_block(engine, seed, trail, float(upper_bound))
+        else:
+            result = _solve_from_seed(engine, node, float(upper_bound))
         result.simulated_device_time_s += sim_s
         result.measured_kernel_time_s += wall_s
         result.stats.simulated_device_time_s = result.simulated_device_time_s
@@ -260,6 +284,105 @@ def _solve_from_seed(engine: GpuBranchAndBound, seed, upper_bound: float) -> Gpu
     stats.time_total_s = time.perf_counter() - start
     stats.max_pool_size = pool.max_size_seen
     stats.simulated_device_time_s = simulated_total
+    return GpuBBResult(
+        instance=instance,
+        best_makespan=int(upper_bound),
+        best_order=best_order,
+        proved_optimal=completed,
+        stats=stats,
+        iterations=iterations,
+        simulated_device_time_s=simulated_total,
+        measured_kernel_time_s=measured_total,
+        config=config,
+    )
+
+
+def _solve_from_seed_block(
+    engine: GpuBranchAndBound, seed, trail: Trail, upper_bound: float
+) -> GpuBBResult:
+    """Block-layout twin of :func:`_solve_from_seed`.
+
+    ``seed`` is a one-row :class:`~repro.bb.frontier.NodeBlock` produced by
+    :func:`~repro.bb.frontier.seed_block` (already bounded by the caller).
+    """
+    from repro.core.gpu_bb import IterationRecord
+    from repro.core.kernels import KernelLaunch
+
+    config = engine.config
+    instance = engine.instance
+    pt = instance.processing_times
+    n_jobs = instance.n_jobs
+    stats = SearchStats()
+    iterations = []
+    best_order: tuple[int, ...] = ()
+    best_trail: int | None = None
+    frontier = BlockFrontier(
+        n_jobs, instance.n_machines, trail, strategy=config.selection
+    )
+    simulated_total = 0.0
+    measured_total = 0.0
+    start = time.perf_counter()
+
+    frontier.push_block(seed)
+    next_order = int(seed.order_index[0]) + 1
+    stats.nodes_bounded += 1
+    iteration = 0
+    completed = True
+    while frontier:
+        if config.max_iterations is not None and iteration >= config.max_iterations:
+            completed = False
+            break
+        iteration += 1
+        parents, lazily_pruned = frontier.pop_batch(config.pool_size, upper_bound)
+        stats.nodes_pruned += lazily_pruned
+        if not len(parents):
+            break
+        children = branch_block(parents, pt, next_order)
+        next_order += len(children)
+        stats.nodes_branched += len(parents)
+        if not len(children):
+            continue
+        bounds, sim_s, wall_s = engine._offload_block(children)
+        simulated_total += sim_s
+        measured_total += wall_s
+        stats.nodes_bounded += len(children)
+        stats.pools_evaluated += 1
+
+        leaf_mask = children.depth == n_jobs
+        n_leaves = int(np.count_nonzero(leaf_mask))
+        if n_leaves:
+            leaf_rows = np.flatnonzero(leaf_mask)
+            stats.leaves_evaluated += n_leaves
+            makespans = children.release[leaf_rows, -1]
+            improving, _ = leaf_improvements(upper_bound, makespans)
+            for i in improving:
+                upper_bound = float(makespans[i])
+                best_trail = int(children.trail_id[leaf_rows[i]])
+                stats.incumbent_updates += 1
+        keep = children.lower_bound < upper_bound
+        if n_leaves:
+            keep &= ~leaf_mask
+        kept = int(np.count_nonzero(keep))
+        pruned = len(children) - n_leaves - kept
+        stats.nodes_pruned += pruned
+        frontier.push_block(children, keep)
+        iterations.append(
+            IterationRecord(
+                iteration=iteration,
+                launch=KernelLaunch(len(children), config.threads_per_block),
+                nodes_offloaded=len(children),
+                nodes_pruned=pruned,
+                nodes_kept=kept,
+                incumbent=upper_bound,
+                simulated_device_s=sim_s,
+                measured_host_s=wall_s,
+            )
+        )
+    stats.time_total_s = time.perf_counter() - start
+    stats.max_pool_size = frontier.max_size_seen
+    stats.simulated_device_time_s = simulated_total
+    if best_trail is not None:
+        best_order = trail.prefix(best_trail)
     return GpuBBResult(
         instance=instance,
         best_makespan=int(upper_bound),

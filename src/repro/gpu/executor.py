@@ -201,6 +201,19 @@ class GpuExecutor:
         self.measured_time_s += wall
         return ExecutionResult(bounds=bounds, simulated=timing, measured_wall_s=wall)
 
+    def evaluate_block(self, block) -> ExecutionResult:
+        """Evaluate a :class:`~repro.bb.frontier.NodeBlock` pool.
+
+        The block's ``(scheduled_mask, release)`` columns are exactly the
+        device buffers :meth:`evaluate` consumes, so this is a zero-copy
+        hand-off — the host-side "pack the pool" step of the paper's
+        Figure 3 disappears.  The bounds are also written back into the
+        block's ``lower_bound`` column.
+        """
+        result = self.evaluate(block.scheduled_mask, block.release)
+        block.lower_bound[:] = result.bounds
+        return result
+
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, float | int]:
         """Cumulative executor statistics."""

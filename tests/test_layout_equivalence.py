@@ -1,0 +1,260 @@
+"""Block layout vs object layout: identical trees, results and statistics.
+
+The structure-of-arrays frontier (:mod:`repro.bb.frontier`) promises to be a
+pure re-representation: every engine run with ``layout="block"`` must explore
+bit-for-bit the same tree as its ``layout="object"`` twin — same incumbent,
+same best order, same node counters, same trace.  These are the property
+tests the acceptance criteria of the frontier work rest on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bb.multicore import MulticoreBranchAndBound
+from repro.bb.sequential import SequentialBranchAndBound
+from repro.core.cluster import ClusterBranchAndBound, ClusterSpec
+from repro.core.config import GpuBBConfig
+from repro.core.gpu_bb import GpuBranchAndBound
+from repro.core.pipeline import HybridBranchAndBound, HybridConfig
+from repro.flowshop import FlowShopInstance, random_instance
+
+COUNTERS = (
+    "nodes_bounded",
+    "nodes_branched",
+    "nodes_pruned",
+    "leaves_evaluated",
+    "incumbent_updates",
+    "max_pool_size",
+)
+
+
+def assert_same_search(a, b, counters=COUNTERS):
+    assert a.best_makespan == b.best_makespan
+    assert a.best_order == b.best_order
+    assert a.proved_optimal == b.proved_optimal
+    for field in counters:
+        assert getattr(a.stats, field) == getattr(b.stats, field), field
+
+
+class TestSequentialEquivalence:
+    @given(st.integers(0, 4000), st.integers(3, 8), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_random_instances(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        # a small time range makes (lb, depth) ties frequent, stressing the
+        # tie-batched selection path
+        instance = FlowShopInstance(rng.integers(1, 25, size=(n, m)))
+        obj = SequentialBranchAndBound(instance, layout="object").solve()
+        blk = SequentialBranchAndBound(instance, layout="block").solve()
+        assert_same_search(obj, blk)
+
+    @pytest.mark.parametrize("selection", ["best-first", "depth-first", "fifo"])
+    def test_selection_strategies(self, medium_instance, selection):
+        obj = SequentialBranchAndBound(medium_instance, selection=selection, layout="object")
+        blk = SequentialBranchAndBound(medium_instance, selection=selection, layout="block")
+        assert_same_search(obj.solve(), blk.solve())
+
+    def test_without_neh_seed(self, medium_instance):
+        obj = SequentialBranchAndBound(
+            medium_instance, initial_upper_bound=float("inf"), layout="object"
+        ).solve()
+        blk = SequentialBranchAndBound(
+            medium_instance, initial_upper_bound=float("inf"), layout="block"
+        ).solve()
+        assert_same_search(obj, blk)
+
+    @pytest.mark.parametrize("max_nodes", [1, 2, 7, 40, 400])
+    def test_node_budgets(self, medium_instance, max_nodes):
+        obj = SequentialBranchAndBound(medium_instance, max_nodes=max_nodes, layout="object")
+        blk = SequentialBranchAndBound(medium_instance, max_nodes=max_nodes, layout="block")
+        assert_same_search(obj.solve(), blk.solve())
+
+    def test_trace_events_identical(self, small_instance):
+        obj = SequentialBranchAndBound(small_instance, trace=True, layout="object").solve()
+        blk = SequentialBranchAndBound(small_instance, trace=True, layout="block").solve()
+        assert obj.trace == blk.trace
+
+    def test_incumbent_callback_sequence(self, medium_instance):
+        calls = {"object": [], "block": []}
+        for layout in ("object", "block"):
+            SequentialBranchAndBound(
+                medium_instance,
+                initial_upper_bound=float("inf"),
+                on_incumbent=lambda value, order, layout=layout: calls[layout].append(
+                    (value, order)
+                ),
+                layout=layout,
+            ).solve()
+        assert calls["object"] == calls["block"]
+
+    def test_single_machine_instance(self):
+        instance = FlowShopInstance([[4], [2], [7], [1]])
+        obj = SequentialBranchAndBound(instance, layout="object").solve()
+        blk = SequentialBranchAndBound(instance, layout="block").solve()
+        assert_same_search(obj, blk)
+
+    def test_scalar_kernel_falls_back_to_object(self, small_instance):
+        engine = SequentialBranchAndBound(small_instance, kernel="scalar", layout="block")
+        assert engine.layout == "object"
+        assert engine.solve().proved_optimal
+
+
+class TestGpuEngineEquivalence:
+    @pytest.mark.parametrize("pool_size", [4, 64])
+    def test_gpu_engine(self, medium_instance, pool_size):
+        obj = GpuBranchAndBound(
+            medium_instance, GpuBBConfig(pool_size=pool_size, layout="object")
+        ).solve()
+        blk = GpuBranchAndBound(
+            medium_instance, GpuBBConfig(pool_size=pool_size, layout="block")
+        ).solve()
+        assert_same_search(obj, blk)
+        assert obj.stats.pools_evaluated == blk.stats.pools_evaluated
+        assert len(obj.iterations) == len(blk.iterations)
+        for a, b in zip(obj.iterations, blk.iterations):
+            assert (a.nodes_offloaded, a.nodes_pruned, a.nodes_kept, a.incumbent) == (
+                b.nodes_offloaded,
+                b.nodes_pruned,
+                b.nodes_kept,
+                b.incumbent,
+            )
+        assert obj.simulated_device_time_s == pytest.approx(blk.simulated_device_time_s)
+
+    def test_cluster_engine(self, medium_instance):
+        spec = ClusterSpec(n_nodes=3)
+        obj = ClusterBranchAndBound(
+            medium_instance, spec, GpuBBConfig(pool_size=16, layout="object")
+        ).solve()
+        blk = ClusterBranchAndBound(
+            medium_instance, spec, GpuBBConfig(pool_size=16, layout="block")
+        ).solve()
+        assert_same_search(obj, blk)
+        assert obj.simulated_device_time_s == pytest.approx(blk.simulated_device_time_s)
+
+    @pytest.mark.parametrize("share", [True, False])
+    def test_hybrid_engine(self, small_instance, share):
+        def run(layout):
+            config = HybridConfig(
+                n_explorers=2,
+                gpu=GpuBBConfig(pool_size=16, layout=layout, share_incumbent=share),
+            )
+            return HybridBranchAndBound(small_instance, config).solve()
+
+        # max_pool_size is per-subtree in the hybrid engine's merged stats
+        assert_same_search(run("object"), run("block"))
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("mode", ["worksteal", "static"])
+    def test_serial_backend_exact(self, medium_instance, mode):
+        def run(layout):
+            return MulticoreBranchAndBound(
+                medium_instance,
+                n_workers=1,
+                backend="serial",
+                mode=mode,
+                decomposition_depth=2,
+                layout=layout,
+            ).solve()
+
+        assert_same_search(run("object"), run("block"))
+
+    @pytest.mark.parametrize("mode", ["worksteal", "static"])
+    def test_thread_backend_block_exact_and_conserved(self, medium_instance, mode):
+        optimum = SequentialBranchAndBound(medium_instance).solve().best_makespan
+        result = MulticoreBranchAndBound(
+            medium_instance,
+            n_workers=4,
+            backend="thread",
+            mode=mode,
+            decomposition_depth=2,
+            layout="block",
+        ).solve()
+        assert result.proved_optimal
+        assert result.best_makespan == optimum
+        stats = result.stats
+        assert stats.nodes_bounded == (
+            stats.nodes_branched + stats.nodes_pruned + stats.leaves_evaluated
+        )
+
+    def test_worksteal_block_aggressive_polling(self, medium_instance):
+        # poll_interval=1 exercises BlockFrontier.prune_to on every pop
+        result = MulticoreBranchAndBound(
+            medium_instance,
+            n_workers=4,
+            backend="thread",
+            mode="worksteal",
+            poll_interval=1,
+            layout="block",
+        ).solve()
+        assert result.proved_optimal
+        stats = result.stats
+        assert stats.nodes_bounded == (
+            stats.nodes_branched + stats.nodes_pruned + stats.leaves_evaluated
+        )
+
+
+class TestBlockConservation:
+    """nodes_bounded == branched + pruned + leaves on the block layout."""
+
+    def test_sequential_block(self, medium_instance):
+        result = SequentialBranchAndBound(medium_instance, layout="block").solve()
+        stats = result.stats
+        assert result.proved_optimal
+        assert stats.nodes_bounded == (
+            stats.nodes_branched + stats.nodes_pruned + stats.leaves_evaluated
+        )
+
+    @pytest.mark.parametrize("pool_size", [4, 64])
+    def test_gpu_block(self, medium_instance, pool_size):
+        result = GpuBranchAndBound(
+            medium_instance, GpuBBConfig(pool_size=pool_size, layout="block")
+        ).solve()
+        stats = result.stats
+        assert result.proved_optimal
+        assert stats.nodes_bounded == (
+            stats.nodes_branched + stats.nodes_pruned + stats.leaves_evaluated
+        )
+
+
+class TestCliLayoutFlag:
+    def test_solve_accepts_node_layout(self, capsys):
+        from repro.cli import main
+
+        for layout in ("block", "object"):
+            assert (
+                main(
+                    [
+                        "solve",
+                        "--jobs",
+                        "6",
+                        "--machines",
+                        "4",
+                        "--engine",
+                        "serial",
+                        "--node-layout",
+                        layout,
+                    ]
+                )
+                == 0
+            )
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_layouts_agree_via_cli_objects(self):
+        instance = random_instance(7, 4, seed=9)
+        obj = SequentialBranchAndBound(instance, layout="object").solve()
+        blk = SequentialBranchAndBound(instance, layout="block").solve()
+        assert_same_search(obj, blk)
+
+    def test_invalid_layout_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialBranchAndBound(random_instance(4, 2, seed=0), layout="columnar")
+        with pytest.raises(ValueError):
+            GpuBBConfig(layout="columnar")
+        with pytest.raises(ValueError):
+            MulticoreBranchAndBound(random_instance(4, 2, seed=0), layout="columnar")

@@ -75,10 +75,24 @@ class TestOrdering:
         assert a < b
 
     def test_tie_break_by_creation_index(self, small_instance):
-        a = root_node(small_instance)
-        b = root_node(small_instance)
+        root = root_node(small_instance)
+        a = root.child(0, small_instance.processing_times)
+        b = root.child(1, small_instance.processing_times)
         a.lower_bound = b.lower_bound = 10
         assert a < b  # a was created first
+
+    def test_order_index_is_per_search(self, small_instance):
+        # creation indices restart at every root: traces and tie-breaks do
+        # not depend on what ran earlier in the process
+        def indices():
+            root = root_node(small_instance)
+            children = root.children(small_instance.processing_times)
+            return [root.order_index] + [c.order_index for c in children]
+
+        first = indices()
+        second = indices()
+        assert first == second
+        assert first == list(range(small_instance.n_jobs + 1))
 
     def test_prefix_too_long_rejected(self, small_instance):
         with pytest.raises(ValueError):
