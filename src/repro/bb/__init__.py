@@ -13,6 +13,11 @@ builds on:
   array-backed :class:`~repro.bb.frontier.BlockFrontier` pool.
 * :mod:`~repro.bb.operators` — the four B&B operators (branching, bounding,
   selection, elimination) as composable functions.
+* :mod:`~repro.bb.driver` — the ONE select→branch→bound→eliminate
+  iteration every engine runs: :class:`~repro.bb.driver.SearchDriver`,
+  parameterized by an offload callable (where bounding runs and what
+  simulated time it charges) and per-step hooks (incumbent publication,
+  bound polling, launch accounting, overlap credits).
 * :mod:`~repro.bb.sequential` — the serial B&B, the ``T_cpu`` reference of
   every speed-up in the paper, with per-operator timing instrumentation
   (used for the 98.5 % bounding-fraction measurement).
@@ -35,6 +40,15 @@ from repro.bb.frontier import (
     eliminate_block,
     make_frontier,
     root_block,
+)
+from repro.bb.driver import (
+    DriverResult,
+    LocalBounding,
+    OffloadStep,
+    SearchDriver,
+    SearchHooks,
+    SearchLimits,
+    TraceEvent,
 )
 from repro.bb.node import Node, root_node
 from repro.bb.pool import (
@@ -78,6 +92,13 @@ __all__ = [
     "eliminate",
     "select_batch",
     "SearchStats",
+    "SearchDriver",
+    "SearchHooks",
+    "SearchLimits",
+    "LocalBounding",
+    "OffloadStep",
+    "DriverResult",
+    "TraceEvent",
     "ProgressTracker",
     "ProgressEvent",
     "SequentialBranchAndBound",

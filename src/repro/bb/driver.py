@@ -1,0 +1,1090 @@
+"""The one canonical Branch-and-Bound iteration, shared by every engine.
+
+Melab, Chakroun, Mezmaz & Tuyttens describe a *single* B&B iteration —
+*select* pending sub-problems, *branch* them into children, *bound* the
+children, *eliminate* those that cannot improve the incumbent — and vary
+only where the bounding runs (CPU, GPU, cluster of GPU nodes) and which
+distribution overheads are charged.  :class:`SearchDriver` is that
+iteration written once.  It owns the loop over either node layout — a heap
+:class:`~repro.bb.pool.NodePool` of ``Node`` objects or a columnar
+:class:`~repro.bb.frontier.BlockFrontier` — and is parameterized by
+
+* an **offload** — any object with ``bound_nodes(nodes)`` /
+  ``bound_block(block, siblings)`` returning ``(bounds, simulated_s,
+  measured_s)``: the bounding operator plus its simulated-time charge.
+  Bounds are written onto the nodes / into the block column; the tuple's
+  ``bounds`` element is advisory and may be ``None`` (the driver never
+  reads it).  :class:`LocalBounding` is the host-side default (zero
+  charge); the GPU, cluster and hybrid engines pass adapters around their
+  executors.
+* **per-step hooks** (:class:`SearchHooks`) through which engines inject
+  their deployment specifics without owning a loop of their own.
+* **budgets** (:class:`SearchLimits`): node, wall-clock, iteration and
+  absolute-deadline stop predicates.
+
+Two loop *shapes* cover every engine: the **single-step** shape pops one
+node (or one best-first tie batch) per step and bounds its sibling set —
+the serial engine and the work-stealing workers; the **batch** shape
+(``batch_size`` set) selects up to ``batch_size`` nodes, branches them all
+and off-loads one large pool per iteration — the paper's GPU architecture
+and its cluster/hybrid extensions.
+
+Deployment map (paper deployment → driver configuration)
+--------------------------------------------------------
+================= ==================== ====================================
+Deployment        Offload              Hook / budget set
+================= ==================== ====================================
+serial CPU        LocalBounding        single-step; ``trace`` recording,
+(paper's T_cpu)                        ``on_improve_incumbent`` user
+                                       callback; ``max_nodes``/``max_time_s``
+GPU (Figure 3)    executor adapter     batch mode (``batch_size`` =
+                                       pool size); ``on_iteration`` records
+                                       per-launch accounting; optional
+                                       ``double_buffer`` overlap credit
+pipeline / hybrid executor adapter     batch mode from a seeded frontier;
+                                       ``max_iterations``; cooperative
+                                       incumbent seeding happens *between*
+                                       driver runs
+cluster           distributed adapter  batch mode; ``incumbent_charge_s``
+                                       bills one interconnect broadcast per
+                                       incumbent improvement
+multicore         LocalBounding        single-step; ``poll_bound`` +
+(work stealing)                        ``poll_interval`` re-read the shared
+                                       incumbent and re-prune the pool;
+                                       ``on_improve_incumbent`` publishes
+                                       CAS updates; ``deadline`` budget
+================= ==================== ====================================
+
+The driver reproduces the historical per-engine loops bit-for-bit: the
+explored tree, the result, every node counter and the trace are identical
+to the pre-driver implementations for both layouts (see
+``tests/test_driver.py``, which pins golden results captured from them).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.bb.frontier import (
+    BlockFrontier,
+    NodeBlock,
+    Trail,
+    bound_block,
+    branch_block,
+    branch_row,
+    leaf_improvements,
+)
+from repro.bb.node import Node
+from repro.bb.operators import (
+    bound_children_batch,
+    bound_node,
+    branch,
+    eliminate,
+    select_batch,
+)
+from repro.bb.pool import NodePool
+from repro.bb.stats import SearchStats
+from repro.flowshop.bounds import LowerBoundData
+from repro.flowshop.instance import FlowShopInstance
+
+__all__ = [
+    "TraceEvent",
+    "SearchLimits",
+    "SearchHooks",
+    "OffloadStep",
+    "LocalBounding",
+    "DriverResult",
+    "SearchDriver",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One node as seen by the search (only recorded in trace mode)."""
+
+    prefix: tuple[int, ...]
+    lower_bound: int
+    upper_bound_at_visit: float
+    action: str  # "branched", "pruned", "leaf", "incumbent"
+
+
+@dataclass(frozen=True)
+class OffloadStep:
+    """Accounting of one batch-mode iteration (one off-loaded pool)."""
+
+    iteration: int
+    nodes_offloaded: int
+    nodes_pruned: int
+    nodes_kept: int
+    incumbent: float
+    simulated_s: float
+    measured_s: float
+
+
+@dataclass(frozen=True)
+class SearchLimits:
+    """Stop predicates of one driver run.  Engines pass only what they honour.
+
+    ``max_nodes`` bounds ``stats.nodes_explored``; ``max_time_s`` is a span
+    from the run's ``start`` (``time.perf_counter``); ``max_iterations``
+    bounds batch-mode off-load steps; ``deadline`` is an absolute
+    ``time.time()`` epoch shared across worker processes.
+    """
+
+    max_nodes: Optional[int] = None
+    max_time_s: Optional[float] = None
+    max_iterations: Optional[int] = None
+    deadline: Optional[float] = None
+
+
+@dataclass
+class SearchHooks:
+    """Per-step hooks through which engines inject their specifics.
+
+    on_select:
+        Called with the number of nodes taken by each selection step.
+    on_improve_incumbent:
+        Called for every incumbent improvement with ``(makespan,
+        order_supplier)`` where ``order_supplier()`` lazily materializes the
+        improving permutation (block-layout prefixes are only walked when a
+        hook actually wants them).
+    incumbent_charge_s:
+        Simulated-seconds charge billed per incumbent improvement — the
+        cluster engine's coordinator-to-nodes bound broadcast.
+    on_eliminate:
+        Called with the number of children pruned by each elimination step.
+    poll_bound / poll_interval:
+        Work-stealing bound polling: every ``poll_interval`` pops the driver
+        reads ``poll_bound()`` and, when a peer tightened the incumbent,
+        adopts it and re-prunes the pending pool (``prune_to``).
+    on_iteration:
+        Batch mode only: called with an :class:`OffloadStep` after each
+        off-loaded pool (the GPU engines build their launch records here).
+    on_overlap:
+        Double-buffer mode only: called with the simulated seconds saved by
+        overlapping host-side selection+branching of batch N+1 with the
+        device bounding of batch N.
+    """
+
+    on_select: Optional[Callable[[int], None]] = None
+    on_improve_incumbent: Optional[
+        Callable[[int, Callable[[], tuple[int, ...]]], None]
+    ] = None
+    incumbent_charge_s: Optional[Callable[[], float]] = None
+    on_eliminate: Optional[Callable[[int], None]] = None
+    poll_bound: Optional[Callable[[], float]] = None
+    poll_interval: int = 64
+    on_iteration: Optional[Callable[[OffloadStep], None]] = None
+    on_overlap: Optional[Callable[[float], None]] = None
+
+
+@dataclass
+class DriverResult:
+    """Outcome of one driver run (engines wrap it into their result types)."""
+
+    upper_bound: float
+    best_order: tuple[int, ...]
+    #: makespan of the last improvement found by THIS run (``None`` when the
+    #: run never improved on the initial bound — distinct from
+    #: ``upper_bound``, which bound polling may tighten past local finds)
+    best_value: Optional[int]
+    completed: bool
+    iterations: int
+    simulated_s: float
+    measured_s: float
+    overlap_saved_s: float
+    trace: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        return self.best_value is not None
+
+
+class LocalBounding:
+    """Host-side bounding "offload": the serial engines' default backend.
+
+    Bounds run on the CPU with the chosen batched kernel revision
+    (``"scalar"`` keeps the paper-faithful one-call-per-child evaluation),
+    and the simulated-time charge is zero — exactly the ``T_cpu`` baseline
+    the paper's speed-ups are measured against.
+    """
+
+    def __init__(
+        self,
+        data: LowerBoundData,
+        kernel: str = "v2",
+        include_one_machine: bool = False,
+    ):
+        self.data = data
+        self.kernel = kernel
+        self.include_one_machine = include_one_machine
+
+    def bound_nodes(
+        self, nodes: Sequence[Node]
+    ) -> tuple[np.ndarray | None, float, float]:
+        if self.kernel == "scalar":
+            # the paper-faithful one-call-per-child path of the bounding-
+            # fraction ablation: no batch array is ever materialized
+            for node in nodes:
+                bound_node(node, self.data, self.include_one_machine)
+            return None, 0.0, 0.0
+        bounds = bound_children_batch(
+            nodes, self.data, self.include_one_machine, kernel=self.kernel
+        )
+        return bounds, 0.0, 0.0
+
+    def bound_block(
+        self, block: NodeBlock, siblings: bool = False
+    ) -> tuple[np.ndarray, float, float]:
+        bounds = bound_block(
+            self.data,
+            block,
+            self.include_one_machine,
+            kernel=self.kernel,
+            siblings=siblings,
+        )
+        return bounds, 0.0, 0.0
+
+
+class SearchDriver:
+    """The canonical select→branch→bound→eliminate iteration.
+
+    Parameters
+    ----------
+    instance:
+        The flow-shop instance being solved.
+    data:
+        Precomputed lower-bound structures; required when no ``offload`` is
+        given (the driver then builds a :class:`LocalBounding` backend).
+    layout:
+        ``"block"`` (structure-of-arrays frontier) or ``"object"``.
+    selection:
+        Selection strategy name (drives tie batching; the pool/frontier
+        passed to :meth:`run` must have been built with the same strategy).
+    offload:
+        Bounding backend (see module docstring); ``None`` means local.
+    batch_size:
+        ``None`` selects the single-step shape; an integer selects the
+        batch (off-load) shape with pools of up to that many nodes.
+    limits / hooks:
+        Stop predicates and per-step hooks.
+    trace:
+        Record a :class:`TraceEvent` per examined node (single-step only).
+    tie_batching:
+        Single-step block layout: pop best-first ``(lb, depth)`` tie runs as
+        one batch and bound all of their children in a single launch
+        (provably the same pop sequence; disabled automatically in trace
+        mode, for non-best-first strategies, and while a frontier memory cap
+        holds the selection in its depth-first-restricted regime).
+    double_buffer:
+        Batch mode: credit the overlap of host-side selection+branching of
+        batch N+1 with the (simulated) device bounding of batch N — the
+        ROADMAP's ``NodeBlock`` pipelining follow-on.  The credit is
+        reported via :attr:`DriverResult.overlap_saved_s` and the
+        ``on_overlap`` hook; explored tree and counters are unaffected.
+    """
+
+    def __init__(
+        self,
+        instance: FlowShopInstance,
+        data: Optional[LowerBoundData] = None,
+        *,
+        layout: str = "block",
+        selection: str = "best-first",
+        kernel: str = "v2",
+        include_one_machine: bool = False,
+        offload=None,
+        batch_size: Optional[int] = None,
+        limits: Optional[SearchLimits] = None,
+        hooks: Optional[SearchHooks] = None,
+        trace: bool = False,
+        tie_batching: bool = True,
+        double_buffer: bool = False,
+    ):
+        if layout not in ("block", "object"):
+            raise ValueError(f"layout must be 'block' or 'object', got {layout!r}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1 when given")
+        if offload is None:
+            if data is None:
+                raise ValueError("either an offload backend or bound data is required")
+            offload = LocalBounding(data, kernel=kernel, include_one_machine=include_one_machine)
+        self.instance = instance
+        self.layout = layout
+        self.selection = selection
+        self.offload = offload
+        self.batch_size = batch_size
+        self.limits = limits if limits is not None else SearchLimits()
+        self.hooks = hooks if hooks is not None else SearchHooks()
+        self.trace_enabled = trace
+        self.tie_batching = tie_batching
+        self.double_buffer = double_buffer
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        frontier,
+        *,
+        upper_bound: float,
+        stats: SearchStats,
+        best_order: tuple[int, ...] = (),
+        trail: Optional[Trail] = None,
+        next_order: int = 1,
+        start: Optional[float] = None,
+    ) -> DriverResult:
+        """Run the iteration until the frontier drains or a budget is hit.
+
+        ``frontier`` is a seeded :class:`~repro.bb.pool.NodePool` (object
+        layout) or :class:`~repro.bb.frontier.BlockFrontier` (block layout);
+        the caller bounds and pushes the root/seed and pre-credits its
+        statistics.  ``start`` anchors the ``max_time_s`` budget (defaults
+        to now); ``next_order`` is the creation index of the next node in
+        the block layout.
+        """
+        if start is None:
+            start = time.perf_counter()
+        if self.layout == "block":
+            if trail is None:
+                raise ValueError("the block layout requires the search's Trail")
+            if self.batch_size is None:
+                return self._run_single_block(
+                    frontier, trail, upper_bound, best_order, stats, next_order, start
+                )
+            return self._run_batch_block(
+                frontier, trail, upper_bound, best_order, stats, next_order, start
+            )
+        if self.batch_size is None:
+            return self._run_single_object(frontier, upper_bound, best_order, stats, start)
+        return self._run_batch_object(frontier, upper_bound, best_order, stats, start)
+
+    # ------------------------------------------------------------------ #
+    def _notify(
+        self, makespan: int, supplier: Callable[[], tuple[int, ...]]
+    ) -> None:
+        hook = self.hooks.on_improve_incumbent
+        if hook is not None:
+            hook(makespan, supplier)
+
+    # ------------------------------------------------------------------ #
+    #  Single-step shape, object layout (serial engine, worksteal workers)
+    # ------------------------------------------------------------------ #
+    def _run_single_object(
+        self,
+        pool: NodePool,
+        upper_bound: float,
+        best_order: tuple[int, ...],
+        stats: SearchStats,
+        start: float,
+    ) -> DriverResult:
+        instance = self.instance
+        offload = self.offload
+        hooks = self.hooks
+        limits = self.limits
+        max_nodes, max_time_s, deadline = limits.max_nodes, limits.max_time_s, limits.deadline
+        poll, poll_interval = hooks.poll_bound, hooks.poll_interval
+        on_select, on_eliminate = hooks.on_select, hooks.on_eliminate
+        trace_on = self.trace_enabled
+        trace: list[TraceEvent] = []
+        perf_counter = time.perf_counter
+
+        best_value: Optional[int] = None
+        completed = True
+        pops = 0
+        while pool:
+            if max_nodes is not None and stats.nodes_explored >= max_nodes:
+                completed = False
+                break
+            if max_time_s is not None and perf_counter() - start > max_time_s:
+                completed = False
+                break
+            if deadline is not None and time.time() > deadline:
+                completed = False
+                break
+            if poll is not None:
+                pops += 1
+                if pops % poll_interval == 0:
+                    shared = poll()
+                    if shared < upper_bound:
+                        upper_bound = shared
+                        stats.nodes_pruned += pool.prune_to(upper_bound)
+                        if not pool:
+                            break
+
+            t0 = perf_counter()
+            node = pool.pop()
+            stats.time_pool_s += perf_counter() - t0
+            if on_select is not None:
+                on_select(1)
+
+            assert node.lower_bound is not None
+            if node.lower_bound >= upper_bound:
+                stats.nodes_pruned += 1
+                if trace_on:
+                    trace.append(TraceEvent(node.prefix, node.lower_bound, upper_bound, "pruned"))
+                continue
+
+            if node.is_leaf:
+                stats.leaves_evaluated += 1
+                makespan = int(node.release[-1])
+                if makespan < upper_bound:
+                    upper_bound = float(makespan)
+                    best_order = node.prefix
+                    best_value = makespan
+                    stats.incumbent_updates += 1
+                    self._notify(makespan, lambda prefix=node.prefix: prefix)
+                    if trace_on:
+                        trace.append(TraceEvent(node.prefix, makespan, upper_bound, "incumbent"))
+                elif trace_on:
+                    trace.append(TraceEvent(node.prefix, makespan, upper_bound, "leaf"))
+                stats.nodes_branched += 1  # examined, produced no children
+                continue
+
+            # Branch
+            t0 = perf_counter()
+            children = branch(node, instance)
+            stats.time_branching_s += perf_counter() - t0
+            stats.nodes_branched += 1
+            if trace_on:
+                trace.append(TraceEvent(node.prefix, node.lower_bound, upper_bound, "branched"))
+
+            # Bound all siblings in one launch, then eliminate.
+            t0 = perf_counter()
+            _, sim_s, _ = offload.bound_nodes(children)
+            stats.time_bounding_s += perf_counter() - t0
+            if sim_s:
+                stats.simulated_device_time_s += sim_s
+            stats.nodes_bounded += len(children)
+            survivors = []
+            pruned = 0
+            for child in children:
+                assert child.lower_bound is not None
+
+                if child.is_leaf:
+                    stats.leaves_evaluated += 1
+                    makespan = int(child.release[-1])
+                    if makespan < upper_bound:
+                        upper_bound = float(makespan)
+                        best_order = child.prefix
+                        best_value = makespan
+                        stats.incumbent_updates += 1
+                        self._notify(makespan, lambda prefix=child.prefix: prefix)
+                        if trace_on:
+                            trace.append(
+                                TraceEvent(child.prefix, makespan, upper_bound, "incumbent")
+                            )
+                    continue
+
+                if child.lower_bound >= upper_bound:
+                    stats.nodes_pruned += 1
+                    pruned += 1
+                    if trace_on:
+                        trace.append(
+                            TraceEvent(child.prefix, child.lower_bound, upper_bound, "pruned")
+                        )
+                    continue
+
+                survivors.append(child)
+            if on_eliminate is not None:
+                on_eliminate(pruned)
+
+            # one timing pair per branching step instead of two clock reads
+            # around every individual push
+            t0 = perf_counter()
+            for child in survivors:
+                pool.push(child)
+            stats.time_pool_s += perf_counter() - t0
+
+        return DriverResult(
+            upper_bound=upper_bound,
+            best_order=best_order,
+            best_value=best_value,
+            completed=completed,
+            iterations=0,
+            simulated_s=0.0,
+            measured_s=0.0,
+            overlap_saved_s=0.0,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------ #
+    #  Single-step shape, block layout (serial engine, worksteal workers)
+    # ------------------------------------------------------------------ #
+    def _run_single_block(
+        self,
+        frontier: BlockFrontier,
+        trail: Trail,
+        upper_bound: float,
+        best_order: tuple[int, ...],
+        stats: SearchStats,
+        next_order: int,
+        start: float,
+    ) -> DriverResult:
+        instance = self.instance
+        offload = self.offload
+        hooks = self.hooks
+        limits = self.limits
+        max_nodes, max_time_s, deadline = limits.max_nodes, limits.max_time_s, limits.deadline
+        poll, poll_interval = hooks.poll_bound, hooks.poll_interval
+        on_select, on_eliminate = hooks.on_select, hooks.on_eliminate
+        n_jobs = instance.n_jobs
+        pt = instance.processing_times
+        trace_on = self.trace_enabled
+        trace: list[TraceEvent] = []
+        perf_counter = time.perf_counter
+
+        best_value: Optional[int] = None
+        best_trail: Optional[int] = None
+
+        # Tie batching (best-first, untraced runs): every node sharing the
+        # minimal (lb, depth) pair is popped in one batch and their children
+        # branched + bounded in a single launch — provably the same pop
+        # sequence as one-at-a-time selection (see pop_min_tie_batch).
+        use_batches = (
+            self.tie_batching
+            and not trace_on
+            and self.selection.lower() in ("best-first", "best")
+        )
+        completed = True
+        pops = 0
+        while frontier:
+            if max_nodes is not None and stats.nodes_explored >= max_nodes:
+                completed = False
+                break
+            if max_time_s is not None and perf_counter() - start > max_time_s:
+                completed = False
+                break
+            if deadline is not None and time.time() > deadline:
+                completed = False
+                break
+            if poll is not None:
+                pops += 1
+                if pops % poll_interval == 0:
+                    shared = poll()
+                    if shared < upper_bound:
+                        upper_bound = shared
+                        stats.nodes_pruned += frontier.prune_to(upper_bound)
+                        if not frontier:
+                            break
+
+            # A frontier memory cap holds best-first selection in its
+            # depth-first-restricted regime while the cap is exceeded; tie
+            # batching pauses (not permanently) until it re-engages.
+            if use_batches and not frontier.restricted:
+                remaining = max_nodes - stats.nodes_explored if max_nodes is not None else None
+                t0 = perf_counter()
+                batch = frontier.pop_min_tie_batch(remaining)
+                stats.time_pool_s += perf_counter() - t0
+                if batch is None:
+                    use_batches = False  # key packing unavailable: single pops
+                else:
+                    k = len(batch)
+                    if poll is not None and k > 1:
+                        pops += k - 1
+                    if on_select is not None:
+                        on_select(k)
+                    lb0 = int(batch.lower_bound[0])
+                    depth0 = int(batch.depth[0])
+                    if lb0 >= upper_bound:
+                        stats.nodes_pruned += k
+                        continue
+                    if depth0 == n_jobs:
+                        # complete schedules sharing one makespan: the first
+                        # becomes the incumbent, the rest are pruned at its
+                        # (now equal) bound — exactly the one-at-a-time fates
+                        stats.leaves_evaluated += 1
+                        upper_bound = float(lb0)
+                        best_trail = int(batch.trail_id[0])
+                        best_value = lb0
+                        stats.incumbent_updates += 1
+                        self._notify(lb0, lambda tid=best_trail: trail.prefix(tid))
+                        stats.nodes_branched += 1
+                        stats.nodes_pruned += k - 1
+                        continue
+                    if depth0 + 1 == n_jobs:
+                        # leaf children tighten the incumbent between member
+                        # pops, so members must be examined one at a time
+                        for i in range(k):
+                            if lb0 >= upper_bound:
+                                stats.nodes_pruned += 1
+                                continue
+                            t0 = perf_counter()
+                            children = branch_row(
+                                batch.scheduled_mask[i],
+                                batch.release[i],
+                                depth0,
+                                int(batch.trail_id[i]),
+                                trail,
+                                pt,
+                                next_order,
+                            )
+                            stats.time_branching_s += perf_counter() - t0
+                            next_order += len(children)
+                            stats.nodes_branched += 1
+                            t0 = perf_counter()
+                            _, sim_s, _ = offload.bound_block(children, siblings=True)
+                            stats.time_bounding_s += perf_counter() - t0
+                            if sim_s:
+                                stats.simulated_device_time_s += sim_s
+                            n_children = len(children)
+                            stats.nodes_bounded += n_children
+                            stats.leaves_evaluated += n_children
+                            makespans = children.makespans
+                            improving, _ = leaf_improvements(upper_bound, makespans)
+                            for j in improving:
+                                makespan = int(makespans[j])
+                                upper_bound = float(makespan)
+                                best_trail = int(children.trail_id[j])
+                                best_value = makespan
+                                stats.incumbent_updates += 1
+                                self._notify(
+                                    makespan, lambda tid=best_trail: trail.prefix(tid)
+                                )
+                        continue
+
+                    # interior batch: one branch + one bounding launch for
+                    # the children of every tied node
+                    t0 = perf_counter()
+                    if k == 1:
+                        children = branch_row(
+                            batch.scheduled_mask[0],
+                            batch.release[0],
+                            depth0,
+                            int(batch.trail_id[0]),
+                            trail,
+                            pt,
+                            next_order,
+                        )
+                    else:
+                        children = branch_block(batch, pt, next_order)
+                    stats.time_branching_s += perf_counter() - t0
+                    next_order += len(children)
+                    stats.nodes_branched += k
+                    t0 = perf_counter()
+                    _, sim_s, _ = offload.bound_block(children, siblings=k == 1)
+                    stats.time_bounding_s += perf_counter() - t0
+                    if sim_s:
+                        stats.simulated_device_time_s += sim_s
+                    n_children = len(children)
+                    stats.nodes_bounded += n_children
+                    keep = children.lower_bound < upper_bound
+                    pruned = n_children - int(np.count_nonzero(keep))
+                    stats.nodes_pruned += pruned
+                    if on_eliminate is not None:
+                        on_eliminate(pruned)
+                    if pruned and k > 1:
+                        # reconstruct the pool sizes a one-node-at-a-time
+                        # engine records between member pops (each member
+                        # contributes exactly n - depth0 children)
+                        per_member = n_jobs - depth0
+                        kept_per = np.add.reduceat(keep, np.arange(0, k * per_member, per_member))
+                        sizes = (
+                            len(frontier)
+                            + (k - 1 - np.arange(k))
+                            + np.cumsum(kept_per)
+                        )
+                        populated = kept_per > 0
+                        if populated.any():
+                            frontier.record_size_hint(int(sizes[populated].max()))
+                    t0 = perf_counter()
+                    frontier.push_block(children, keep if pruned else None)
+                    stats.time_pool_s += perf_counter() - t0
+                    continue
+
+            # Zero-copy pop: read the best row in place, branch from the
+            # views, then swap-compact it out.
+            t0 = perf_counter()
+            row = frontier.peek_best()
+            node_lb, node_depth, _, node_tid, mask_view, release_view = frontier.row_view(row)
+            stats.time_pool_s += perf_counter() - t0
+            if on_select is not None:
+                on_select(1)
+
+            if node_lb >= upper_bound:
+                frontier.discard(row)
+                stats.nodes_pruned += 1
+                if trace_on:
+                    trace.append(
+                        TraceEvent(trail.prefix(node_tid), node_lb, upper_bound, "pruned")
+                    )
+                continue
+
+            if node_depth == n_jobs:
+                makespan = int(release_view[-1])
+                frontier.discard(row)
+                stats.leaves_evaluated += 1
+                if makespan < upper_bound:
+                    upper_bound = float(makespan)
+                    best_trail = node_tid
+                    best_value = makespan
+                    stats.incumbent_updates += 1
+                    self._notify(makespan, lambda tid=node_tid: trail.prefix(tid))
+                    if trace_on:
+                        trace.append(
+                            TraceEvent(trail.prefix(node_tid), makespan, upper_bound, "incumbent")
+                        )
+                elif trace_on:
+                    trace.append(
+                        TraceEvent(trail.prefix(node_tid), makespan, upper_bound, "leaf")
+                    )
+                stats.nodes_branched += 1  # examined, produced no children
+                continue
+
+            # Branch: every sibling in one shot, straight off the row views.
+            t0 = perf_counter()
+            children = branch_row(
+                mask_view, release_view, node_depth, node_tid, trail, pt, next_order
+            )
+            frontier.discard(row)
+            stats.time_branching_s += perf_counter() - t0
+            next_order += len(children)
+            stats.nodes_branched += 1
+            if trace_on:
+                trace.append(TraceEvent(trail.prefix(node_tid), node_lb, upper_bound, "branched"))
+
+            # Bound the sibling block straight off its arrays.
+            t0 = perf_counter()
+            _, sim_s, _ = offload.bound_block(children, siblings=True)
+            stats.time_bounding_s += perf_counter() - t0
+            if sim_s:
+                stats.simulated_device_time_s += sim_s
+            n_children = len(children)
+            stats.nodes_bounded += n_children
+
+            if node_depth + 1 == n_jobs:
+                # Siblings share their depth, so either every child is a
+                # complete schedule or none is.  Replicate the object
+                # layout's in-order incumbent updates with a running min.
+                stats.leaves_evaluated += n_children
+                makespans = children.makespans
+                improving, running = leaf_improvements(upper_bound, makespans)
+                for i in improving:
+                    makespan = int(makespans[i])
+                    upper_bound = float(makespan)
+                    best_trail = int(children.trail_id[i])
+                    best_value = makespan
+                    stats.incumbent_updates += 1
+                    self._notify(makespan, lambda tid=best_trail: trail.prefix(tid))
+                if trace_on:
+                    run_after = np.minimum.accumulate(
+                        np.concatenate(([running[0]], makespans.astype(np.float64)))
+                    )[1:]
+                    for i in range(n_children):
+                        action = "incumbent" if makespans[i] < running[i] else "leaf"
+                        trace.append(
+                            TraceEvent(
+                                children.prefix(i), int(makespans[i]), float(run_after[i]), action
+                            )
+                        )
+                continue
+
+            # Eliminate + insert in one masked append.
+            keep = children.lower_bound < upper_bound
+            pruned = n_children - int(np.count_nonzero(keep))
+            stats.nodes_pruned += pruned
+            if on_eliminate is not None:
+                on_eliminate(pruned)
+            if trace_on and pruned:
+                for i in np.flatnonzero(~keep):
+                    trace.append(
+                        TraceEvent(
+                            children.prefix(i),
+                            int(children.lower_bound[i]),
+                            upper_bound,
+                            "pruned",
+                        )
+                    )
+            t0 = perf_counter()
+            frontier.push_block(children, keep if pruned else None)
+            stats.time_pool_s += perf_counter() - t0
+
+        if best_trail is not None:
+            best_order = trail.prefix(best_trail)
+        return DriverResult(
+            upper_bound=upper_bound,
+            best_order=best_order,
+            best_value=best_value,
+            completed=completed,
+            iterations=0,
+            simulated_s=0.0,
+            measured_s=0.0,
+            overlap_saved_s=0.0,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------ #
+    #  Batch (off-load) shape, object layout (GPU / cluster / hybrid)
+    # ------------------------------------------------------------------ #
+    def _run_batch_object(
+        self,
+        pool: NodePool,
+        upper_bound: float,
+        best_order: tuple[int, ...],
+        stats: SearchStats,
+        start: float,
+    ) -> DriverResult:
+        instance = self.instance
+        offload = self.offload
+        hooks = self.hooks
+        limits = self.limits
+        batch_size = self.batch_size
+        perf_counter = time.perf_counter
+
+        best_value: Optional[int] = None
+        simulated_total = 0.0
+        measured_total = 0.0
+        overlap_saved = 0.0
+        prev_sim_s: Optional[float] = None
+        iteration = 0
+        completed = True
+        while pool:
+            if limits.max_iterations is not None and iteration >= limits.max_iterations:
+                completed = False
+                break
+            if limits.max_nodes is not None and stats.nodes_explored >= limits.max_nodes:
+                completed = False
+                break
+            if limits.max_time_s is not None and perf_counter() - start > limits.max_time_s:
+                completed = False
+                break
+            if limits.deadline is not None and time.time() > limits.deadline:
+                completed = False
+                break
+            iteration += 1
+
+            # --- selection -------------------------------------------------
+            t0 = perf_counter()
+            parents, lazily_pruned = select_batch(pool, batch_size, upper_bound)
+            select_s = perf_counter() - t0
+            stats.time_pool_s += select_s
+            stats.nodes_pruned += lazily_pruned
+            if not parents:
+                break
+            if hooks.on_select is not None:
+                hooks.on_select(len(parents))
+
+            # --- branching (CPU) --------------------------------------------
+            t0 = perf_counter()
+            children: list[Node] = []
+            for parent in parents:
+                offspring = branch(parent, instance)
+                stats.nodes_branched += 1
+                children.extend(offspring)
+            branch_s = perf_counter() - t0
+            stats.time_branching_s += branch_s
+
+            if not children:
+                continue
+
+            # --- bounding (off-load) ----------------------------------------
+            t0 = perf_counter()
+            _, sim_s, wall_s = offload.bound_nodes(children)
+            stats.time_bounding_s += perf_counter() - t0
+            simulated_total += sim_s
+            measured_total += wall_s
+            stats.nodes_bounded += len(children)
+            stats.pools_evaluated += 1
+
+            # Double buffering: the host prepared this batch while the device
+            # was still bounding the previous one — credit the overlap.
+            if self.double_buffer and prev_sim_s is not None:
+                credit = min(prev_sim_s, select_s + branch_s)
+                overlap_saved += credit
+                if hooks.on_overlap is not None:
+                    hooks.on_overlap(credit)
+            prev_sim_s = sim_s
+
+            # --- incumbent updates from complete schedules -------------------
+            open_children: list[Node] = []
+            for child in children:
+                if child.is_leaf:
+                    stats.leaves_evaluated += 1
+                    makespan = int(child.release[-1])
+                    if makespan < upper_bound:
+                        upper_bound = float(makespan)
+                        best_order = child.prefix
+                        best_value = makespan
+                        stats.incumbent_updates += 1
+                        self._notify(makespan, lambda prefix=child.prefix: prefix)
+                        if hooks.incumbent_charge_s is not None:
+                            simulated_total += hooks.incumbent_charge_s()
+                else:
+                    open_children.append(child)
+
+            # --- elimination --------------------------------------------------
+            survivors, pruned = eliminate(open_children, upper_bound)
+            stats.nodes_pruned += pruned
+            if hooks.on_eliminate is not None:
+                hooks.on_eliminate(pruned)
+
+            t0 = perf_counter()
+            pool.push_many(survivors)
+            stats.time_pool_s += perf_counter() - t0
+
+            if hooks.on_iteration is not None:
+                hooks.on_iteration(
+                    OffloadStep(
+                        iteration=iteration,
+                        nodes_offloaded=len(children),
+                        nodes_pruned=pruned,
+                        nodes_kept=len(survivors),
+                        incumbent=upper_bound,
+                        simulated_s=sim_s,
+                        measured_s=wall_s,
+                    )
+                )
+
+        return DriverResult(
+            upper_bound=upper_bound,
+            best_order=best_order,
+            best_value=best_value,
+            completed=completed,
+            iterations=iteration,
+            simulated_s=simulated_total,
+            measured_s=measured_total,
+            overlap_saved_s=overlap_saved,
+        )
+
+    # ------------------------------------------------------------------ #
+    #  Batch (off-load) shape, block layout (GPU / cluster / hybrid)
+    # ------------------------------------------------------------------ #
+    def _run_batch_block(
+        self,
+        frontier: BlockFrontier,
+        trail: Trail,
+        upper_bound: float,
+        best_order: tuple[int, ...],
+        stats: SearchStats,
+        next_order: int,
+        start: float,
+    ) -> DriverResult:
+        instance = self.instance
+        offload = self.offload
+        hooks = self.hooks
+        limits = self.limits
+        batch_size = self.batch_size
+        n_jobs = instance.n_jobs
+        pt = instance.processing_times
+        perf_counter = time.perf_counter
+
+        best_value: Optional[int] = None
+        best_trail: Optional[int] = None
+        simulated_total = 0.0
+        measured_total = 0.0
+        overlap_saved = 0.0
+        prev_sim_s: Optional[float] = None
+        iteration = 0
+        completed = True
+        while frontier:
+            if limits.max_iterations is not None and iteration >= limits.max_iterations:
+                completed = False
+                break
+            if limits.max_nodes is not None and stats.nodes_explored >= limits.max_nodes:
+                completed = False
+                break
+            if limits.max_time_s is not None and perf_counter() - start > limits.max_time_s:
+                completed = False
+                break
+            if limits.deadline is not None and time.time() > limits.deadline:
+                completed = False
+                break
+            iteration += 1
+
+            # --- selection -------------------------------------------------
+            t0 = perf_counter()
+            parents, lazily_pruned = frontier.pop_batch(batch_size, upper_bound)
+            select_s = perf_counter() - t0
+            stats.time_pool_s += select_s
+            stats.nodes_pruned += lazily_pruned
+            if not len(parents):
+                break
+            if hooks.on_select is not None:
+                hooks.on_select(len(parents))
+
+            # --- branching (CPU, vectorized) --------------------------------
+            t0 = perf_counter()
+            children = branch_block(parents, pt, next_order)
+            branch_s = perf_counter() - t0
+            stats.time_branching_s += branch_s
+            next_order += len(children)
+            stats.nodes_branched += len(parents)
+
+            if not len(children):
+                continue
+
+            # --- bounding (off-load, zero re-packing) -----------------------
+            t0 = perf_counter()
+            _, sim_s, wall_s = offload.bound_block(children, siblings=False)
+            stats.time_bounding_s += perf_counter() - t0
+            simulated_total += sim_s
+            measured_total += wall_s
+            stats.nodes_bounded += len(children)
+            stats.pools_evaluated += 1
+
+            if self.double_buffer and prev_sim_s is not None:
+                credit = min(prev_sim_s, select_s + branch_s)
+                overlap_saved += credit
+                if hooks.on_overlap is not None:
+                    hooks.on_overlap(credit)
+            prev_sim_s = sim_s
+
+            # --- incumbent updates from complete schedules -------------------
+            leaf_mask = children.depth == n_jobs
+            n_leaves = int(np.count_nonzero(leaf_mask))
+            if n_leaves:
+                leaf_rows = np.flatnonzero(leaf_mask)
+                stats.leaves_evaluated += n_leaves
+                makespans = children.release[leaf_rows, -1]
+                improving, _ = leaf_improvements(upper_bound, makespans)
+                for i in improving:
+                    makespan = int(makespans[i])
+                    upper_bound = float(makespan)
+                    best_trail = int(children.trail_id[leaf_rows[i]])
+                    best_value = makespan
+                    stats.incumbent_updates += 1
+                    self._notify(makespan, lambda tid=best_trail: trail.prefix(tid))
+                    if hooks.incumbent_charge_s is not None:
+                        simulated_total += hooks.incumbent_charge_s()
+
+            # --- elimination fused with insertion (one masked append) ---------
+            keep = children.lower_bound < upper_bound
+            if n_leaves:
+                keep &= ~leaf_mask
+            kept = int(np.count_nonzero(keep))
+            pruned = len(children) - n_leaves - kept
+            stats.nodes_pruned += pruned
+            if hooks.on_eliminate is not None:
+                hooks.on_eliminate(pruned)
+
+            t0 = perf_counter()
+            frontier.push_block(children, keep)
+            stats.time_pool_s += perf_counter() - t0
+
+            if hooks.on_iteration is not None:
+                hooks.on_iteration(
+                    OffloadStep(
+                        iteration=iteration,
+                        nodes_offloaded=len(children),
+                        nodes_pruned=pruned,
+                        nodes_kept=kept,
+                        incumbent=upper_bound,
+                        simulated_s=sim_s,
+                        measured_s=wall_s,
+                    )
+                )
+
+        if best_trail is not None:
+            best_order = trail.prefix(best_trail)
+        return DriverResult(
+            upper_bound=upper_bound,
+            best_order=best_order,
+            best_value=best_value,
+            completed=completed,
+            iterations=iteration,
+            simulated_s=simulated_total,
+            measured_s=measured_total,
+            overlap_saved_s=overlap_saved,
+        )

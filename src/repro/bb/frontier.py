@@ -34,6 +34,15 @@ Node identity (``order_index``) and the selection key
 a block-layout engine explores bit-for-bit the same tree, in the same
 order, as its object-layout twin (verified by
 ``tests/test_layout_equivalence.py``).
+
+All block/frontier integer columns are stored as **int32**: Taillard-class
+magnitudes (release times, bounds, depths, creation indices) sit far below
+``2**31``, and halving the frontier's memory traffic raises the cache
+residency of the selection scans.  The bounding kernels stay int64
+internally — their entry points coerce ``release`` with
+``np.asarray(..., dtype=np.int64)`` and :func:`bound_block` writes the
+int64 results back into the int32 column in place, which is the one
+explicit int32↔int64 boundary of the layout.
 """
 
 from __future__ import annotations
@@ -87,13 +96,21 @@ def _arange(count: int) -> np.ndarray:
     return _ARANGE[:count]
 
 
+#: int32 node-id ceiling of the block layout (trail slots, order indices).
+#: A search would need >2**31 nodes — hundreds of GB of frontier — to reach
+#: it, but growing past it must fail loudly, not wrap.
+_INT32_ID_LIMIT = np.iinfo(np.int32).max
+
+
 class Trail:
     """Compact ancestry store: one ``(parent_slot, job)`` pair per node.
 
     Every node ever created appends one entry; the scheduled prefix of a
     node is materialized lazily by walking parent slots up to the root
-    (``parent == -1``).  Two int64 cells per node replace the per-node
-    Python tuple of the object layout.
+    (``parent == -1``).  Two int32 cells per node replace the per-node
+    Python tuple of the object layout; creating more than ``2**31 - 1``
+    nodes raises :class:`OverflowError` (ids — and the creation indices
+    that advance in lockstep with them — would otherwise wrap).
     """
 
     __slots__ = ("_parent", "_job", "_size")
@@ -101,8 +118,8 @@ class Trail:
     def __init__(self, capacity: int = 1024):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
-        self._parent = np.empty(capacity, dtype=np.int64)
-        self._job = np.empty(capacity, dtype=np.int64)
+        self._parent = np.empty(capacity, dtype=np.int32)
+        self._job = np.empty(capacity, dtype=np.int32)
         self._size = 0
 
     def __len__(self) -> int:
@@ -110,11 +127,16 @@ class Trail:
 
     def _ensure(self, extra: int) -> None:
         need = self._size + extra
+        if need > _INT32_ID_LIMIT:
+            raise OverflowError(
+                f"search created more than {_INT32_ID_LIMIT} nodes; the int32 "
+                "block layout cannot address them — re-run with layout='object'"
+            )
         if need > self._parent.shape[0]:
             capacity = max(need, 2 * self._parent.shape[0])
             for name in ("_parent", "_job"):
                 old = getattr(self, name)
-                new = np.empty(capacity, dtype=np.int64)
+                new = np.empty(capacity, dtype=np.int32)
                 new[: self._size] = old[: self._size]
                 setattr(self, name, new)
 
@@ -139,7 +161,7 @@ class Trail:
         """
         count = len(jobs)
         self._ensure(count)
-        ids = np.arange(self._size, self._size + count, dtype=np.int64)
+        ids = np.arange(self._size, self._size + count, dtype=np.int32)
         self._parent[self._size : self._size + count] = parents
         self._job[self._size : self._size + count] = jobs
         self._size += count
@@ -237,11 +259,11 @@ class NodeBlock:
     def empty(cls, n_jobs: int, n_machines: int, trail: Trail) -> "NodeBlock":
         return cls(
             scheduled_mask=np.zeros((0, n_jobs), dtype=bool),
-            release=np.zeros((0, n_machines), dtype=np.int64),
-            lower_bound=np.zeros(0, dtype=np.int64),
-            depth=np.zeros(0, dtype=np.int64),
-            order_index=np.zeros(0, dtype=np.int64),
-            trail_id=np.zeros(0, dtype=np.int64),
+            release=np.zeros((0, n_machines), dtype=np.int32),
+            lower_bound=np.zeros(0, dtype=np.int32),
+            depth=np.zeros(0, dtype=np.int32),
+            order_index=np.zeros(0, dtype=np.int32),
+            trail_id=np.zeros(0, dtype=np.int32),
             trail=trail,
         )
 
@@ -250,11 +272,11 @@ def root_block(instance: FlowShopInstance, trail: Trail) -> NodeBlock:
     """A one-row block holding the root (empty schedule), order index 0."""
     return NodeBlock(
         scheduled_mask=np.zeros((1, instance.n_jobs), dtype=bool),
-        release=np.zeros((1, instance.n_machines), dtype=np.int64),
-        lower_bound=np.full(1, NO_BOUND, dtype=np.int64),
-        depth=np.zeros(1, dtype=np.int64),
-        order_index=np.zeros(1, dtype=np.int64),
-        trail_id=np.array([trail.append_root()], dtype=np.int64),
+        release=np.zeros((1, instance.n_machines), dtype=np.int32),
+        lower_bound=np.full(1, NO_BOUND, dtype=np.int32),
+        depth=np.zeros(1, dtype=np.int32),
+        order_index=np.zeros(1, dtype=np.int32),
+        trail_id=np.array([trail.append_root()], dtype=np.int32),
         trail=trail,
     )
 
@@ -272,7 +294,7 @@ def seed_block(
     pt = instance.processing_times
     n, m = instance.n_jobs, instance.n_machines
     mask = np.zeros((1, n), dtype=bool)
-    release = np.zeros(m, dtype=np.int64)
+    release = np.zeros(m, dtype=np.int32)
     trail_id = trail.append_root()
     for job in prefix:
         job = int(job)
@@ -288,10 +310,10 @@ def seed_block(
     return NodeBlock(
         scheduled_mask=mask,
         release=release[None, :],
-        lower_bound=np.array([lower], dtype=np.int64),
-        depth=np.array([depth], dtype=np.int64),
-        order_index=np.array([depth], dtype=np.int64),
-        trail_id=np.array([trail_id], dtype=np.int64),
+        lower_bound=np.array([lower], dtype=np.int32),
+        depth=np.array([depth], dtype=np.int32),
+        order_index=np.array([depth], dtype=np.int32),
+        trail_id=np.array([trail_id], dtype=np.int32),
         trail=trail,
     )
 
@@ -328,11 +350,11 @@ def branch_block(
 
     if single:
         child_mask = np.repeat(mask, count, axis=0)
-        depth = np.full(count, int(parents.depth[0]) + 1, dtype=np.int64)
+        depth = np.full(count, int(parents.depth[0]) + 1, dtype=np.int32)
         parent_tids = np.broadcast_to(parents.trail_id, (count,))
     else:
         child_mask = mask[parent_rows]  # advanced indexing: already a copy
-        depth = parents.depth[parent_rows] + 1
+        depth = (parents.depth[parent_rows] + 1).astype(np.int32, copy=False)
         parent_tids = parents.trail_id[parent_rows]
     child_mask[_arange(count), jobs] = True
 
@@ -341,10 +363,10 @@ def branch_block(
         lower = (
             release[:, -1].copy()
             if is_leaf
-            else np.full(count, NO_BOUND, dtype=np.int64)
+            else np.full(count, NO_BOUND, dtype=np.int32)
         )
     else:
-        lower = np.full(count, NO_BOUND, dtype=np.int64)
+        lower = np.full(count, NO_BOUND, dtype=np.int32)
         leaves = depth == n_jobs
         if leaves.any():
             lower[leaves] = release[leaves, -1]
@@ -354,7 +376,7 @@ def branch_block(
         release=release,
         lower_bound=lower,
         depth=depth,
-        order_index=np.arange(order_start, order_start + count, dtype=np.int64),
+        order_index=np.arange(order_start, order_start + count, dtype=np.int32),
         trail_id=parents.trail.append_batch(parent_tids, jobs),
         trail=parents.trail,
         jobs=jobs,
@@ -393,14 +415,14 @@ def branch_row(
     lower = (
         release[:, -1].copy()
         if child_depth == n_jobs
-        else np.full(count, NO_BOUND, dtype=np.int64)
+        else np.full(count, NO_BOUND, dtype=np.int32)
     )
     return NodeBlock(
         scheduled_mask=child_mask,
         release=release,
         lower_bound=lower,
-        depth=np.full(count, child_depth, dtype=np.int64),
-        order_index=np.arange(order_start, order_start + count, dtype=np.int64),
+        depth=np.full(count, child_depth, dtype=np.int32),
+        order_index=np.arange(order_start, order_start + count, dtype=np.int32),
         trail_id=trail.append_batch(trail_id, jobs),
         trail=trail,
         jobs=jobs,
@@ -577,11 +599,14 @@ def bound_block(
             fused = False
 
     if not fused:
+        # the batched kernels are int64 internally (their entry coerces
+        # ``release``); writing through the slice casts the int64 results
+        # back into the block's int32 column — the explicit dtype boundary
         bounds = get_batch_kernel(kernel)(
             data, mask, release, include_one_machine=include_one_machine
         )
-        block.lower_bound = bounds
-        return bounds
+        block.lower_bound[:] = bounds
+        return block.lower_bound
 
     if siblings and batch > 1:
         jobs = block.jobs if block.jobs is not None else block.trail.jobs_of(block.trail_id)
@@ -590,8 +615,8 @@ def bound_block(
         bounds = _bound_block_fused(
             data, mask, release, include_one_machine, ftype, qm_b=qm_b
         )
-        block.lower_bound = bounds
-        return bounds
+        block.lower_bound[:] = bounds
+        return block.lower_bound
 
     complete = block.depth == n_jobs
     if complete.any():
@@ -604,8 +629,8 @@ def bound_block(
             )
     else:
         bounds = _bound_block_fused(data, mask, release, include_one_machine, ftype)
-    block.lower_bound = bounds
-    return bounds
+    block.lower_bound[:] = bounds
+    return block.lower_bound
 
 
 def leaf_improvements(
@@ -656,7 +681,16 @@ class BlockFrontier:
     packed int64 whose numeric order IS the lexicographic pop order, so a
     best-first pop is a single ``argmin`` scan.  Removal is
     swap-compaction (tail rows move into the holes), which is valid
-    because selection never depends on storage order.
+    because selection never depends on storage order.  Columns are stored
+    int32 (the packed key stays int64), halving the scan traffic.
+
+    ``max_pending`` is an optional high-water memory cap: while the store
+    holds at least that many nodes, best-first selection switches to a
+    depth-first-restricted regime — the deepest pending node is popped
+    instead of the best-bound one, which plunges toward leaves and stops
+    the exhaustive best-first frontier from growing without bound.  The
+    search stays exact (no node is dropped); selection re-engages
+    best-first as soon as elimination shrinks the store below the cap.
     """
 
     _STRATEGIES = {
@@ -675,6 +709,7 @@ class BlockFrontier:
         trail: Trail,
         strategy: str = "best-first",
         capacity: int = 64,
+        max_pending: int | None = None,
     ):
         key = self._STRATEGIES.get(strategy.lower())
         if key is None:
@@ -682,15 +717,18 @@ class BlockFrontier:
                 f"unknown selection strategy {strategy!r}; choose from "
                 f"{sorted(set(self._STRATEGIES))}"
             )
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 when given")
         self.strategy = strategy
         self._kind = key
+        self._cap = max_pending
         self._trail = trail
         self._mask = np.zeros((capacity, n_jobs), dtype=bool)
-        self._release = np.zeros((capacity, n_machines), dtype=np.int64)
-        self._lb = np.zeros(capacity, dtype=np.int64)
-        self._depth = np.zeros(capacity, dtype=np.int64)
-        self._order = np.zeros(capacity, dtype=np.int64)
-        self._tid = np.zeros(capacity, dtype=np.int64)
+        self._release = np.zeros((capacity, n_machines), dtype=np.int32)
+        self._lb = np.zeros(capacity, dtype=np.int32)
+        self._depth = np.zeros(capacity, dtype=np.int32)
+        self._order = np.zeros(capacity, dtype=np.int32)
+        self._tid = np.zeros(capacity, dtype=np.int32)
         #: packed ``(lb << 41) | (depth << 32) | order`` selection key
         self._key = np.zeros(capacity, dtype=np.int64)
         self._packed = n_jobs < (1 << 9)
@@ -710,6 +748,12 @@ class BlockFrontier:
     def max_size_seen(self) -> int:
         """Largest number of pending nodes observed (memory high-water mark)."""
         return self._max_size
+
+    @property
+    def restricted(self) -> bool:
+        """True while the ``max_pending`` cap holds best-first selection in
+        its depth-first-restricted regime."""
+        return self._cap is not None and self._kind == "best" and self._size >= self._cap
 
     def record_size_hint(self, size: int) -> None:
         """Raise the high-water mark to a size the pool logically reached.
@@ -766,14 +810,21 @@ class BlockFrontier:
             order = self._order[lo:hi] = block.order_index[rows]
             self._tid[lo:hi] = block.trail_id[rows]
         if self._packed:
+            # order indices are int32 and guarded by the Trail's id limit,
+            # so (unlike the historical int64 columns) a negative value —
+            # not a value past 2**32 — is the wrap signal to check for
             if (
                 int(lb.min()) < 0
                 or int(lb.max()) >= (1 << 22)
-                or int(order[-1]) >= (1 << 32)
+                or int(order[-1]) < 0
             ):
                 self._packed = False
             else:
-                self._key[lo:hi] = (lb << 41) | (depth << 32) | order
+                self._key[lo:hi] = (
+                    (lb.astype(np.int64) << 41)
+                    | (depth.astype(np.int64) << 32)
+                    | order
+                )
         self._size = hi
         if hi > self._max_size:
             self._max_size = hi
@@ -782,7 +833,7 @@ class BlockFrontier:
     def _pop_one_index(self) -> int:
         """Row index of the single next node according to the strategy."""
         size = self._size
-        if self._kind == "depth":
+        if self._kind == "depth" or self.restricted:
             return int(np.argmax(self._order[:size]))
         if self._kind == "fifo":
             return int(np.argmin(self._order[:size]))
@@ -802,7 +853,7 @@ class BlockFrontier:
     def _pop_order(self) -> np.ndarray:
         """All pending rows, sorted in the strategy's pop order."""
         size = self._size
-        if self._kind == "depth":
+        if self._kind == "depth" or self.restricted:
             return np.argsort(self._order[:size], kind="stable")[::-1]
         if self._kind == "fifo":
             return np.argsort(self._order[:size], kind="stable")
@@ -840,9 +891,12 @@ class BlockFrontier:
         also re-checks its budget only between pops.
 
         Only valid for the best-first strategy with packed keys; returns
-        ``None`` when unavailable (caller falls back to single pops).
+        ``None`` when unavailable (caller falls back to single pops) —
+        including while a ``max_pending`` cap holds selection in its
+        depth-first-restricted regime (check :attr:`restricted` first to
+        distinguish a pause from permanent unavailability).
         """
-        if self._kind != "best" or not self._packed or self._size == 0:
+        if self._kind != "best" or not self._packed or self._size == 0 or self.restricted:
             return None
         keys = self._key[: self._size]
         min_key = keys.min()
@@ -950,7 +1004,7 @@ class BlockFrontier:
             self._remove(rows)
             return block, 0
 
-        if self._kind == "best":
+        if self._kind == "best" and not self.restricted:
             # Best-first pop order is non-decreasing in lb, so the fresh
             # nodes form a prefix: either the batch fills from it (no
             # pruning), or the pool drains and every stale node is dropped.
@@ -1014,7 +1068,16 @@ class BlockFrontier:
 
 
 def make_frontier(
-    instance: FlowShopInstance, trail: Trail, strategy: str = "best-first"
+    instance: FlowShopInstance,
+    trail: Trail,
+    strategy: str = "best-first",
+    max_pending: int | None = None,
 ) -> BlockFrontier:
     """Create a :class:`BlockFrontier` sized for ``instance``."""
-    return BlockFrontier(instance.n_jobs, instance.n_machines, trail, strategy=strategy)
+    return BlockFrontier(
+        instance.n_jobs,
+        instance.n_machines,
+        trail,
+        strategy=strategy,
+        max_pending=max_pending,
+    )

@@ -34,18 +34,10 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.bb.frontier import (
-    BlockFrontier,
-    Trail,
-    bound_block,
-    branch_row,
-    leaf_improvements,
-    seed_block,
-)
+from repro.bb.driver import SearchDriver, SearchHooks, SearchLimits
+from repro.bb.frontier import BlockFrontier, Trail, bound_block, seed_block
 from repro.bb.node import Node, root_node
-from repro.bb.operators import bound_children_batch, bound_node, branch
+from repro.bb.operators import bound_node
 from repro.bb.sequential import BBResult, SequentialBranchAndBound
 from repro.bb.stats import SearchStats
 from repro.bb.worksteal import (
@@ -72,6 +64,7 @@ class SubtreeTask:
     selection: str
     kernel: str = "v2"
     layout: str = "block"
+    max_frontier_nodes: Optional[int] = None
 
 
 def _solve_subtree(task: SubtreeTask) -> dict:
@@ -86,6 +79,7 @@ def _solve_subtree(task: SubtreeTask) -> dict:
         deadline=task.deadline,
         kernel=task.kernel,
         layout=task.layout,
+        max_frontier_nodes=task.max_frontier_nodes,
     )
     best_makespan, best_order, stats, completed = solver.run()
     return {
@@ -120,6 +114,7 @@ class _SubtreeSolver:
         incumbent=None,
         poll_interval: int = 64,
         layout: str = "block",
+        max_frontier_nodes: Optional[int] = None,
     ):
         if poll_interval < 1:
             raise ValueError("poll_interval must be >= 1")
@@ -136,12 +131,38 @@ class _SubtreeSolver:
         self.incumbent = incumbent
         self.poll_interval = poll_interval
         self.layout = layout
+        self.max_frontier_nodes = max_frontier_nodes
 
     def _root(self) -> Node:
         node = root_node(self.instance)
         for job in self.prefix:
             node = node.child(job, self.instance.processing_times)
         return node
+
+    def _driver(self) -> SearchDriver:
+        """The worker's loop: the driver's single-step shape with polling.
+
+        ``poll_bound`` re-reads the shared incumbent every ``poll_interval``
+        pops (re-pruning the open pool when a peer tightened it) and
+        ``on_improve_incumbent`` publishes local improvements via the
+        compare-and-swap.  Best-first workers batch ``(lb, depth)`` ties
+        into one bounding launch exactly like the sequential engine — the
+        driver routes both through the same ``pop_min_tie_batch`` path.
+        """
+        hooks = SearchHooks(poll_interval=self.poll_interval)
+        if self.incumbent is not None:
+            incumbent = self.incumbent
+            hooks.poll_bound = incumbent.get
+            hooks.on_improve_incumbent = lambda makespan, order: incumbent.try_update(makespan)
+        return SearchDriver(
+            self.instance,
+            self.data,
+            layout=self.layout,
+            selection=self.selection,
+            kernel=self.kernel,
+            limits=SearchLimits(max_nodes=self.max_nodes, deadline=self.deadline),
+            hooks=hooks,
+        )
 
     def run(self) -> tuple[Optional[int], tuple[int, ...], SearchStats, bool]:
         if self.layout == "block":
@@ -171,8 +192,6 @@ class _SubtreeSolver:
         stats.time_bounding_s += time.perf_counter() - t0
         stats.nodes_bounded += 1
 
-        best_makespan: Optional[int] = None
-        best_order: tuple[int, ...] = ()
         upper_bound = self.upper_bound
         if self.incumbent is not None:
             upper_bound = min(upper_bound, self.incumbent.get())
@@ -192,160 +211,68 @@ class _SubtreeSolver:
             return finish(None, (), True)
 
         pool.push(node)
-        completed = True
-        pops = 0
-        while pool:
-            if self.max_nodes is not None and stats.nodes_explored >= self.max_nodes:
-                completed = False
-                break
-            if self.deadline is not None and time.time() > self.deadline:
-                completed = False
-                break
-            pops += 1
-            if self.incumbent is not None and pops % self.poll_interval == 0:
-                shared = self.incumbent.get()
-                if shared < upper_bound:
-                    upper_bound = shared
-                    stats.nodes_pruned += pool.prune_to(upper_bound)
-                    if not pool:
-                        break
-            current = pool.pop()
-            assert current.lower_bound is not None
-            if current.lower_bound >= upper_bound:
-                stats.nodes_pruned += 1
-                continue
-            children = branch(current, self.instance)
-            stats.nodes_branched += 1
-            t0 = time.perf_counter()
-            bound_children_batch(children, self.data, kernel=self.kernel)
-            stats.time_bounding_s += time.perf_counter() - t0
-            stats.nodes_bounded += len(children)
-            for child in children:
-                if child.is_leaf:
-                    stats.leaves_evaluated += 1
-                    makespan = int(child.release[-1])
-                    if makespan < upper_bound:
-                        upper_bound = float(makespan)
-                        best_makespan = makespan
-                        best_order = child.prefix
-                        stats.incumbent_updates += 1
-                        if self.incumbent is not None:
-                            self.incumbent.try_update(makespan)
-                    continue
-                assert child.lower_bound is not None
-                if child.lower_bound >= upper_bound:
-                    stats.nodes_pruned += 1
-                    continue
-                pool.push(child)
-        return finish(best_makespan, best_order, completed)
+        outcome = self._driver().run(
+            pool, upper_bound=upper_bound, best_order=(), stats=stats, start=start
+        )
+        return finish(outcome.best_value, tuple(outcome.best_order), outcome.completed)
 
     def _run_block(self) -> tuple[Optional[int], tuple[int, ...], SearchStats, bool]:
         """Block-layout twin of :meth:`_run_object` (same tree, same stats)."""
         instance = self.instance
-        data = self.data
-        pt = instance.processing_times
-        n_jobs = instance.n_jobs
         stats = SearchStats()
         trail = Trail()
         frontier = BlockFrontier(
-            n_jobs, instance.n_machines, trail, strategy=self.selection
+            instance.n_jobs,
+            instance.n_machines,
+            trail,
+            strategy=self.selection,
+            max_pending=self.max_frontier_nodes,
         )
         start = time.perf_counter()
 
-        best_trail: Optional[int] = None
-
         def finish(
-            best_makespan: Optional[int], completed: bool
+            best_makespan: Optional[int], best_order: tuple[int, ...], completed: bool
         ) -> tuple[Optional[int], tuple[int, ...], SearchStats, bool]:
             stats.time_total_s = time.perf_counter() - start
             stats.max_pool_size = frontier.max_size_seen
-            best_order = trail.prefix(best_trail) if best_trail is not None else ()
             return best_makespan, best_order, stats, completed
 
         seed = seed_block(instance, self.prefix, trail)
         next_order = int(seed.order_index[0]) + 1
         t0 = time.perf_counter()
-        bound_block(data, seed, kernel=self.kernel)
+        bound_block(self.data, seed, kernel=self.kernel)
         stats.time_bounding_s += time.perf_counter() - t0
         stats.nodes_bounded += 1
 
-        best_makespan: Optional[int] = None
         upper_bound = self.upper_bound
         if self.incumbent is not None:
             upper_bound = min(upper_bound, self.incumbent.get())
 
-        if int(seed.depth[0]) == n_jobs:
+        if int(seed.depth[0]) == instance.n_jobs:
             makespan = int(seed.release[0, -1])
             stats.leaves_evaluated += 1
             if makespan < upper_bound:
                 if self.incumbent is not None:
                     self.incumbent.try_update(makespan)
                 stats.incumbent_updates += 1
-                best_trail = int(seed.trail_id[0])
-                return finish(makespan, True)
-            return finish(None, True)
+                return finish(makespan, trail.prefix(int(seed.trail_id[0])), True)
+            return finish(None, (), True)
 
         if int(seed.lower_bound[0]) >= upper_bound:
             stats.nodes_pruned += 1
-            return finish(None, True)
+            return finish(None, (), True)
 
         frontier.push_block(seed)
-        completed = True
-        pops = 0
-        while frontier:
-            if self.max_nodes is not None and stats.nodes_explored >= self.max_nodes:
-                completed = False
-                break
-            if self.deadline is not None and time.time() > self.deadline:
-                completed = False
-                break
-            pops += 1
-            if self.incumbent is not None and pops % self.poll_interval == 0:
-                shared = self.incumbent.get()
-                if shared < upper_bound:
-                    upper_bound = shared
-                    stats.nodes_pruned += frontier.prune_to(upper_bound)
-                    if not frontier:
-                        break
-            row = frontier.peek_best()
-            current_lb, current_depth, _, current_tid, mask_view, release_view = (
-                frontier.row_view(row)
-            )
-            if current_lb >= upper_bound:
-                frontier.discard(row)
-                stats.nodes_pruned += 1
-                continue
-            children = branch_row(
-                mask_view, release_view, current_depth, current_tid, trail, pt, next_order
-            )
-            frontier.discard(row)
-            next_order += len(children)
-            stats.nodes_branched += 1
-            t0 = time.perf_counter()
-            bound_block(data, children, kernel=self.kernel, siblings=True)
-            stats.time_bounding_s += time.perf_counter() - t0
-            n_children = len(children)
-            stats.nodes_bounded += n_children
-            if current_depth + 1 == n_jobs:
-                # every sibling is a complete schedule (uniform depth)
-                stats.leaves_evaluated += n_children
-                makespans = children.makespans
-                improving, _ = leaf_improvements(upper_bound, makespans)
-                for i in improving:
-                    makespan = int(makespans[i])
-                    upper_bound = float(makespan)
-                    best_makespan = makespan
-                    best_trail = int(children.trail_id[i])
-                    stats.incumbent_updates += 1
-                    if self.incumbent is not None:
-                        self.incumbent.try_update(makespan)
-                continue
-            keep = children.lower_bound < upper_bound
-            kept = int(np.count_nonzero(keep))
-            stats.nodes_pruned += n_children - kept
-            if kept:
-                frontier.push_block(children, keep if kept != n_children else None)
-        return finish(best_makespan, completed)
+        outcome = self._driver().run(
+            frontier,
+            upper_bound=upper_bound,
+            best_order=(),
+            stats=stats,
+            trail=trail,
+            next_order=next_order,
+            start=start,
+        )
+        return finish(outcome.best_value, tuple(outcome.best_order), outcome.completed)
 
 
 class MulticoreBranchAndBound:
@@ -387,6 +314,9 @@ class MulticoreBranchAndBound:
         explores with the structure-of-arrays frontier
         (:mod:`repro.bb.frontier`); ``"object"`` keeps one ``Node`` per
         sub-problem.  Both explore the identical tree per chunk.
+    max_frontier_nodes:
+        Block layout only: per-worker high-water frontier cap (see
+        :class:`~repro.bb.frontier.BlockFrontier`).
     """
 
     def __init__(
@@ -403,6 +333,7 @@ class MulticoreBranchAndBound:
         mode: str = "worksteal",
         poll_interval: int = 64,
         layout: str = "block",
+        max_frontier_nodes: Optional[int] = None,
     ):
         if backend not in ("process", "thread", "serial"):
             raise ValueError("backend must be 'process', 'thread' or 'serial'")
@@ -428,6 +359,7 @@ class MulticoreBranchAndBound:
         self.kernel = kernel
         self.poll_interval = poll_interval
         self.layout = layout
+        self.max_frontier_nodes = max_frontier_nodes
 
     # ------------------------------------------------------------------ #
     def _frontier_prefixes(self) -> list[tuple[int, ...]]:
@@ -453,6 +385,7 @@ class MulticoreBranchAndBound:
                 kernel=self.kernel,
                 poll_interval=self.poll_interval,
                 layout=self.layout,
+                max_frontier_nodes=self.max_frontier_nodes,
             ).solve()
         return self._solve_static()
 
@@ -472,6 +405,7 @@ class MulticoreBranchAndBound:
                 selection=self.selection,
                 kernel=self.kernel,
                 layout=self.layout,
+                max_frontier_nodes=self.max_frontier_nodes,
             )
             for prefix in self._frontier_prefixes()
         ]

@@ -38,8 +38,13 @@ def advance_release(release: np.ndarray, times: np.ndarray) -> np.ndarray:
     over leading axes, so one call advances a single ``(m,)`` front or a
     whole ``(B, m)`` batch of (front, job) pairs.  This is the one home of
     the recurrence shared by the object and block layouts.
+
+    The result follows the dtype of ``release``: the object layout's int64
+    ``Node.release`` vectors stay int64, while the block layout's int32
+    columns (:mod:`repro.bb.frontier`) advance without leaving int32.
     """
-    csum = np.cumsum(times, axis=-1, dtype=np.int64)
+    dtype = release.dtype if isinstance(release, np.ndarray) else np.int64
+    csum = np.cumsum(times, axis=-1, dtype=dtype)
     front = release - csum
     front += times
     np.maximum.accumulate(front, axis=-1, out=front)

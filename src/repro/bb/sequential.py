@@ -9,6 +9,11 @@ experiment reports ~98.5 % on the m=20 Taillard instances).
 A ``trace`` mode records every node with its bound and fate, which is how
 the Figure 1 example tree (3-job instance) is regenerated in the examples
 and tests.
+
+The solve loop itself lives in :class:`~repro.bb.driver.SearchDriver` —
+this engine is the driver's single-step configuration with the local
+(zero-simulated-charge) bounding backend; it only seeds the root and wraps
+the outcome into a :class:`BBResult`.
 """
 
 from __future__ import annotations
@@ -17,19 +22,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-import numpy as np
-
-from repro.bb.frontier import (
-    BlockFrontier,
-    Trail,
-    bound_block,
-    branch_block,
-    branch_row,
-    leaf_improvements,
-    root_block,
+from repro.bb.driver import (
+    SearchDriver,
+    SearchHooks,
+    SearchLimits,
+    TraceEvent,
 )
+from repro.bb.frontier import BlockFrontier, Trail, bound_block, root_block
 from repro.bb.node import root_node
-from repro.bb.operators import bound_children_batch, bound_node, branch
+from repro.bb.operators import bound_node
 from repro.bb.pool import make_pool
 from repro.bb.stats import SearchStats
 from repro.flowshop.bounds import LowerBoundData
@@ -38,16 +39,6 @@ from repro.flowshop.neh import neh_heuristic
 from repro.flowshop.schedule import Schedule
 
 __all__ = ["BBResult", "TraceEvent", "SequentialBranchAndBound"]
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One node as seen by the search (only recorded in trace mode)."""
-
-    prefix: tuple[int, ...]
-    lower_bound: int
-    upper_bound_at_visit: float
-    action: str  # "branched", "pruned", "leaf", "incumbent"
 
 
 @dataclass
@@ -114,6 +105,13 @@ class SequentialBranchAndBound:
         explore the identical tree and report identical results and node
         counters.  ``kernel="scalar"`` implies the object layout (the
         bounding-fraction experiment measures exactly that path).
+    max_frontier_nodes:
+        Block layout only: high-water memory cap of the pending frontier.
+        While the frontier holds at least this many nodes, best-first
+        selection switches to a depth-first-restricted regime (see
+        :class:`~repro.bb.frontier.BlockFrontier`) so exhaustive runs
+        cannot grow the pool without bound.  ``None`` (default) disables
+        the cap.
     """
 
     def __init__(
@@ -128,6 +126,7 @@ class SequentialBranchAndBound:
         on_incumbent: Optional[Callable[[int, tuple[int, ...]], None]] = None,
         kernel: str = "v2",
         layout: str = "block",
+        max_frontier_nodes: Optional[int] = None,
     ):
         self.instance = instance
         self.data = LowerBoundData(instance)
@@ -148,6 +147,9 @@ class SequentialBranchAndBound:
             # frontier would batch the very calls the ablation measures
             layout = "object"
         self.layout = layout
+        if max_frontier_nodes is not None and max_frontier_nodes < 1:
+            raise ValueError("max_frontier_nodes must be >= 1 when given")
+        self.max_frontier_nodes = max_frontier_nodes
 
     # ------------------------------------------------------------------ #
     def _initial_incumbent(self) -> tuple[float, tuple[int, ...]]:
@@ -156,431 +158,90 @@ class SequentialBranchAndBound:
         heuristic = neh_heuristic(self.instance)
         return float(heuristic.makespan), tuple(heuristic.order)
 
+    def _driver(self) -> SearchDriver:
+        hooks = SearchHooks()
+        if self.on_incumbent is not None:
+            user_callback = self.on_incumbent
+            hooks.on_improve_incumbent = lambda makespan, order: user_callback(makespan, order())
+        return SearchDriver(
+            self.instance,
+            self.data,
+            layout=self.layout,
+            selection=self.selection,
+            kernel=self.kernel,
+            include_one_machine=self.include_one_machine,
+            limits=SearchLimits(max_nodes=self.max_nodes, max_time_s=self.max_time_s),
+            hooks=hooks,
+            trace=self.trace_enabled,
+        )
+
     # ------------------------------------------------------------------ #
     def solve(self) -> BBResult:
         """Run the search to completion (or until a budget is exhausted)."""
+        instance = self.instance
+        stats = SearchStats()
+
+        upper_bound, best_order = self._initial_incumbent()
+        if best_order:
+            stats.incumbent_updates += 1
+
+        driver = self._driver()
+        start = time.perf_counter()
         if self.layout == "block":
-            return self._solve_block()
-        return self._solve_object()
-
-    # ------------------------------------------------------------------ #
-    def _solve_object(self) -> BBResult:
-        """Object layout: one ``Node`` per sub-problem, heap-backed pool."""
-        instance = self.instance
-        data = self.data
-        stats = SearchStats()
-        trace: list[TraceEvent] = []
-
-        upper_bound, best_order = self._initial_incumbent()
-        if best_order:
-            stats.incumbent_updates += 1
-
-        pool = make_pool(self.selection)
-        root = root_node(instance)
-
-        start = time.perf_counter()
-        t0 = time.perf_counter()
-        bound_node(root, data, self.include_one_machine)
-        stats.time_bounding_s += time.perf_counter() - t0
-        stats.nodes_bounded += 1
-        pool.push(root)
-
-        completed = True
-        while pool:
-            if self.max_nodes is not None and stats.nodes_explored >= self.max_nodes:
-                completed = False
-                break
-            if self.max_time_s is not None and time.perf_counter() - start > self.max_time_s:
-                completed = False
-                break
-
+            trail = Trail()
+            frontier = BlockFrontier(
+                instance.n_jobs,
+                instance.n_machines,
+                trail,
+                strategy=self.selection,
+                max_pending=self.max_frontier_nodes,
+            )
+            root = root_block(instance, trail)
             t0 = time.perf_counter()
-            node = pool.pop()
-            stats.time_pool_s += time.perf_counter() - t0
-
-            assert node.lower_bound is not None
-            if node.lower_bound >= upper_bound:
-                stats.nodes_pruned += 1
-                if self.trace_enabled:
-                    trace.append(TraceEvent(node.prefix, node.lower_bound, upper_bound, "pruned"))
-                continue
-
-            if node.is_leaf:
-                stats.leaves_evaluated += 1
-                makespan = int(node.release[-1])
-                if makespan < upper_bound:
-                    upper_bound = float(makespan)
-                    best_order = node.prefix
-                    stats.incumbent_updates += 1
-                    if self.on_incumbent is not None:
-                        self.on_incumbent(makespan, node.prefix)
-                    if self.trace_enabled:
-                        trace.append(TraceEvent(node.prefix, makespan, upper_bound, "incumbent"))
-                elif self.trace_enabled:
-                    trace.append(TraceEvent(node.prefix, makespan, upper_bound, "leaf"))
-                stats.nodes_branched += 1  # examined, produced no children
-                continue
-
-            # Branch
-            t0 = time.perf_counter()
-            children = branch(node, instance)
-            stats.time_branching_s += time.perf_counter() - t0
-            stats.nodes_branched += 1
-            if self.trace_enabled:
-                trace.append(TraceEvent(node.prefix, node.lower_bound, upper_bound, "branched"))
-
-            # Bound all siblings in one batched kernel call, then eliminate.
-            t0 = time.perf_counter()
-            if self.kernel == "scalar":
-                for child in children:
-                    bound_node(child, data, self.include_one_machine)
-            else:
-                bound_children_batch(children, data, self.include_one_machine, kernel=self.kernel)
+            bound_block(self.data, root, self.include_one_machine, kernel=self.kernel)
             stats.time_bounding_s += time.perf_counter() - t0
-            stats.nodes_bounded += len(children)
-            survivors = []
-            for child in children:
-                assert child.lower_bound is not None
-
-                if child.is_leaf:
-                    stats.leaves_evaluated += 1
-                    makespan = int(child.release[-1])
-                    if makespan < upper_bound:
-                        upper_bound = float(makespan)
-                        best_order = child.prefix
-                        stats.incumbent_updates += 1
-                        if self.on_incumbent is not None:
-                            self.on_incumbent(makespan, child.prefix)
-                        if self.trace_enabled:
-                            trace.append(
-                                TraceEvent(child.prefix, makespan, upper_bound, "incumbent")
-                            )
-                    continue
-
-                if child.lower_bound >= upper_bound:
-                    stats.nodes_pruned += 1
-                    if self.trace_enabled:
-                        trace.append(
-                            TraceEvent(child.prefix, child.lower_bound, upper_bound, "pruned")
-                        )
-                    continue
-
-                survivors.append(child)
-
-            # one timing pair per branching step instead of two clock reads
-            # around every individual push
+            stats.nodes_bounded += 1
+            frontier.push_block(root)
+            outcome = driver.run(
+                frontier,
+                upper_bound=upper_bound,
+                best_order=best_order,
+                stats=stats,
+                trail=trail,
+                next_order=1,
+                start=start,
+            )
+            max_pool_size = frontier.max_size_seen
+        else:
+            pool = make_pool(self.selection)
+            root = root_node(instance)
             t0 = time.perf_counter()
-            for child in survivors:
-                pool.push(child)
-            stats.time_pool_s += time.perf_counter() - t0
+            bound_node(root, self.data, self.include_one_machine)
+            stats.time_bounding_s += time.perf_counter() - t0
+            stats.nodes_bounded += 1
+            pool.push(root)
+            outcome = driver.run(
+                pool,
+                upper_bound=upper_bound,
+                best_order=best_order,
+                stats=stats,
+                start=start,
+            )
+            max_pool_size = pool.max_size_seen
 
         stats.time_total_s = time.perf_counter() - start
-        stats.max_pool_size = pool.max_size_seen
+        stats.max_pool_size = max_pool_size
 
-        if not best_order:
+        if not outcome.best_order:
             raise RuntimeError(
                 "the search terminated without an incumbent; provide a finite "
                 "initial upper bound or let NEH seed the search"
             )
         return BBResult(
             instance=instance,
-            best_makespan=int(upper_bound),
-            best_order=tuple(best_order),
-            proved_optimal=completed,
+            best_makespan=int(outcome.upper_bound),
+            best_order=tuple(outcome.best_order),
+            proved_optimal=outcome.completed,
             stats=stats,
-            trace=trace,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _solve_block(self) -> BBResult:
-        """Block layout: the same search over structure-of-arrays batches.
-
-        Selection pops the identical ``(lower bound, depth, creation
-        index)`` minimum, branching materializes all siblings at once,
-        bounding reads the block arrays with zero re-packing, and
-        elimination is one boolean mask — the explored tree, the result
-        and every node counter are identical to :meth:`_solve_object`.
-        """
-        instance = self.instance
-        data = self.data
-        n_jobs = instance.n_jobs
-        pt = instance.processing_times
-        stats = SearchStats()
-        trace: list[TraceEvent] = []
-        trace_on = self.trace_enabled
-
-        upper_bound, best_order = self._initial_incumbent()
-        if best_order:
-            stats.incumbent_updates += 1
-        best_trail: Optional[int] = None
-
-        trail = Trail()
-        frontier = BlockFrontier(
-            n_jobs, instance.n_machines, trail, strategy=self.selection
-        )
-        root = root_block(instance, trail)
-        next_order = 1
-        perf_counter = time.perf_counter
-        max_nodes, max_time_s = self.max_nodes, self.max_time_s
-        include_one_machine, kernel = self.include_one_machine, self.kernel
-        on_incumbent = self.on_incumbent
-
-        start = time.perf_counter()
-        t0 = time.perf_counter()
-        bound_block(data, root, self.include_one_machine, kernel=self.kernel)
-        stats.time_bounding_s += time.perf_counter() - t0
-        stats.nodes_bounded += 1
-        frontier.push_block(root)
-
-        # Tie batching (best-first, untraced runs): every node sharing the
-        # minimal (lb, depth) pair is popped in one batch and their children
-        # branched + bounded in a single launch — provably the same pop
-        # sequence as one-at-a-time selection (see pop_min_tie_batch).
-        use_batches = not trace_on and self.selection.lower() in ("best-first", "best")
-        completed = True
-        while frontier:
-            if max_nodes is not None and stats.nodes_explored >= max_nodes:
-                completed = False
-                break
-            if max_time_s is not None and perf_counter() - start > max_time_s:
-                completed = False
-                break
-
-            if use_batches:
-                remaining = max_nodes - stats.nodes_explored if max_nodes is not None else None
-                t0 = perf_counter()
-                batch = frontier.pop_min_tie_batch(remaining)
-                stats.time_pool_s += perf_counter() - t0
-                if batch is None:
-                    use_batches = False  # key packing unavailable: single pops
-                else:
-                    k = len(batch)
-                    lb0 = int(batch.lower_bound[0])
-                    depth0 = int(batch.depth[0])
-                    if lb0 >= upper_bound:
-                        stats.nodes_pruned += k
-                        continue
-                    if depth0 == n_jobs:
-                        # complete schedules sharing one makespan: the first
-                        # becomes the incumbent, the rest are pruned at its
-                        # (now equal) bound — exactly the one-at-a-time fates
-                        stats.leaves_evaluated += 1
-                        upper_bound = float(lb0)
-                        best_trail = int(batch.trail_id[0])
-                        stats.incumbent_updates += 1
-                        if on_incumbent is not None:
-                            on_incumbent(lb0, trail.prefix(best_trail))
-                        stats.nodes_branched += 1
-                        stats.nodes_pruned += k - 1
-                        continue
-                    if depth0 + 1 == n_jobs:
-                        # leaf children tighten the incumbent between member
-                        # pops, so members must be examined one at a time
-                        for i in range(k):
-                            if lb0 >= upper_bound:
-                                stats.nodes_pruned += 1
-                                continue
-                            t0 = perf_counter()
-                            children = branch_row(
-                                batch.scheduled_mask[i],
-                                batch.release[i],
-                                depth0,
-                                int(batch.trail_id[i]),
-                                trail,
-                                pt,
-                                next_order,
-                            )
-                            stats.time_branching_s += perf_counter() - t0
-                            next_order += len(children)
-                            stats.nodes_branched += 1
-                            t0 = perf_counter()
-                            bound_block(
-                                data, children, include_one_machine, kernel=kernel, siblings=True
-                            )
-                            stats.time_bounding_s += perf_counter() - t0
-                            n_children = len(children)
-                            stats.nodes_bounded += n_children
-                            stats.leaves_evaluated += n_children
-                            makespans = children.makespans
-                            improving, _ = leaf_improvements(upper_bound, makespans)
-                            for j in improving:
-                                makespan = int(makespans[j])
-                                upper_bound = float(makespan)
-                                best_trail = int(children.trail_id[j])
-                                stats.incumbent_updates += 1
-                                if on_incumbent is not None:
-                                    on_incumbent(makespan, children.prefix(j))
-                        continue
-
-                    # interior batch: one branch + one bounding launch for
-                    # the children of every tied node
-                    t0 = perf_counter()
-                    if k == 1:
-                        children = branch_row(
-                            batch.scheduled_mask[0],
-                            batch.release[0],
-                            depth0,
-                            int(batch.trail_id[0]),
-                            trail,
-                            pt,
-                            next_order,
-                        )
-                    else:
-                        children = branch_block(batch, pt, next_order)
-                    stats.time_branching_s += perf_counter() - t0
-                    next_order += len(children)
-                    stats.nodes_branched += k
-                    t0 = perf_counter()
-                    bound_block(
-                        data, children, include_one_machine, kernel=kernel, siblings=k == 1
-                    )
-                    stats.time_bounding_s += perf_counter() - t0
-                    n_children = len(children)
-                    stats.nodes_bounded += n_children
-                    keep = children.lower_bound < upper_bound
-                    pruned = n_children - int(np.count_nonzero(keep))
-                    stats.nodes_pruned += pruned
-                    if pruned and k > 1:
-                        # reconstruct the pool sizes a one-node-at-a-time
-                        # engine records between member pops (each member
-                        # contributes exactly n - depth0 children)
-                        per_member = n_jobs - depth0
-                        kept_per = np.add.reduceat(keep, np.arange(0, k * per_member, per_member))
-                        sizes = (
-                            len(frontier)
-                            + (k - 1 - np.arange(k))
-                            + np.cumsum(kept_per)
-                        )
-                        populated = kept_per > 0
-                        if populated.any():
-                            frontier.record_size_hint(int(sizes[populated].max()))
-                    t0 = perf_counter()
-                    frontier.push_block(children, keep if pruned else None)
-                    stats.time_pool_s += perf_counter() - t0
-                    continue
-
-            # Zero-copy pop: read the best row in place, branch from the
-            # views, then swap-compact it out.
-            t0 = perf_counter()
-            row = frontier.peek_best()
-            node_lb, node_depth, _, node_tid, mask_view, release_view = frontier.row_view(row)
-            stats.time_pool_s += perf_counter() - t0
-
-            if node_lb >= upper_bound:
-                frontier.discard(row)
-                stats.nodes_pruned += 1
-                if trace_on:
-                    trace.append(
-                        TraceEvent(trail.prefix(node_tid), node_lb, upper_bound, "pruned")
-                    )
-                continue
-
-            if node_depth == n_jobs:
-                makespan = int(release_view[-1])
-                frontier.discard(row)
-                stats.leaves_evaluated += 1
-                if makespan < upper_bound:
-                    upper_bound = float(makespan)
-                    best_trail = node_tid
-                    stats.incumbent_updates += 1
-                    if on_incumbent is not None:
-                        on_incumbent(makespan, trail.prefix(node_tid))
-                    if trace_on:
-                        trace.append(
-                            TraceEvent(trail.prefix(node_tid), makespan, upper_bound, "incumbent")
-                        )
-                elif trace_on:
-                    trace.append(
-                        TraceEvent(trail.prefix(node_tid), makespan, upper_bound, "leaf")
-                    )
-                stats.nodes_branched += 1  # examined, produced no children
-                continue
-
-            # Branch: every sibling in one shot, straight off the row views.
-            t0 = perf_counter()
-            children = branch_row(
-                mask_view, release_view, node_depth, node_tid, trail, pt, next_order
-            )
-            frontier.discard(row)
-            stats.time_branching_s += perf_counter() - t0
-            next_order += len(children)
-            stats.nodes_branched += 1
-            if trace_on:
-                trace.append(TraceEvent(trail.prefix(node_tid), node_lb, upper_bound, "branched"))
-
-            # Bound the sibling block straight off its arrays.
-            t0 = perf_counter()
-            bound_block(
-                data,
-                children,
-                include_one_machine,
-                kernel=kernel,
-                siblings=True,
-            )
-            stats.time_bounding_s += perf_counter() - t0
-            n_children = len(children)
-            stats.nodes_bounded += n_children
-
-            if node_depth + 1 == n_jobs:
-                # Siblings share their depth, so either every child is a
-                # complete schedule or none is.  Replicate the object
-                # layout's in-order incumbent updates with a running min.
-                stats.leaves_evaluated += n_children
-                makespans = children.makespans
-                improving, running = leaf_improvements(upper_bound, makespans)
-                for i in improving:
-                    makespan = int(makespans[i])
-                    upper_bound = float(makespan)
-                    best_trail = int(children.trail_id[i])
-                    stats.incumbent_updates += 1
-                    if on_incumbent is not None:
-                        on_incumbent(makespan, children.prefix(i))
-                if trace_on:
-                    run_after = np.minimum.accumulate(
-                        np.concatenate(([running[0]], makespans.astype(np.float64)))
-                    )[1:]
-                    for i in range(n_children):
-                        action = "incumbent" if makespans[i] < running[i] else "leaf"
-                        trace.append(
-                            TraceEvent(
-                                children.prefix(i), int(makespans[i]), float(run_after[i]), action
-                            )
-                        )
-                continue
-
-            # Eliminate + insert in one masked append.
-            keep = children.lower_bound < upper_bound
-            pruned = n_children - int(np.count_nonzero(keep))
-            stats.nodes_pruned += pruned
-            if trace_on and pruned:
-                for i in np.flatnonzero(~keep):
-                    trace.append(
-                        TraceEvent(
-                            children.prefix(i),
-                            int(children.lower_bound[i]),
-                            upper_bound,
-                            "pruned",
-                        )
-                    )
-            t0 = perf_counter()
-            frontier.push_block(children, keep if pruned else None)
-            stats.time_pool_s += perf_counter() - t0
-
-        stats.time_total_s = time.perf_counter() - start
-        stats.max_pool_size = frontier.max_size_seen
-
-        if best_trail is not None:
-            best_order = trail.prefix(best_trail)
-        if not best_order:
-            raise RuntimeError(
-                "the search terminated without an incumbent; provide a finite "
-                "initial upper bound or let NEH seed the search"
-            )
-        return BBResult(
-            instance=instance,
-            best_makespan=int(upper_bound),
-            best_order=tuple(best_order),
-            proved_optimal=completed,
-            stats=stats,
-            trace=trace,
+            trace=outcome.trace,
         )

@@ -25,6 +25,13 @@ The engine is exact — it proves the same optimum as
 fewer nodes than the static split, because pruning information propagates
 between workers instead of staying private (see
 ``benchmarks/bench_worksteal.py``).
+
+Each worker's exploration is the single-step shape of
+:class:`~repro.bb.driver.SearchDriver` (via
+:class:`~repro.bb.multicore._SubtreeSolver`): the shared-bound polling and
+CAS publication are the driver's ``poll_bound`` / ``on_improve_incumbent``
+hooks, and best-first workers batch ``(lb, depth)`` ties into one bounding
+launch exactly like the sequential engine.
 """
 
 from __future__ import annotations
@@ -146,6 +153,7 @@ def _run_tasks(instance: FlowShopInstance, task_queue, incumbent, opts: dict) ->
             incumbent=incumbent,
             poll_interval=opts["poll_interval"],
             layout=opts["layout"],
+            max_frontier_nodes=opts.get("max_frontier_nodes"),
         )
         makespan, order, task_stats, task_completed = solver.run()
         stats = stats.merge(task_stats)
@@ -219,6 +227,10 @@ class WorkStealingBranchAndBound:
         Pops between two reads of the shared bound inside a worker.
     max_nodes_per_task / max_time_s:
         Optional per-chunk exploration budgets.
+    max_frontier_nodes:
+        Block layout only: per-worker high-water frontier cap (see
+        :class:`~repro.bb.frontier.BlockFrontier`); best-first workers fall
+        back to a depth-first-restricted regime while over it.
     kernel:
         Batched bounding-kernel revision used by the workers.
     layout:
@@ -241,6 +253,7 @@ class WorkStealingBranchAndBound:
         kernel: str = "v2",
         poll_interval: int = 64,
         layout: str = "block",
+        max_frontier_nodes: Optional[int] = None,
     ):
         if backend not in ("process", "thread", "serial"):
             raise ValueError("backend must be 'process', 'thread' or 'serial'")
@@ -263,6 +276,7 @@ class WorkStealingBranchAndBound:
         self.kernel = kernel
         self.poll_interval = poll_interval
         self.layout = layout
+        self.max_frontier_nodes = max_frontier_nodes
 
     # ------------------------------------------------------------------ #
     def _opts(self, upper_bound: float) -> dict:
@@ -277,6 +291,7 @@ class WorkStealingBranchAndBound:
             "kernel": self.kernel,
             "poll_interval": self.poll_interval,
             "layout": self.layout,
+            "max_frontier_nodes": self.max_frontier_nodes,
         }
 
     # ------------------------------------------------------------------ #

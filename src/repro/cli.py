@@ -56,7 +56,11 @@ def _solve(args: argparse.Namespace) -> int:
 
     if engine == "serial":
         result = SequentialBranchAndBound(
-            instance, max_nodes=args.max_nodes, max_time_s=args.max_time, layout=args.node_layout
+            instance,
+            max_nodes=args.max_nodes,
+            max_time_s=args.max_time,
+            layout=args.node_layout,
+            max_frontier_nodes=args.max_frontier_nodes,
         ).solve()
     elif engine == "multicore":
         result = MulticoreBranchAndBound(
@@ -68,6 +72,7 @@ def _solve(args: argparse.Namespace) -> int:
             max_nodes_per_task=args.max_nodes,
             max_time_s=args.max_time,
             layout=args.node_layout,
+            max_frontier_nodes=args.max_frontier_nodes,
         ).solve()
     elif engine == "cluster":
         config = GpuBBConfig(
@@ -75,6 +80,7 @@ def _solve(args: argparse.Namespace) -> int:
             max_nodes=args.max_nodes,
             max_time_s=args.max_time,
             layout=args.node_layout,
+            max_frontier_nodes=args.max_frontier_nodes,
         )
         result = ClusterBranchAndBound(instance, ClusterSpec(n_nodes=args.nodes), config).solve()
     else:  # gpu
@@ -83,6 +89,7 @@ def _solve(args: argparse.Namespace) -> int:
             max_nodes=args.max_nodes,
             max_time_s=args.max_time,
             layout=args.node_layout,
+            max_frontier_nodes=args.max_frontier_nodes,
         )
         result = GpuBranchAndBound(instance, config).solve()
 
@@ -186,6 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
         "or the paper-faithful one-object-per-node pipeline",
     )
     solve.add_argument("--nodes", type=int, default=4, help="cluster node count")
+    solve.add_argument(
+        "--max-frontier-nodes",
+        type=int,
+        default=None,
+        help="block layout: high-water frontier memory cap — while at least this many "
+        "nodes are pending, best-first selection runs depth-first-restricted so the "
+        "pool cannot grow unbounded (default: no cap)",
+    )
     solve.add_argument("--max-nodes", type=int, default=None, help="node exploration budget")
     solve.add_argument("--max-time", type=float, default=None, help="time budget in seconds")
     solve.set_defaults(func=_solve)

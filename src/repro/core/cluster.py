@@ -28,21 +28,14 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bb.frontier import (
-    BlockFrontier,
-    NodeBlock,
-    Trail,
-    branch_block,
-    leaf_improvements,
-    root_block,
-)
+from repro.bb.driver import SearchDriver, SearchHooks, SearchLimits
+from repro.bb.frontier import BlockFrontier, NodeBlock, Trail, root_block
 from repro.bb.node import Node, root_node
-from repro.bb.operators import branch, eliminate, encode_pool, select_batch
+from repro.bb.operators import encode_pool
 from repro.bb.pool import make_pool
 from repro.bb.stats import SearchStats
 from repro.core.config import GpuBBConfig
-from repro.core.gpu_bb import GpuBBResult, IterationRecord
-from repro.core.kernels import KernelLaunch
+from repro.core.gpu_bb import GpuBBResult, IterationRecord, iteration_recorder
 from repro.core.mapping import recommend_placement
 from repro.flowshop.bounds import DataStructureComplexity, LowerBoundData
 from repro.flowshop.instance import FlowShopInstance
@@ -301,13 +294,14 @@ class ClusterBranchAndBound:
         return scatter + slowest + gather, wall
 
     def solve(self) -> GpuBBResult:
-        """Run the distributed search to completion (or until a budget is hit)."""
-        if self.config.layout == "block":
-            return self._solve_block()
-        return self._solve_object()
+        """Run the distributed search to completion (or until a budget is hit).
 
-    def _solve_object(self) -> GpuBBResult:
-        """Object layout: per-node branching/elimination, heap-backed pool."""
+        The iteration is the batch shape of
+        :class:`~repro.bb.driver.SearchDriver`, configured with the
+        distributed bounding off-load and an ``incumbent_charge_s`` hook
+        that bills one coordinator-to-nodes broadcast per incumbent
+        improvement when ``config.share_incumbent`` is set.
+        """
         config = self.config
         instance = self.instance
         stats = SearchStats()
@@ -318,207 +312,95 @@ class ClusterBranchAndBound:
         best_order: tuple[int, ...] = tuple(heuristic.order)
         stats.incumbent_updates += 1
 
-        pool = make_pool(config.selection)
-        simulated_total = 0.0
-        measured_total = 0.0
         start = time.perf_counter()
 
-        root = root_node(instance)
-        sim_s, wall_s = self._distributed_bound([root])
-        simulated_total += sim_s
-        measured_total += wall_s
+        run_kwargs: dict[str, object] = {}
+        if config.layout == "block":
+            trail = Trail()
+            store: object = BlockFrontier(
+                instance.n_jobs,
+                instance.n_machines,
+                trail,
+                strategy=config.selection,
+                max_pending=config.max_frontier_nodes,
+            )
+            root = root_block(instance, trail)
+            sim_s, wall_s = self._distributed_bound_block(root)
+            root_survives = int(root.lower_bound[0]) < upper_bound
+            if root_survives:
+                store.push_block(root)
+            run_kwargs = {"trail": trail, "next_order": 1}
+        else:
+            store = make_pool(config.selection)
+            root = root_node(instance)
+            sim_s, wall_s = self._distributed_bound([root])
+            root_survives = root.lower_bound is not None and root.lower_bound < upper_bound
+            if root_survives:
+                store.push(root)
         stats.nodes_bounded += 1
         stats.pools_evaluated += 1
-        if root.lower_bound is not None and root.lower_bound < upper_bound:
-            pool.push(root)
-        else:
+        if not root_survives:
             stats.nodes_pruned += 1
 
-        iteration = 0
-        completed = True
-        while pool:
-            if config.max_iterations is not None and iteration >= config.max_iterations:
-                completed = False
-                break
-            if config.max_nodes is not None and stats.nodes_explored >= config.max_nodes:
-                completed = False
-                break
-            iteration += 1
-            parents, lazily_pruned = select_batch(pool, config.pool_size, upper_bound)
-            stats.nodes_pruned += lazily_pruned
-            if not parents:
-                break
-            children: list[Node] = []
-            for parent in parents:
-                children.extend(branch(parent, instance))
-                stats.nodes_branched += 1
-            if not children:
-                continue
-            sim_s, wall_s = self._distributed_bound(children)
-            simulated_total += sim_s
-            measured_total += wall_s
-            stats.nodes_bounded += len(children)
-            stats.pools_evaluated += 1
-
-            open_children: list[Node] = []
-            step_improvements = 0
-            for child in children:
-                if child.is_leaf:
-                    stats.leaves_evaluated += 1
-                    value = int(child.release[-1])
-                    if value < upper_bound:
-                        upper_bound = float(value)
-                        best_order = child.prefix
-                        stats.incumbent_updates += 1
-                        step_improvements += 1
-                else:
-                    open_children.append(child)
-            if step_improvements and config.share_incumbent:
-                # the coordinator broadcasts every tightened bound to the
-                # nodes so their next local elimination uses it
-                simulated_total += step_improvements * self.cluster.incumbent_broadcast_time_s()
-            survivors, pruned = eliminate(open_children, upper_bound)
-            stats.nodes_pruned += pruned
-            pool.push_many(survivors)
-            iterations.append(
-                IterationRecord(
-                    iteration=iteration,
-                    launch=KernelLaunch(len(children), config.threads_per_block),
-                    nodes_offloaded=len(children),
-                    nodes_pruned=pruned,
-                    nodes_kept=len(survivors),
-                    incumbent=upper_bound,
-                    simulated_device_s=sim_s,
-                    measured_host_s=wall_s,
-                )
-            )
+        hooks = SearchHooks(
+            on_iteration=iteration_recorder(iterations, config.threads_per_block),
+        )
+        if config.share_incumbent:
+            # the coordinator broadcasts every tightened bound to the
+            # nodes so their next local elimination uses it
+            hooks.incumbent_charge_s = self.cluster.incumbent_broadcast_time_s
+        driver = SearchDriver(
+            instance,
+            layout=config.layout,
+            selection=config.selection,
+            offload=_DistributedOffload(self),
+            batch_size=config.pool_size,
+            limits=SearchLimits(
+                max_nodes=config.max_nodes, max_iterations=config.max_iterations
+            ),
+            hooks=hooks,
+            double_buffer=config.double_buffer,
+        )
+        outcome = driver.run(
+            store,
+            upper_bound=upper_bound,
+            best_order=best_order,
+            stats=stats,
+            start=start,
+            **run_kwargs,
+        )
+        simulated_total = sim_s + outcome.simulated_s - outcome.overlap_saved_s
+        measured_total = wall_s + outcome.measured_s
 
         stats.time_total_s = time.perf_counter() - start
-        stats.max_pool_size = pool.max_size_seen
+        stats.max_pool_size = store.max_size_seen
         stats.simulated_device_time_s = simulated_total
         return GpuBBResult(
             instance=instance,
-            best_makespan=int(upper_bound),
-            best_order=best_order,
-            proved_optimal=completed,
+            best_makespan=int(outcome.upper_bound),
+            best_order=tuple(outcome.best_order),
+            proved_optimal=outcome.completed,
             stats=stats,
             iterations=iterations,
             simulated_device_time_s=simulated_total,
             measured_kernel_time_s=measured_total,
+            overlap_saved_s=outcome.overlap_saved_s,
             config=config,
         )
 
-    # ------------------------------------------------------------------ #
-    def _solve_block(self) -> GpuBBResult:
-        """Block layout: the same distributed search over SoA batches."""
-        config = self.config
-        instance = self.instance
-        pt = instance.processing_times
-        n_jobs = instance.n_jobs
-        stats = SearchStats()
-        iterations: list[IterationRecord] = []
 
-        heuristic = neh_heuristic(instance)
-        upper_bound = float(heuristic.makespan)
-        best_order: tuple[int, ...] = tuple(heuristic.order)
-        best_trail: int | None = None
-        stats.incumbent_updates += 1
+class _DistributedOffload:
+    """Driver bounding backend splitting each pool across the cluster nodes."""
 
-        trail = Trail()
-        frontier = BlockFrontier(
-            n_jobs, instance.n_machines, trail, strategy=config.selection
-        )
-        simulated_total = 0.0
-        measured_total = 0.0
-        start = time.perf_counter()
+    def __init__(self, engine: ClusterBranchAndBound):
+        self._engine = engine
 
-        root = root_block(instance, trail)
-        next_order = 1
-        sim_s, wall_s = self._distributed_bound_block(root)
-        simulated_total += sim_s
-        measured_total += wall_s
-        stats.nodes_bounded += 1
-        stats.pools_evaluated += 1
-        if int(root.lower_bound[0]) < upper_bound:
-            frontier.push_block(root)
-        else:
-            stats.nodes_pruned += 1
+    def bound_nodes(self, nodes: list[Node]) -> tuple[None, float, float]:
+        sim_s, wall_s = self._engine._distributed_bound(nodes)
+        return None, sim_s, wall_s
 
-        iteration = 0
-        completed = True
-        while frontier:
-            if config.max_iterations is not None and iteration >= config.max_iterations:
-                completed = False
-                break
-            if config.max_nodes is not None and stats.nodes_explored >= config.max_nodes:
-                completed = False
-                break
-            iteration += 1
-            parents, lazily_pruned = frontier.pop_batch(config.pool_size, upper_bound)
-            stats.nodes_pruned += lazily_pruned
-            if not len(parents):
-                break
-            children = branch_block(parents, pt, next_order)
-            next_order += len(children)
-            stats.nodes_branched += len(parents)
-            if not len(children):
-                continue
-            sim_s, wall_s = self._distributed_bound_block(children)
-            simulated_total += sim_s
-            measured_total += wall_s
-            stats.nodes_bounded += len(children)
-            stats.pools_evaluated += 1
-
-            leaf_mask = children.depth == n_jobs
-            n_leaves = int(np.count_nonzero(leaf_mask))
-            step_improvements = 0
-            if n_leaves:
-                leaf_rows = np.flatnonzero(leaf_mask)
-                stats.leaves_evaluated += n_leaves
-                makespans = children.release[leaf_rows, -1]
-                improving, _ = leaf_improvements(upper_bound, makespans)
-                for i in improving:
-                    upper_bound = float(makespans[i])
-                    best_trail = int(children.trail_id[leaf_rows[i]])
-                    stats.incumbent_updates += 1
-                    step_improvements += 1
-            if step_improvements and config.share_incumbent:
-                # the coordinator broadcasts every tightened bound to the
-                # nodes so their next local elimination uses it
-                simulated_total += step_improvements * self.cluster.incumbent_broadcast_time_s()
-            keep = children.lower_bound < upper_bound
-            if n_leaves:
-                keep &= ~leaf_mask
-            kept = int(np.count_nonzero(keep))
-            pruned = len(children) - n_leaves - kept
-            stats.nodes_pruned += pruned
-            frontier.push_block(children, keep)
-            iterations.append(
-                IterationRecord(
-                    iteration=iteration,
-                    launch=KernelLaunch(len(children), config.threads_per_block),
-                    nodes_offloaded=len(children),
-                    nodes_pruned=pruned,
-                    nodes_kept=kept,
-                    incumbent=upper_bound,
-                    simulated_device_s=sim_s,
-                    measured_host_s=wall_s,
-                )
-            )
-
-        stats.time_total_s = time.perf_counter() - start
-        stats.max_pool_size = frontier.max_size_seen
-        stats.simulated_device_time_s = simulated_total
-        if best_trail is not None:
-            best_order = trail.prefix(best_trail)
-        return GpuBBResult(
-            instance=instance,
-            best_makespan=int(upper_bound),
-            best_order=best_order,
-            proved_optimal=completed,
-            stats=stats,
-            iterations=iterations,
-            simulated_device_time_s=simulated_total,
-            measured_kernel_time_s=measured_total,
-            config=config,
-        )
+    def bound_block(
+        self, block: NodeBlock, siblings: bool = False
+    ) -> tuple[np.ndarray, float, float]:
+        sim_s, wall_s = self._engine._distributed_bound_block(block)
+        return block.lower_bound, sim_s, wall_s

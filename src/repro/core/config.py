@@ -68,6 +68,19 @@ class GpuBBConfig:
         Forwarded to the lower bound kernel (only needed for ``m == 1``).
     max_nodes / max_time_s / max_iterations:
         Optional exploration budgets.
+    max_frontier_nodes:
+        Block layout only: high-water memory cap of the pending frontier.
+        While at least this many nodes are pending, best-first selection
+        runs in a depth-first-restricted regime (see
+        :class:`~repro.bb.frontier.BlockFrontier`) so exhaustive runs
+        cannot grow the pool without bound.  ``None`` disables the cap.
+    double_buffer:
+        Model the double-buffered off-load of the ROADMAP's pipelining
+        follow-on: the host selects and branches batch N+1 while the device
+        is still bounding batch N, so the overlapped host time is credited
+        against the simulated device total.  The explored tree, results and
+        counters are unaffected — only the simulated timing changes (the
+        credit is reported as ``overlap_saved_s`` on the result).
     """
 
     pool_size: int = 8192
@@ -84,6 +97,8 @@ class GpuBBConfig:
     max_nodes: Optional[int] = None
     max_time_s: Optional[float] = None
     max_iterations: Optional[int] = None
+    max_frontier_nodes: Optional[int] = None
+    double_buffer: bool = False
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -105,6 +120,8 @@ class GpuBBConfig:
             raise ValueError("max_time_s must be positive when given")
         if self.max_iterations is not None and self.max_iterations < 1:
             raise ValueError("max_iterations must be positive when given")
+        if self.max_frontier_nodes is not None and self.max_frontier_nodes < 1:
+            raise ValueError("max_frontier_nodes must be positive when given")
 
     @property
     def blocks_per_pool(self) -> int:
@@ -136,4 +153,6 @@ class GpuBBConfig:
             "layout": self.layout,
             "share_incumbent": self.share_incumbent,
             "use_neh_upper_bound": self.use_neh_upper_bound,
+            "max_frontier_nodes": self.max_frontier_nodes,
+            "double_buffer": self.double_buffer,
         }

@@ -1,6 +1,6 @@
 """GPU-accelerated Branch-and-Bound (the paper's Figure 3 architecture).
 
-The control flow of :class:`GpuBranchAndBound` follows the paper exactly:
+The control flow follows the paper exactly:
 
 1. The CPU keeps the pool of pending sub-problems (best-first order) and the
    incumbent (upper bound).
@@ -13,6 +13,13 @@ The control flow of :class:`GpuBranchAndBound` follows the paper exactly:
    prunes children whose bound cannot improve the incumbent; complete
    schedules update the incumbent; survivors re-enter the pool.
 5. Repeat until the pool is empty (optimality proven) or a budget is hit.
+
+That iteration is :class:`~repro.bb.driver.SearchDriver` in its batch
+shape; :class:`GpuBranchAndBound` configures it with the executor off-load
+and an ``on_iteration`` hook that records the per-launch accounting.  With
+``config.double_buffer`` the driver additionally credits the overlap of
+host-side selection+branching of batch N+1 with the device bounding of
+batch N (the ROADMAP's pipelined off-load).
 
 Because the executor's batched kernel returns exactly the same values as the
 scalar bound, the tree explored by this engine is the same as the serial
@@ -28,16 +35,10 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.bb.frontier import (
-    BlockFrontier,
-    NodeBlock,
-    Trail,
-    branch_block,
-    leaf_improvements,
-    root_block,
-)
+from repro.bb.driver import OffloadStep, SearchDriver, SearchHooks, SearchLimits
+from repro.bb.frontier import BlockFrontier, NodeBlock, Trail, root_block
 from repro.bb.node import Node, root_node
-from repro.bb.operators import branch, eliminate, encode_pool, select_batch
+from repro.bb.operators import encode_pool
 from repro.bb.pool import make_pool
 from repro.bb.sequential import BBResult
 from repro.bb.stats import SearchStats
@@ -73,6 +74,9 @@ class GpuBBResult(BBResult):
     iterations: list[IterationRecord] = field(default_factory=list)
     simulated_device_time_s: float = 0.0
     measured_kernel_time_s: float = 0.0
+    #: simulated seconds saved by the double-buffered off-load (0 unless
+    #: ``config.double_buffer`` was enabled)
+    overlap_saved_s: float = 0.0
     config: Optional[GpuBBConfig] = None
 
     def simulated_speedup(self, serial_seconds: float) -> float:
@@ -80,6 +84,43 @@ class GpuBBResult(BBResult):
         if self.simulated_device_time_s <= 0:
             raise ValueError("no simulated device time recorded")
         return serial_seconds / self.simulated_device_time_s
+
+
+class _ExecutorOffload:
+    """Driver bounding backend delegating to the engine's executor."""
+
+    def __init__(self, engine: "GpuBranchAndBound"):
+        self._engine = engine
+
+    def bound_nodes(self, nodes: Sequence[Node]) -> tuple[np.ndarray, float, float]:
+        return self._engine._offload(nodes)
+
+    def bound_block(
+        self, block: NodeBlock, siblings: bool = False
+    ) -> tuple[np.ndarray, float, float]:
+        return self._engine._offload_block(block)
+
+
+def iteration_recorder(
+    iterations: list[IterationRecord], threads_per_block: int
+):
+    """An ``on_iteration`` hook appending :class:`IterationRecord` entries."""
+
+    def record(step: OffloadStep) -> None:
+        iterations.append(
+            IterationRecord(
+                iteration=step.iteration,
+                launch=KernelLaunch(step.nodes_offloaded, threads_per_block),
+                nodes_offloaded=step.nodes_offloaded,
+                nodes_pruned=step.nodes_pruned,
+                nodes_kept=step.nodes_kept,
+                incumbent=step.incumbent,
+                simulated_device_s=step.simulated_s,
+                measured_host_s=step.measured_s,
+            )
+        )
+
+    return record
 
 
 class GpuBranchAndBound:
@@ -147,15 +188,26 @@ class GpuBranchAndBound:
         result = self.executor.evaluate_block(block)
         return result.bounds, result.simulated.total_s, result.measured_wall_s
 
+    def _driver(self, hooks: SearchHooks) -> SearchDriver:
+        config = self.config
+        return SearchDriver(
+            self.instance,
+            layout=config.layout,
+            selection=config.selection,
+            offload=_ExecutorOffload(self),
+            batch_size=config.pool_size,
+            limits=SearchLimits(
+                max_nodes=config.max_nodes,
+                max_time_s=config.max_time_s,
+                max_iterations=config.max_iterations,
+            ),
+            hooks=hooks,
+            double_buffer=config.double_buffer,
+        )
+
     # ------------------------------------------------------------------ #
     def solve(self) -> GpuBBResult:
         """Run the GPU-accelerated search."""
-        if self.config.layout == "block":
-            return self._solve_block()
-        return self._solve_object()
-
-    def _solve_object(self) -> GpuBBResult:
-        """Object layout: per-node branching/elimination, heap-backed pool."""
         config = self.config
         instance = self.instance
         stats = SearchStats()
@@ -165,262 +217,69 @@ class GpuBranchAndBound:
         if best_order:
             stats.incumbent_updates += 1
 
-        pool = make_pool(config.selection)
-        simulated_total = 0.0
-        measured_kernel = 0.0
-
         start = time.perf_counter()
 
-        # Bound the root on the device (a pool of one) and seed the pool.
-        root = root_node(instance)
-        bounds, sim_s, wall_s = self._offload([root])
-        simulated_total += sim_s
-        measured_kernel += wall_s
+        # Bound the root on the device (a pool of one) and seed the store.
+        run_kwargs: dict[str, object] = {}
+        if config.layout == "block":
+            trail = Trail()
+            store: object = BlockFrontier(
+                instance.n_jobs,
+                instance.n_machines,
+                trail,
+                strategy=config.selection,
+                max_pending=config.max_frontier_nodes,
+            )
+            root = root_block(instance, trail)
+            _, sim_s, wall_s = self._offload_block(root)
+            root_survives = int(root.lower_bound[0]) < upper_bound
+            if root_survives:
+                store.push_block(root)
+            run_kwargs = {"trail": trail, "next_order": 1}
+        else:
+            store = make_pool(config.selection)
+            root = root_node(instance)
+            _, sim_s, wall_s = self._offload([root])
+            root_survives = root.lower_bound is not None and root.lower_bound < upper_bound
+            if root_survives:
+                store.push(root)
         stats.nodes_bounded += 1
         stats.pools_evaluated += 1
-        if root.lower_bound is not None and root.lower_bound < upper_bound:
-            pool.push(root)
-        else:
+        if not root_survives:
             stats.nodes_pruned += 1
 
-        iteration = 0
-        completed = True
-        while pool:
-            if config.max_iterations is not None and iteration >= config.max_iterations:
-                completed = False
-                break
-            if config.max_nodes is not None and stats.nodes_explored >= config.max_nodes:
-                completed = False
-                break
-            if config.max_time_s is not None and time.perf_counter() - start > config.max_time_s:
-                completed = False
-                break
-            iteration += 1
-
-            # --- selection -------------------------------------------------
-            t0 = time.perf_counter()
-            parents, lazily_pruned = select_batch(pool, config.pool_size, upper_bound)
-            stats.time_pool_s += time.perf_counter() - t0
-            stats.nodes_pruned += lazily_pruned
-            if not parents:
-                break
-
-            # --- branching (CPU) --------------------------------------------
-            t0 = time.perf_counter()
-            children: list[Node] = []
-            for parent in parents:
-                offspring = branch(parent, instance)
-                stats.nodes_branched += 1
-                children.extend(offspring)
-            stats.time_branching_s += time.perf_counter() - t0
-
-            if not children:
-                continue
-
-            # --- bounding (GPU off-load) ------------------------------------
-            t0 = time.perf_counter()
-            bounds, sim_s, wall_s = self._offload(children)
-            stats.time_bounding_s += time.perf_counter() - t0
-            simulated_total += sim_s
-            measured_kernel += wall_s
-            stats.nodes_bounded += len(children)
-            stats.pools_evaluated += 1
-
-            # --- incumbent updates from complete schedules -------------------
-            open_children: list[Node] = []
-            for child in children:
-                if child.is_leaf:
-                    stats.leaves_evaluated += 1
-                    makespan = int(child.release[-1])
-                    if makespan < upper_bound:
-                        upper_bound = float(makespan)
-                        best_order = child.prefix
-                        stats.incumbent_updates += 1
-                else:
-                    open_children.append(child)
-
-            # --- elimination --------------------------------------------------
-            survivors, pruned = eliminate(open_children, upper_bound)
-            stats.nodes_pruned += pruned
-
-            t0 = time.perf_counter()
-            pool.push_many(survivors)
-            stats.time_pool_s += time.perf_counter() - t0
-
-            iterations.append(
-                IterationRecord(
-                    iteration=iteration,
-                    launch=KernelLaunch(len(children), config.threads_per_block),
-                    nodes_offloaded=len(children),
-                    nodes_pruned=pruned,
-                    nodes_kept=len(survivors),
-                    incumbent=upper_bound,
-                    simulated_device_s=sim_s,
-                    measured_host_s=wall_s,
-                )
-            )
+        hooks = SearchHooks(
+            on_iteration=iteration_recorder(iterations, config.threads_per_block)
+        )
+        outcome = self._driver(hooks).run(
+            store,
+            upper_bound=upper_bound,
+            best_order=best_order,
+            stats=stats,
+            start=start,
+            **run_kwargs,
+        )
+        simulated_total = sim_s + outcome.simulated_s - outcome.overlap_saved_s
+        measured_kernel = wall_s + outcome.measured_s
 
         stats.time_total_s = time.perf_counter() - start
-        stats.max_pool_size = pool.max_size_seen
+        stats.max_pool_size = store.max_size_seen
         stats.simulated_device_time_s = simulated_total
 
-        if not best_order:
+        if not outcome.best_order:
             raise RuntimeError(
                 "the search terminated without an incumbent; enable the NEH seed "
                 "or provide a finite initial upper bound"
             )
         return GpuBBResult(
             instance=instance,
-            best_makespan=int(upper_bound),
-            best_order=tuple(best_order),
-            proved_optimal=completed,
+            best_makespan=int(outcome.upper_bound),
+            best_order=tuple(outcome.best_order),
+            proved_optimal=outcome.completed,
             stats=stats,
             iterations=iterations,
             simulated_device_time_s=simulated_total,
             measured_kernel_time_s=measured_kernel,
-            config=config,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _solve_block(self) -> GpuBBResult:
-        """Block layout: selection, branching and elimination as array programs.
-
-        The iteration structure, explored tree and every statistic mirror
-        :meth:`_solve_object` exactly; the off-loaded buffers are the
-        block's own arrays, so no per-node packing happens anywhere.
-        """
-        config = self.config
-        instance = self.instance
-        pt = instance.processing_times
-        n_jobs = instance.n_jobs
-        stats = SearchStats()
-        iterations: list[IterationRecord] = []
-
-        upper_bound, best_order = self._initial_incumbent()
-        if best_order:
-            stats.incumbent_updates += 1
-        best_trail: Optional[int] = None
-
-        trail = Trail()
-        frontier = BlockFrontier(
-            n_jobs, instance.n_machines, trail, strategy=config.selection
-        )
-        simulated_total = 0.0
-        measured_kernel = 0.0
-
-        start = time.perf_counter()
-
-        # Bound the root on the device (a pool of one) and seed the frontier.
-        root = root_block(instance, trail)
-        next_order = 1
-        bounds, sim_s, wall_s = self._offload_block(root)
-        simulated_total += sim_s
-        measured_kernel += wall_s
-        stats.nodes_bounded += 1
-        stats.pools_evaluated += 1
-        if int(root.lower_bound[0]) < upper_bound:
-            frontier.push_block(root)
-        else:
-            stats.nodes_pruned += 1
-
-        iteration = 0
-        completed = True
-        while frontier:
-            if config.max_iterations is not None and iteration >= config.max_iterations:
-                completed = False
-                break
-            if config.max_nodes is not None and stats.nodes_explored >= config.max_nodes:
-                completed = False
-                break
-            if config.max_time_s is not None and time.perf_counter() - start > config.max_time_s:
-                completed = False
-                break
-            iteration += 1
-
-            # --- selection -------------------------------------------------
-            t0 = time.perf_counter()
-            parents, lazily_pruned = frontier.pop_batch(config.pool_size, upper_bound)
-            stats.time_pool_s += time.perf_counter() - t0
-            stats.nodes_pruned += lazily_pruned
-            if not len(parents):
-                break
-
-            # --- branching (CPU, vectorized) --------------------------------
-            t0 = time.perf_counter()
-            children = branch_block(parents, pt, next_order)
-            stats.time_branching_s += time.perf_counter() - t0
-            next_order += len(children)
-            stats.nodes_branched += len(parents)
-
-            if not len(children):
-                continue
-
-            # --- bounding (GPU off-load, zero re-packing) -------------------
-            t0 = time.perf_counter()
-            bounds, sim_s, wall_s = self._offload_block(children)
-            stats.time_bounding_s += time.perf_counter() - t0
-            simulated_total += sim_s
-            measured_kernel += wall_s
-            stats.nodes_bounded += len(children)
-            stats.pools_evaluated += 1
-
-            # --- incumbent updates from complete schedules -------------------
-            leaf_mask = children.depth == n_jobs
-            n_leaves = int(np.count_nonzero(leaf_mask))
-            if n_leaves:
-                leaf_rows = np.flatnonzero(leaf_mask)
-                stats.leaves_evaluated += n_leaves
-                makespans = children.release[leaf_rows, -1]
-                improving, _ = leaf_improvements(upper_bound, makespans)
-                for i in improving:
-                    upper_bound = float(makespans[i])
-                    best_trail = int(children.trail_id[leaf_rows[i]])
-                    stats.incumbent_updates += 1
-
-            # --- elimination fused with insertion (one masked append) ---------
-            keep = children.lower_bound < upper_bound
-            if n_leaves:
-                keep &= ~leaf_mask
-            kept = int(np.count_nonzero(keep))
-            pruned = len(children) - n_leaves - kept
-            stats.nodes_pruned += pruned
-
-            t0 = time.perf_counter()
-            frontier.push_block(children, keep)
-            stats.time_pool_s += time.perf_counter() - t0
-
-            iterations.append(
-                IterationRecord(
-                    iteration=iteration,
-                    launch=KernelLaunch(len(children), config.threads_per_block),
-                    nodes_offloaded=len(children),
-                    nodes_pruned=pruned,
-                    nodes_kept=kept,
-                    incumbent=upper_bound,
-                    simulated_device_s=sim_s,
-                    measured_host_s=wall_s,
-                )
-            )
-
-        stats.time_total_s = time.perf_counter() - start
-        stats.max_pool_size = frontier.max_size_seen
-        stats.simulated_device_time_s = simulated_total
-
-        if best_trail is not None:
-            best_order = trail.prefix(best_trail)
-        if not best_order:
-            raise RuntimeError(
-                "the search terminated without an incumbent; enable the NEH seed "
-                "or provide a finite initial upper bound"
-            )
-        return GpuBBResult(
-            instance=instance,
-            best_makespan=int(upper_bound),
-            best_order=tuple(best_order),
-            proved_optimal=completed,
-            stats=stats,
-            iterations=iterations,
-            simulated_device_time_s=simulated_total,
-            measured_kernel_time_s=measured_kernel,
+            overlap_saved_s=outcome.overlap_saved_s,
             config=config,
         )

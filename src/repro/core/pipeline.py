@@ -22,19 +22,19 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.bb.frontier import (
-    BlockFrontier,
-    Trail,
-    branch_block,
-    leaf_improvements,
-    seed_block,
-)
+from repro.bb.driver import SearchDriver, SearchHooks, SearchLimits
+from repro.bb.frontier import BlockFrontier, Trail, seed_block
 from repro.bb.node import root_node
+from repro.bb.pool import make_pool
 from repro.bb.stats import SearchStats
 from repro.core.config import GpuBBConfig
-from repro.core.gpu_bb import GpuBranchAndBound, GpuBBResult
+from repro.core.gpu_bb import (
+    GpuBranchAndBound,
+    GpuBBResult,
+    IterationRecord,
+    _ExecutorOffload,
+    iteration_recorder,
+)
 from repro.flowshop.instance import FlowShopInstance
 from repro.flowshop.neh import neh_heuristic
 
@@ -116,6 +116,7 @@ class HybridBranchAndBound:
         stats = SearchStats()
         simulated_total = 0.0
         measured_total = 0.0
+        overlap_total = 0.0
         proved = True
         all_iterations = []
 
@@ -129,6 +130,7 @@ class HybridBranchAndBound:
                 stats = stats.merge(sub_result.stats)
                 simulated_total += sub_result.simulated_device_time_s
                 measured_total += sub_result.measured_kernel_time_s
+                overlap_total += sub_result.overlap_saved_s
                 proved = proved and sub_result.proved_optimal
                 all_iterations.extend(sub_result.iterations)
                 if sub_result.best_order and sub_result.best_makespan < best_makespan:
@@ -146,6 +148,7 @@ class HybridBranchAndBound:
             iterations=all_iterations,
             simulated_device_time_s=simulated_total,
             measured_kernel_time_s=measured_total,
+            overlap_saved_s=overlap_total,
             config=self.config.gpu,
         )
 
@@ -214,87 +217,73 @@ class HybridBranchAndBound:
         return result
 
 
-def _solve_from_seed(engine: GpuBranchAndBound, seed, upper_bound: float) -> GpuBBResult:
-    """Run ``engine`` starting from ``seed`` instead of the instance root."""
-    from repro.bb.operators import branch, eliminate, select_batch
-    from repro.bb.pool import make_pool
-    from repro.core.kernels import KernelLaunch
-    from repro.core.gpu_bb import IterationRecord
+def _seed_search(
+    engine: GpuBranchAndBound,
+    store,
+    upper_bound: float,
+    *,
+    trail: Trail | None = None,
+    next_order: int = 1,
+) -> GpuBBResult:
+    """Run the batch-shape driver from an already-seeded pool/frontier.
 
+    The seed node was bounded (and its device time charged) by the caller;
+    the only budget the sub-tree exploration honours is
+    ``config.max_iterations`` — exactly the historical hybrid behaviour.
+    """
     config = engine.config
     instance = engine.instance
     stats = SearchStats()
-    iterations = []
-    best_order: tuple[int, ...] = ()
-    pool = make_pool(config.selection)
-    simulated_total = 0.0
-    measured_total = 0.0
+    iterations: list[IterationRecord] = []
     start = time.perf_counter()
-
-    pool.push(seed)
     stats.nodes_bounded += 1
-    iteration = 0
-    completed = True
-    while pool:
-        if config.max_iterations is not None and iteration >= config.max_iterations:
-            completed = False
-            break
-        iteration += 1
-        parents, lazily_pruned = select_batch(pool, config.pool_size, upper_bound)
-        stats.nodes_pruned += lazily_pruned
-        if not parents:
-            break
-        children = []
-        for parent in parents:
-            children.extend(branch(parent, instance))
-            stats.nodes_branched += 1
-        if not children:
-            continue
-        bounds, sim_s, wall_s = engine._offload(children)
-        simulated_total += sim_s
-        measured_total += wall_s
-        stats.nodes_bounded += len(children)
-        stats.pools_evaluated += 1
-        open_children = []
-        for child in children:
-            if child.is_leaf:
-                stats.leaves_evaluated += 1
-                makespan = int(child.release[-1])
-                if makespan < upper_bound:
-                    upper_bound = float(makespan)
-                    best_order = child.prefix
-                    stats.incumbent_updates += 1
-            else:
-                open_children.append(child)
-        survivors, pruned = eliminate(open_children, upper_bound)
-        stats.nodes_pruned += pruned
-        pool.push_many(survivors)
-        iterations.append(
-            IterationRecord(
-                iteration=iteration,
-                launch=KernelLaunch(len(children), config.threads_per_block),
-                nodes_offloaded=len(children),
-                nodes_pruned=pruned,
-                nodes_kept=len(survivors),
-                incumbent=upper_bound,
-                simulated_device_s=sim_s,
-                measured_host_s=wall_s,
-            )
-        )
+
+    driver = SearchDriver(
+        instance,
+        layout=config.layout,
+        selection=config.selection,
+        offload=_ExecutorOffload(engine),
+        batch_size=config.pool_size,
+        limits=SearchLimits(max_iterations=config.max_iterations),
+        hooks=SearchHooks(
+            on_iteration=iteration_recorder(iterations, config.threads_per_block)
+        ),
+        double_buffer=config.double_buffer,
+    )
+    run_kwargs: dict[str, object] = {}
+    if trail is not None:
+        run_kwargs = {"trail": trail, "next_order": next_order}
+    outcome = driver.run(
+        store,
+        upper_bound=upper_bound,
+        best_order=(),
+        stats=stats,
+        start=start,
+        **run_kwargs,
+    )
+    simulated_total = outcome.simulated_s - outcome.overlap_saved_s
     stats.time_total_s = time.perf_counter() - start
-    stats.max_pool_size = pool.max_size_seen
+    stats.max_pool_size = store.max_size_seen
     stats.simulated_device_time_s = simulated_total
     return GpuBBResult(
         instance=instance,
-        best_makespan=int(upper_bound),
-        best_order=best_order,
-        proved_optimal=completed,
+        best_makespan=int(outcome.upper_bound),
+        best_order=tuple(outcome.best_order),
+        proved_optimal=outcome.completed,
         stats=stats,
         iterations=iterations,
         simulated_device_time_s=simulated_total,
-        measured_kernel_time_s=measured_total,
+        measured_kernel_time_s=outcome.measured_s,
+        overlap_saved_s=outcome.overlap_saved_s,
         config=config,
     )
+
+
+def _solve_from_seed(engine: GpuBranchAndBound, seed, upper_bound: float) -> GpuBBResult:
+    """Run ``engine`` starting from ``seed`` instead of the instance root."""
+    pool = make_pool(engine.config.selection)
+    pool.push(seed)
+    return _seed_search(engine, pool, upper_bound)
 
 
 def _solve_from_seed_block(
@@ -305,92 +294,15 @@ def _solve_from_seed_block(
     ``seed`` is a one-row :class:`~repro.bb.frontier.NodeBlock` produced by
     :func:`~repro.bb.frontier.seed_block` (already bounded by the caller).
     """
-    from repro.core.gpu_bb import IterationRecord
-    from repro.core.kernels import KernelLaunch
-
     config = engine.config
     instance = engine.instance
-    pt = instance.processing_times
-    n_jobs = instance.n_jobs
-    stats = SearchStats()
-    iterations = []
-    best_order: tuple[int, ...] = ()
-    best_trail: int | None = None
     frontier = BlockFrontier(
-        n_jobs, instance.n_machines, trail, strategy=config.selection
+        instance.n_jobs,
+        instance.n_machines,
+        trail,
+        strategy=config.selection,
+        max_pending=config.max_frontier_nodes,
     )
-    simulated_total = 0.0
-    measured_total = 0.0
-    start = time.perf_counter()
-
     frontier.push_block(seed)
     next_order = int(seed.order_index[0]) + 1
-    stats.nodes_bounded += 1
-    iteration = 0
-    completed = True
-    while frontier:
-        if config.max_iterations is not None and iteration >= config.max_iterations:
-            completed = False
-            break
-        iteration += 1
-        parents, lazily_pruned = frontier.pop_batch(config.pool_size, upper_bound)
-        stats.nodes_pruned += lazily_pruned
-        if not len(parents):
-            break
-        children = branch_block(parents, pt, next_order)
-        next_order += len(children)
-        stats.nodes_branched += len(parents)
-        if not len(children):
-            continue
-        bounds, sim_s, wall_s = engine._offload_block(children)
-        simulated_total += sim_s
-        measured_total += wall_s
-        stats.nodes_bounded += len(children)
-        stats.pools_evaluated += 1
-
-        leaf_mask = children.depth == n_jobs
-        n_leaves = int(np.count_nonzero(leaf_mask))
-        if n_leaves:
-            leaf_rows = np.flatnonzero(leaf_mask)
-            stats.leaves_evaluated += n_leaves
-            makespans = children.release[leaf_rows, -1]
-            improving, _ = leaf_improvements(upper_bound, makespans)
-            for i in improving:
-                upper_bound = float(makespans[i])
-                best_trail = int(children.trail_id[leaf_rows[i]])
-                stats.incumbent_updates += 1
-        keep = children.lower_bound < upper_bound
-        if n_leaves:
-            keep &= ~leaf_mask
-        kept = int(np.count_nonzero(keep))
-        pruned = len(children) - n_leaves - kept
-        stats.nodes_pruned += pruned
-        frontier.push_block(children, keep)
-        iterations.append(
-            IterationRecord(
-                iteration=iteration,
-                launch=KernelLaunch(len(children), config.threads_per_block),
-                nodes_offloaded=len(children),
-                nodes_pruned=pruned,
-                nodes_kept=kept,
-                incumbent=upper_bound,
-                simulated_device_s=sim_s,
-                measured_host_s=wall_s,
-            )
-        )
-    stats.time_total_s = time.perf_counter() - start
-    stats.max_pool_size = frontier.max_size_seen
-    stats.simulated_device_time_s = simulated_total
-    if best_trail is not None:
-        best_order = trail.prefix(best_trail)
-    return GpuBBResult(
-        instance=instance,
-        best_makespan=int(upper_bound),
-        best_order=best_order,
-        proved_optimal=completed,
-        stats=stats,
-        iterations=iterations,
-        simulated_device_time_s=simulated_total,
-        measured_kernel_time_s=measured_total,
-        config=config,
-    )
+    return _seed_search(engine, frontier, upper_bound, trail=trail, next_order=next_order)

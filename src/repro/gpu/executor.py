@@ -207,8 +207,11 @@ class GpuExecutor:
         The block's ``(scheduled_mask, release)`` columns are exactly the
         device buffers :meth:`evaluate` consumes, so this is a zero-copy
         hand-off — the host-side "pack the pool" step of the paper's
-        Figure 3 disappears.  The bounds are also written back into the
-        block's ``lower_bound`` column.
+        Figure 3 disappears.  This is also the block layout's explicit
+        int32↔int64 boundary: :meth:`evaluate` widens the int32 ``release``
+        column to the kernels' internal int64, and the int64 bounds are
+        cast back through the in-place write into the block's int32
+        ``lower_bound`` column.
         """
         result = self.evaluate(block.scheduled_mask, block.release)
         block.lower_bound[:] = result.bounds
