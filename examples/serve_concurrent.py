@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Solve-as-a-service: concurrent sessions sharing fused bounding launches.
+
+Spins up the :class:`~repro.service.SolveService` in-process, submits
+several Taillard-style instances concurrently (two clients, several
+sessions each), and prints per-session results plus the dispatcher's
+batch-coalescing statistics — the cross-session analogue of the paper's
+node pooling: N sessions' pending bounding batches fused into one kernel
+launch amortize the per-launch overhead N ways.
+
+Every result is bit-identical to a stand-alone sequential solve of the
+same instance (same makespan, same permutation, same counters); only the
+number of kernel launches changes.  For the serial-vs-concurrent launch
+accounting see ``benchmarks/bench_service.py``; for the over-the-wire
+version of this workflow see ``repro serve`` and ``docs/SERVING.md``.
+
+Run with::
+
+    python examples/serve_concurrent.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.flowshop import random_instance, taillard_instance
+from repro.service import FlushPolicy, SolveParams, SolveService
+
+#: (label, instance, params) — a mixed workload: several sessions per
+#: distinct instance (only same-instance batches can share a launch)
+WORKLOAD = [
+    ("tai-20x5 #1", taillard_instance(20, 5, index=1), SolveParams(max_nodes=400)),
+    ("rand-8x5", random_instance(8, 5, seed=17), SolveParams()),
+    ("rand-6x4", random_instance(6, 4, seed=3), SolveParams()),
+    ("tai-20x5 #1", taillard_instance(20, 5, index=1), SolveParams(max_nodes=400)),
+    ("rand-8x5", random_instance(8, 5, seed=17), SolveParams()),
+    ("rand-6x4", random_instance(6, 4, seed=3), SolveParams()),
+]
+
+
+async def main() -> None:
+    async with SolveService(
+        max_active_sessions=len(WORKLOAD),
+        flush_policy=FlushPolicy(max_wait_s=0.05),
+    ) as service:
+        for i, (label, instance, params) in enumerate(WORKLOAD):
+            client = "alice" if i % 2 == 0 else "bob"
+            await service.submit(f"req-{i}", instance, params, client_id=client)
+
+        print(f"{len(WORKLOAD)} sessions submitted, all solving concurrently\n")
+        print(f"{'session':>8} {'instance':<12} {'makespan':>9} {'optimal':>8} "
+              f"{'bounded':>8} {'pools':>6}")
+        for i, (label, _, _) in enumerate(WORKLOAD):
+            result = await service.result(f"req-{i}")
+            print(
+                f"{result.session_id:>8} {label:<12} {result.makespan:>9} "
+                f"{str(result.proved_optimal):>8} "
+                f"{result.stats.nodes_bounded:>8} {result.stats.pools_evaluated:>6}"
+            )
+
+        stats = service.dispatch_stats
+        print("\ndispatcher coalescing:")
+        print(f"  bounding requests   : {stats.n_requests} "
+              f"({stats.n_rows} nodes)")
+        print(f"  kernel launches     : {stats.n_launches} "
+              f"-> {stats.requests_per_launch:.2f} requests amortized per launch")
+        print(f"  largest fused batch : {stats.max_requests_coalesced} requests "
+              f"/ {stats.max_rows_coalesced} nodes in one launch")
+        reasons = ", ".join(f"{k}={v}" for k, v in sorted(stats.flush_reasons.items()))
+        print(f"  flushes             : {stats.n_flushes} ({reasons})")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -201,6 +201,7 @@ class DriverResult:
 
     @property
     def improved(self) -> bool:
+        """True when the run tightened the incumbent at least once."""
         return self.best_value is not None
 
 
@@ -226,6 +227,7 @@ class LocalBounding:
     def bound_nodes(
         self, nodes: Sequence[Node]
     ) -> tuple[np.ndarray | None, float, float]:
+        """Bound object-layout ``nodes`` in place; return ``(bounds, 0.0, 0.0)``."""
         if self.kernel == "scalar":
             # the paper-faithful one-call-per-child path of the bounding-
             # fraction ablation: no batch array is ever materialized
@@ -240,6 +242,11 @@ class LocalBounding:
     def bound_block(
         self, block: NodeBlock, siblings: bool = False
     ) -> tuple[np.ndarray, float, float]:
+        """Bound a block's rows, writing the int32 ``lower_bound`` column in place.
+
+        ``siblings=True`` promises the block is one parent's complete child
+        set, enabling the fused single-GEMM sibling path of kernel v2.
+        """
         bounds = bound_block(
             self.data,
             block,

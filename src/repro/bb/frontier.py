@@ -217,10 +217,12 @@ class NodeBlock:
 
     @property
     def n_jobs(self) -> int:
+        """Number of jobs of the underlying instance (mask width)."""
         return int(self.scheduled_mask.shape[1])
 
     @property
     def n_machines(self) -> int:
+        """Number of machines of the underlying instance (release width)."""
         return int(self.release.shape[1])
 
     @property
@@ -257,6 +259,7 @@ class NodeBlock:
 
     @classmethod
     def empty(cls, n_jobs: int, n_machines: int, trail: Trail) -> "NodeBlock":
+        """A zero-row block with correctly shaped/typed columns."""
         return cls(
             scheduled_mask=np.zeros((0, n_jobs), dtype=bool),
             release=np.zeros((0, n_machines), dtype=np.int32),

@@ -165,6 +165,7 @@ class _SubtreeSolver:
         )
 
     def run(self) -> tuple[Optional[int], tuple[int, ...], SearchStats, bool]:
+        """Exhaust this worker's sub-tree; return (makespan, order, stats, completed)."""
         if self.layout == "block":
             return self._run_block()
         return self._run_object()

@@ -104,6 +104,7 @@ class Node:
 
     @property
     def scheduled_set(self) -> frozenset[int]:
+        """The scheduled prefix as a set (membership tests in branching)."""
         return frozenset(self.prefix)
 
     def unscheduled(self) -> list[int]:

@@ -62,6 +62,7 @@ class NodePool(ABC):
 
     # -- derived operations --------------------------------------------- #
     def push_many(self, nodes: Iterable[Node]) -> None:
+        """Push every node of ``nodes`` (convenience over :meth:`push`)."""
         for node in nodes:
             self.push(node)
 
@@ -102,10 +103,12 @@ class BestFirstPool(NodePool):
         self._heap: list[tuple[tuple[int, int, int], Node]] = []
 
     def push(self, node: Node) -> None:
+        """Insert by ``(lower bound, depth, order)`` heap key."""
         heapq.heappush(self._heap, (node.sort_key(), node))
         self._record_size()
 
     def pop(self) -> Node:
+        """Remove and return the node with the smallest key."""
         if not self._heap:
             raise IndexError("pop from an empty pool")
         return heapq.heappop(self._heap)[1]
@@ -124,6 +127,7 @@ class BestFirstPool(NodePool):
         return node.lower_bound
 
     def prune_to(self, upper_bound: float) -> int:
+        """Drop every pending node with ``lower_bound >= upper_bound``."""
         kept = [
             entry
             for entry in self._heap
@@ -149,15 +153,18 @@ class DepthFirstPool(NodePool):
         self._stack: list[Node] = []
 
     def push(self, node: Node) -> None:
+        """Append to the stack top."""
         self._stack.append(node)
         self._record_size()
 
     def pop(self) -> Node:
+        """Remove and return the most recently pushed node."""
         if not self._stack:
             raise IndexError("pop from an empty pool")
         return self._stack.pop()
 
     def prune_to(self, upper_bound: float) -> int:
+        """Drop every pending node with ``lower_bound >= upper_bound``."""
         kept = [
             node
             for node in self._stack
@@ -181,15 +188,18 @@ class FifoPool(NodePool):
         self._queue: deque[Node] = deque()
 
     def push(self, node: Node) -> None:
+        """Append to the queue tail."""
         self._queue.append(node)
         self._record_size()
 
     def pop(self) -> Node:
+        """Remove and return the oldest pending node."""
         if not self._queue:
             raise IndexError("pop from an empty pool")
         return self._queue.popleft()
 
     def prune_to(self, upper_bound: float) -> int:
+        """Drop every pending node with ``lower_bound >= upper_bound``."""
         kept = deque(
             node
             for node in self._queue

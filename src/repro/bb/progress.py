@@ -80,14 +80,17 @@ class ProgressTracker:
     # ------------------------------------------------------------------ #
     @property
     def incumbent(self) -> Optional[float]:
+        """Best makespan observed so far (``None`` before the first one)."""
         return self._incumbent
 
     @property
     def best_lower_bound(self) -> Optional[float]:
+        """Tightest global lower bound observed so far."""
         return self._best_bound
 
     @property
     def current_gap(self) -> Optional[float]:
+        """Relative incumbent/bound gap of the latest event."""
         if not self.events:
             return None
         return self.events[-1].gap

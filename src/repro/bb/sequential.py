@@ -55,9 +55,11 @@ class BBResult:
 
     @property
     def best_schedule(self) -> Schedule:
+        """The incumbent permutation as a :class:`Schedule` (recomputes timing)."""
         return Schedule(self.instance, self.best_order)
 
     def summary(self) -> dict[str, object]:
+        """Flat JSON-friendly dict: instance, makespan, optimality + counters."""
         payload: dict[str, object] = {
             "instance": self.instance.name or f"{self.instance.n_jobs}x{self.instance.n_machines}",
             "best_makespan": self.best_makespan,

@@ -113,10 +113,12 @@ class _ProcessSharedIncumbent:
         self._value = value
 
     def get(self) -> float:
+        """Current shared incumbent value (lock-protected read)."""
         with self._value.get_lock():
             return self._value.value
 
     def try_update(self, candidate: float) -> bool:
+        """Compare-and-swap: install ``candidate`` if strictly better."""
         candidate = float(candidate)
         with self._value.get_lock():
             if candidate < self._value.value:

@@ -1,16 +1,18 @@
 """Command-line interface.
 
-Three sub-commands cover the library's main workflows::
+Four sub-commands cover the library's main workflows::
 
     python -m repro solve      --jobs 20 --machines 10        # solve an instance
     python -m repro solve      --file my_instance.txt --engine gpu
     python -m repro autotune   --jobs 200 --machines 20       # pick the pool size
     python -m repro evaluate   --output report.json           # regenerate all tables/figures
+    python -m repro serve      --port 7227                    # solve-as-a-service
 
 ``solve`` accepts Taillard-format or JSON instance files (see
 :mod:`repro.flowshop.io`) or generates a Taillard-style instance of the
 requested size; engines: ``gpu`` (default), ``serial``, ``multicore``,
-``cluster``.
+``cluster``.  ``serve`` runs the JSON-lines TCP solve service with
+cross-session batched bounding (see ``docs/SERVING.md``).
 """
 
 from __future__ import annotations
@@ -143,6 +145,41 @@ def _evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.dispatch import FlushPolicy
+    from repro.service.server import SolveServer
+    from repro.service.service import SolveService
+
+    async def run() -> int:
+        service = SolveService(
+            max_active_sessions=args.max_active,
+            max_queued=args.max_queued,
+            flush_policy=FlushPolicy(
+                max_wait_s=args.max_wait_ms / 1000.0,
+                max_batch_nodes=args.max_batch_nodes,
+            ),
+        )
+        async with service:
+            server = SolveServer(service, host=args.host, port=args.port)
+            await server.start()
+            print(f"serving on {args.host}:{server.port} "
+                  f"(max_active={args.max_active}, max_queued={args.max_queued})")
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:  # pragma: no cover - signal path
+                pass
+            finally:
+                await server.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -219,6 +256,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--figures", action="store_true", help="also render Figures 4 and 5 as text charts"
     )
     evaluate.set_defaults(func=_evaluate)
+
+    serve = sub.add_parser(
+        "serve", help="run the JSON-lines solve service (cross-session batched bounding)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=7227, help="bind port (0 picks a free one)")
+    serve.add_argument(
+        "--max-active", type=int, default=8, help="sessions solving concurrently"
+    )
+    serve.add_argument(
+        "--max-queued", type=int, default=64, help="admission queue bound (backpressure)"
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        help="dispatcher flush policy: longest a parked bounding batch waits for peers",
+    )
+    serve.add_argument(
+        "--max-batch-nodes",
+        type=int,
+        default=65536,
+        help="dispatcher flush policy: fused-launch size cap",
+    )
+    serve.set_defaults(func=_serve)
     return parser
 
 

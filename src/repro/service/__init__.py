@@ -1,0 +1,61 @@
+"""Solve-as-a-service: concurrent sessions with cross-session batched bounding.
+
+The paper amortizes kernel-launch overhead by pooling a search's nodes into
+big bounding batches; this package applies the same lever ACROSS searches.
+Each ``solve`` request opens a :class:`~repro.service.session.SolveSession`
+with its own frontier, every session's bounding batches park on one shared
+:class:`~repro.service.dispatch.BatchDispatcher`, and the dispatcher fuses
+what is pending across sessions into single kernel launches — fewer, fuller
+launches under concurrent load, with results bit-identical to stand-alone
+solves.
+
+Layering (see ``docs/SERVING.md`` for the full design):
+
+- :mod:`~repro.service.protocol` — wire messages + JSON-lines codec;
+- :mod:`~repro.service.dispatch` — flush policy, dispatcher, parking offload;
+- :mod:`~repro.service.session` — one request's search;
+- :mod:`~repro.service.scheduler` — bounded fair-share admission;
+- :mod:`~repro.service.service` — asyncio orchestration (in-process API);
+- :mod:`~repro.service.server` / :mod:`~repro.service.client` — TCP front
+  (``repro serve``) and the matching async client.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.dispatch import (
+    BatchDispatcher,
+    BatchingOffload,
+    DispatchStats,
+    FlushPolicy,
+    SessionCancelled,
+)
+from repro.service.protocol import (
+    InstanceSpec,
+    ProtocolError,
+    SolveParams,
+    SolveRequest,
+)
+from repro.service.scheduler import FairShareScheduler, SchedulerFull
+from repro.service.server import SolveServer
+from repro.service.service import ServiceOverloaded, SolveService
+from repro.service.session import SessionConfig, SessionResult, SolveSession
+
+__all__ = [
+    "BatchDispatcher",
+    "BatchingOffload",
+    "DispatchStats",
+    "FlushPolicy",
+    "SessionCancelled",
+    "InstanceSpec",
+    "ProtocolError",
+    "SolveParams",
+    "SolveRequest",
+    "FairShareScheduler",
+    "SchedulerFull",
+    "ServiceClient",
+    "ServiceOverloaded",
+    "SolveServer",
+    "SolveService",
+    "SessionConfig",
+    "SessionResult",
+    "SolveSession",
+]

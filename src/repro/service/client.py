@@ -1,0 +1,165 @@
+"""Async client for the solve service's JSON-lines TCP protocol.
+
+:class:`ServiceClient` is the lightweight counterpart of
+:class:`~repro.service.server.SolveServer`, used by the tests and the
+example script (and usable as a template for clients in other languages —
+the whole protocol is nine JSON message shapes, see
+:mod:`repro.service.protocol`).
+
+One background reader task demultiplexes the connection: every incoming
+reply is routed to the queue of the ``request_id`` it echoes, so any
+number of solves can be in flight concurrently over one socket.
+:meth:`ServiceClient.solve` packages the common submit → accepted →
+result round trip; the lower-level :meth:`submit` / :meth:`next_reply`
+pair exposes the individual messages (how the backpressure and
+cancellation tests watch ``overloaded``/``cancelled`` replies arrive).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Optional
+
+from repro.service import protocol
+from repro.service.protocol import (
+    CancelRequest,
+    InstanceSpec,
+    SolveParams,
+    SolveRequest,
+    StatusReply,
+    StatusRequest,
+)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Connect to a :class:`SolveServer` and multiplex requests over it.
+
+    Usage::
+
+        client = await ServiceClient.connect("127.0.0.1", port)
+        reply = await client.solve(InstanceSpec.taillard(20, 5))
+        await client.close()
+
+    All coroutines are loop-thread only; replies for a request are
+    delivered in server order through a per-request queue.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._request_ids = itertools.count(1)
+        self._inboxes: dict[str, asyncio.Queue] = {}
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        """Open a connection and start the demultiplexing reader."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        """Stop the reader task and close the socket."""
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    async def _read_loop(self) -> None:
+        """Route every incoming reply to its ``request_id`` inbox."""
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                break
+            message = protocol.decode(line.decode())
+            inbox = self._inboxes.get(message.request_id)
+            if inbox is not None:
+                inbox.put_nowait(message)
+
+    async def _send(self, message) -> None:
+        self._writer.write(protocol.encode(message).encode() + b"\n")
+        await self._writer.drain()
+
+    def _inbox(self, request_id: str) -> asyncio.Queue:
+        inbox = self._inboxes.get(request_id)
+        if inbox is None:
+            inbox = asyncio.Queue()
+            self._inboxes[request_id] = inbox
+        return inbox
+
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self,
+        instance: InstanceSpec,
+        params: Optional[SolveParams] = None,
+        client_id: str = "anonymous",
+        request_id: Optional[str] = None,
+    ) -> str:
+        """Send one ``solve`` request; returns its ``request_id``.
+
+        Replies (``accepted``/``overloaded``/``error``, then ``result``)
+        are collected by the reader and retrieved with :meth:`next_reply`.
+        """
+        if request_id is None:
+            request_id = f"req-{next(self._request_ids)}"
+        self._inbox(request_id)  # register before the reply can race in
+        await self._send(
+            SolveRequest(
+                request_id=request_id,
+                instance=instance,
+                params=params if params is not None else SolveParams(),
+                client_id=client_id,
+            )
+        )
+        return request_id
+
+    async def next_reply(self, request_id: str, timeout: Optional[float] = 30.0):
+        """Await the next reply echoing ``request_id`` (server order)."""
+        inbox = self._inbox(request_id)
+        return await asyncio.wait_for(inbox.get(), timeout=timeout)
+
+    async def solve(
+        self,
+        instance: InstanceSpec,
+        params: Optional[SolveParams] = None,
+        client_id: str = "anonymous",
+        timeout: Optional[float] = 60.0,
+    ):
+        """Submit and await the terminal reply of one solve.
+
+        Returns the :class:`~repro.service.protocol.ResultReply` —
+        or the ``overloaded``/``error`` reply if the request was rejected
+        (callers check ``reply.type``).
+        """
+        request_id = await self.submit(instance, params, client_id=client_id)
+        first = await self.next_reply(request_id, timeout=timeout)
+        if first.type != "accepted":
+            return first
+        return await self.next_reply(request_id, timeout=timeout)
+
+    async def cancel(self, request_id: str, timeout: Optional[float] = 30.0):
+        """Cancel ``request_id``; returns the ``cancelled`` (or error) reply."""
+        await self._send(CancelRequest(request_id=request_id))
+        return await self.next_reply(request_id, timeout=timeout)
+
+    async def status(self, timeout: Optional[float] = 30.0) -> StatusReply:
+        """Fetch the service's status snapshot."""
+        request_id = f"status-{next(self._request_ids)}"
+        self._inbox(request_id)
+        await self._send(StatusRequest(request_id=request_id))
+        return await self.next_reply(request_id, timeout=timeout)

@@ -1,0 +1,103 @@
+"""Fair-share admission scheduling for the solve service.
+
+The service admits at most ``max_active_sessions`` concurrent solves; the
+rest wait here.  Waiting entries are kept in **per-client FIFO queues**
+and drained **round-robin across clients**: a client that floods the
+service with a hundred requests gets one slot per scheduling cycle, the
+same as a client that submitted one — its own requests still run in
+submission order.
+
+The scheduler is also the service's backpressure valve: it is bounded
+(``max_queued``), and :meth:`FairShareScheduler.push` raises
+:class:`SchedulerFull` when the bound is hit — the service turns that
+into an ``overloaded`` wire reply instead of queueing unboundedly.
+
+The structure is synchronous and unlocked; the owning
+:class:`~repro.service.service.SolveService` only touches it from the
+event-loop thread.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Iterator, Optional
+
+__all__ = ["SchedulerFull", "FairShareScheduler"]
+
+
+class SchedulerFull(Exception):
+    """The bounded waiting queue is at capacity (backpressure signal).
+
+    Carries ``queued`` (entries waiting when the push was rejected) and
+    ``limit`` (the bound) so the service can fill the ``overloaded``
+    reply's retry hints.
+    """
+
+    def __init__(self, queued: int, limit: int):
+        super().__init__(f"scheduler full ({queued}/{limit} queued)")
+        self.queued = queued
+        self.limit = limit
+
+
+class FairShareScheduler:
+    """Bounded round-robin-across-clients, FIFO-within-client queue.
+
+    Parameters
+    ----------
+    max_queued:
+        Total entries allowed to wait across ALL clients; pushes beyond it
+        raise :class:`SchedulerFull`.
+
+    Fairness invariant: successive :meth:`pop` calls cycle through the
+    clients that have waiting entries, taking one entry per client per
+    cycle; a client's own entries pop in their push order.  The cursor
+    survives pushes, so a newly arriving client cannot jump the cycle.
+    """
+
+    def __init__(self, max_queued: int = 64):
+        if max_queued < 1:
+            raise ValueError("max_queued must be >= 1")
+        self.max_queued = max_queued
+        self._queues: "OrderedDict[str, deque[Any]]" = OrderedDict()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate waiting entries (round-robin order, non-destructive)."""
+        queues = [list(q) for q in self._queues.values()]
+        depth = 0
+        while any(len(q) > depth for q in queues):
+            for q in queues:
+                if len(q) > depth:
+                    yield q[depth]
+            depth += 1
+
+    def push(self, client_id: str, item: Any) -> None:
+        """Enqueue ``item`` for ``client_id``; raises :class:`SchedulerFull`."""
+        if self._size >= self.max_queued:
+            raise SchedulerFull(self._size, self.max_queued)
+        queue = self._queues.get(client_id)
+        if queue is None:
+            queue = deque()
+            self._queues[client_id] = queue
+        queue.append(item)
+        self._size += 1
+
+    def pop(self) -> Optional[Any]:
+        """Dequeue the next entry by fair-share order; ``None`` when empty.
+
+        Takes the front entry of the least-recently-served client's queue,
+        then rotates that client to the back of the cycle (clients whose
+        queue drains leave the cycle entirely).
+        """
+        if self._size == 0:
+            return None
+        client_id, queue = next(iter(self._queues.items()))
+        item = queue.popleft()
+        self._size -= 1
+        del self._queues[client_id]
+        if queue:
+            self._queues[client_id] = queue  # re-insert at the back: rotate
+        return item

@@ -1,0 +1,213 @@
+"""JSON-lines TCP front of the solve service (the ``repro serve`` entry).
+
+:class:`SolveServer` binds an asyncio TCP listener and adapts the wire
+protocol (:mod:`repro.service.protocol`) onto one shared
+:class:`~repro.service.service.SolveService`.  Per connection it reads one
+JSON object per line, dispatches by message type, and writes replies back
+as JSON lines — replies of concurrent requests interleave freely, matched
+to their request by the echoed ``request_id`` (the client's job to
+demultiplex; :class:`~repro.service.client.ServiceClient` does).
+
+Error containment: a malformed line answers with an ``error`` reply and
+the connection stays up; only EOF or a transport error ends a connection.
+``request_id`` namespacing is per-connection (two connections may both use
+``"req-1"``) — the server prefixes ids internally before they reach the
+shared service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Optional
+
+from repro.service import protocol
+from repro.service.protocol import (
+    AcceptedReply,
+    CancelledReply,
+    CancelRequest,
+    ErrorReply,
+    OverloadedReply,
+    ProtocolError,
+    ResultReply,
+    SolveRequest,
+    StatusReply,
+    StatusRequest,
+)
+from repro.service.service import ServiceOverloaded, SolveService
+
+__all__ = ["SolveServer"]
+
+
+class SolveServer:
+    """Serve :class:`SolveService` over newline-delimited JSON on TCP.
+
+    Parameters
+    ----------
+    service:
+        The (started) service instance requests are forwarded to.
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start` — how the tests run hermetically).
+    """
+
+    def __init__(self, service: SolveService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_ids = itertools.count(1)
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the listener and begin accepting connections."""
+        if self._server is not None:
+            return
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    async def close(self) -> None:
+        """Stop accepting and close the listener (service stays up)."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "SolveServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled (the CLI's main loop)."""
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection's read loop; replies share one write lock."""
+        conn = next(self._conn_ids)
+        write_lock = asyncio.Lock()
+
+        async def send(message) -> None:
+            async with write_lock:
+                writer.write(protocol.encode(message).encode() + b"\n")
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.decode().strip()
+                if not line:
+                    continue
+                try:
+                    message = protocol.decode(line)
+                except ProtocolError as exc:
+                    await send(ErrorReply(request_id="?", message=str(exc)))
+                    continue
+                if isinstance(message, SolveRequest):
+                    await self._handle_solve(conn, message, send)
+                elif isinstance(message, CancelRequest):
+                    await self._handle_cancel(conn, message, send)
+                elif isinstance(message, StatusRequest):
+                    await self._handle_status(message, send)
+                else:
+                    await send(
+                        ErrorReply(
+                            request_id=getattr(message, "request_id", "?"),
+                            message=f"unexpected message type {message.type!r}",
+                        )
+                    )
+        except (ConnectionError, asyncio.IncompleteReadError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _scoped(self, conn: int, request_id: str) -> str:
+        """Namespace a connection-local request id for the shared service."""
+        return f"c{conn}:{request_id}"
+
+    async def _handle_solve(self, conn: int, request: SolveRequest, send) -> None:
+        """Admit a solve; follow up with its ``result`` when the session ends."""
+        scoped = self._scoped(conn, request.request_id)
+        try:
+            instance = request.instance.to_instance()
+            session_id = await self.service.submit(
+                scoped,
+                instance,
+                request.params,
+                client_id=request.client_id,
+            )
+        except ServiceOverloaded as exc:
+            await send(
+                OverloadedReply(
+                    request_id=request.request_id, queued=exc.queued, limit=exc.limit
+                )
+            )
+            return
+        except (ProtocolError, ValueError, KeyError) as exc:
+            await send(ErrorReply(request_id=request.request_id, message=str(exc)))
+            return
+        await send(AcceptedReply(request_id=request.request_id, session_id=session_id))
+
+        async def deliver_result() -> None:
+            try:
+                result = await self.service.result(scoped)
+            except Exception as exc:
+                await send(ErrorReply(request_id=request.request_id, message=str(exc)))
+                return
+            await send(
+                ResultReply(
+                    request_id=request.request_id,
+                    session_id=result.session_id,
+                    makespan=result.makespan,
+                    order=list(result.order),
+                    proved_optimal=result.proved_optimal,
+                    cancelled=result.cancelled,
+                    stats=result.stats_dict(),
+                )
+            )
+
+        asyncio.get_running_loop().create_task(deliver_result())
+
+    async def _handle_cancel(self, conn: int, request: CancelRequest, send) -> None:
+        """Acknowledge a cancel; the session's ``result`` still follows."""
+        try:
+            was_running = await self.service.cancel(self._scoped(conn, request.request_id))
+        except KeyError as exc:
+            await send(ErrorReply(request_id=request.request_id, message=str(exc)))
+            return
+        await send(CancelledReply(request_id=request.request_id, was_running=was_running))
+
+    async def _handle_status(self, request: StatusRequest, send) -> None:
+        """Answer with the service's gauges and dispatcher statistics."""
+        snapshot = self.service.stats()
+        await send(
+            StatusReply(
+                request_id=request.request_id,
+                active_sessions=snapshot["active_sessions"],
+                queued_sessions=snapshot["queued_sessions"],
+                completed_sessions=snapshot["completed_sessions"],
+                dispatcher=snapshot["dispatcher"],
+            )
+        )

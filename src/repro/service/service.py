@@ -1,0 +1,317 @@
+"""The solve service: asyncio orchestration of sessions over one dispatcher.
+
+:class:`SolveService` is the in-process heart of ``repro serve`` (the TCP
+server in :mod:`repro.service.server` is a thin wire adapter over it, and
+tests/examples drive it directly).  It owns:
+
+* one :class:`~repro.service.dispatch.BatchDispatcher` — ALL sessions park
+  their bounding batches here, which is where the cross-session launch
+  amortization happens;
+* a :class:`~repro.service.scheduler.FairShareScheduler` for admission
+  (bounded → ``overloaded`` backpressure; round-robin across clients);
+* a worker thread pool of exactly ``max_active_sessions`` threads — each
+  admitted session's synchronous driver loop runs on one of them while
+  asyncio stays free for protocol work;
+* a per-instance :class:`~repro.flowshop.bounds.LowerBoundData` cache,
+  keyed by the instance's processing times.  Sessions solving the same
+  instance share one object — which is also the dispatcher's grouping
+  key, so their batches fuse into single launches.
+
+Threading contract: all public coroutines run on the event-loop thread;
+session solves run on pool threads and re-enter the loop only through
+``run_in_executor`` completion.  :meth:`SolveService.cancel` reaches into
+a running session from the loop thread via the session's thread-safe
+``cancel``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.flowshop.bounds import LowerBoundData
+from repro.flowshop.instance import FlowShopInstance
+from repro.service.dispatch import BatchDispatcher, DispatchStats, FlushPolicy
+from repro.service.protocol import SolveParams
+from repro.service.scheduler import FairShareScheduler, SchedulerFull
+from repro.service.session import SessionConfig, SessionResult, SolveSession
+
+__all__ = ["ServiceOverloaded", "SessionHandle", "SolveService"]
+
+
+class ServiceOverloaded(Exception):
+    """Admission rejected: the waiting queue is full (send ``overloaded``).
+
+    ``queued``/``limit`` mirror :class:`~repro.service.scheduler.SchedulerFull`.
+    """
+
+    def __init__(self, queued: int, limit: int):
+        super().__init__(f"service overloaded ({queued}/{limit} queued)")
+        self.queued = queued
+        self.limit = limit
+
+
+@dataclass
+class SessionHandle:
+    """The service's bookkeeping for one admitted session.
+
+    ``result`` is an asyncio future resolved with the
+    :class:`~repro.service.session.SessionResult` (or the session's
+    exception) when the solve ends; ``running`` flips when the session is
+    handed to a worker thread.
+    """
+
+    session_id: int
+    session: SolveSession
+    client_id: str
+    result: "asyncio.Future[SessionResult]"
+    running: bool = False
+    done: bool = False
+
+
+def _config_from_params(params: SolveParams) -> SessionConfig:
+    """Translate wire-level :class:`SolveParams` into a :class:`SessionConfig`."""
+    return SessionConfig(
+        selection=params.selection,
+        kernel=params.kernel,
+        initial_upper_bound=params.initial_upper_bound,
+        max_nodes=params.max_nodes,
+        max_time_s=params.max_time_s,
+        max_frontier_nodes=params.max_frontier_nodes,
+    )
+
+
+@dataclass
+class _InstanceCache:
+    """Share one ``LowerBoundData`` per distinct instance.
+
+    Key: ``(n_jobs, n_machines, processing-time bytes)`` — the full
+    instance content, so two requests naming the same Taillard instance
+    (or shipping equal explicit matrices) resolve to the SAME object and
+    therefore coalesce in the dispatcher.
+    """
+
+    _entries: dict[tuple, LowerBoundData] = field(default_factory=dict)
+
+    def get(self, instance: FlowShopInstance) -> LowerBoundData:
+        """One shared ``LowerBoundData`` per distinct processing-time matrix.
+
+        Sessions solving the same instance must share the *same object* —
+        the dispatcher groups batches by ``id(data)``, so identity is what
+        makes cross-session fusion possible.
+        """
+        key = (
+            instance.n_jobs,
+            instance.n_machines,
+            instance.processing_times.tobytes(),
+        )
+        data = self._entries.get(key)
+        if data is None:
+            data = LowerBoundData(instance)
+            self._entries[key] = data
+        return data
+
+
+class SolveService:
+    """Serve concurrent B&B solves with cross-session batched bounding.
+
+    Parameters
+    ----------
+    max_active_sessions:
+        Sessions solving concurrently (= worker threads).  ``1`` degrades
+        to a serial queue — the launch-count baseline of
+        ``benchmarks/bench_service.py``.
+    max_queued:
+        Bound of the admission queue; beyond it :meth:`submit` raises
+        :class:`ServiceOverloaded`.
+    flush_policy:
+        Dispatcher flush policy (max-wait / max-batch); ``None`` for
+        defaults.
+
+    Lifecycle: ``start`` → any number of ``submit``/``result``/``cancel``/
+    ``status`` → ``close`` (also usable as an async context manager).
+    """
+
+    def __init__(
+        self,
+        max_active_sessions: int = 8,
+        max_queued: int = 64,
+        flush_policy: Optional[FlushPolicy] = None,
+    ):
+        if max_active_sessions < 1:
+            raise ValueError("max_active_sessions must be >= 1")
+        self.max_active_sessions = max_active_sessions
+        self.dispatcher = BatchDispatcher(flush_policy, autostart=False)
+        self._scheduler = FairShareScheduler(max_queued=max_queued)
+        self._instance_cache = _InstanceCache()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._handles: dict[str, SessionHandle] = {}
+        self._session_ids = itertools.count(1)
+        self._active = 0
+        self._completed = 0
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    #  lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Start the dispatcher thread and the session worker pool."""
+        if self._started:
+            return
+        self._started = True
+        self.dispatcher.start()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_active_sessions, thread_name_prefix="solve-session"
+        )
+
+    async def close(self) -> None:
+        """Cancel everything outstanding and shut both thread layers down."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles.values():
+            if not handle.done:
+                handle.session.cancel()
+        pending = [h.result for h in self._handles.values() if not h.result.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self.dispatcher.close()
+
+    async def __aenter__(self) -> "SolveService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    #  request plane
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self,
+        request_id: str,
+        instance: FlowShopInstance,
+        params: SolveParams | None = None,
+        client_id: str = "anonymous",
+    ) -> int:
+        """Admit one solve; returns the assigned ``session_id``.
+
+        Raises :class:`ServiceOverloaded` when the waiting queue is full,
+        ``KeyError`` on a duplicate ``request_id``, ``ValueError`` for bad
+        parameters.  The solve itself is awaited via :meth:`result`.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("service is not running")
+        if request_id in self._handles:
+            raise KeyError(f"duplicate request_id {request_id!r}")
+        config = _config_from_params(params if params is not None else SolveParams())
+        session_id = next(self._session_ids)
+        session = SolveSession(
+            session_id,
+            instance,
+            self._instance_cache.get(instance),
+            self.dispatcher,
+            config,
+        )
+        handle = SessionHandle(
+            session_id=session_id,
+            session=session,
+            client_id=client_id,
+            result=asyncio.get_running_loop().create_future(),
+        )
+        try:
+            self._scheduler.push(client_id, (request_id, handle))
+        except SchedulerFull as exc:
+            raise ServiceOverloaded(exc.queued, exc.limit) from None
+        self._handles[request_id] = handle
+        self._pump()
+        return session_id
+
+    async def result(self, request_id: str) -> SessionResult:
+        """Await the terminal :class:`SessionResult` of ``request_id``."""
+        handle = self._handles.get(request_id)
+        if handle is None:
+            raise KeyError(f"unknown request_id {request_id!r}")
+        return await asyncio.shield(handle.result)
+
+    async def solve(
+        self,
+        request_id: str,
+        instance: FlowShopInstance,
+        params: SolveParams | None = None,
+        client_id: str = "anonymous",
+    ) -> SessionResult:
+        """Convenience: :meth:`submit` then :meth:`result` in one await."""
+        await self.submit(request_id, instance, params, client_id=client_id)
+        return await self.result(request_id)
+
+    async def cancel(self, request_id: str) -> bool:
+        """Cancel ``request_id``; returns whether it was already running.
+
+        A queued session stays queued but terminates at its first selection
+        step when its turn comes, so its ``result`` (flagged cancelled)
+        still resolves through the ordinary path.  Raises ``KeyError`` for
+        unknown ids.
+        """
+        handle = self._handles.get(request_id)
+        if handle is None:
+            raise KeyError(f"unknown request_id {request_id!r}")
+        was_running = handle.running and not handle.done
+        handle.session.cancel()
+        return was_running
+
+    def stats(self) -> dict[str, object]:
+        """Gauges + dispatcher statistics (the ``status_reply`` payload)."""
+        return {
+            "active_sessions": self._active,
+            "queued_sessions": len(self._scheduler),
+            "completed_sessions": self._completed,
+            "dispatcher": self.dispatch_stats.as_dict(),
+        }
+
+    @property
+    def dispatch_stats(self) -> DispatchStats:
+        """The shared dispatcher's coalescing statistics."""
+        return self.dispatcher.stats
+
+    # ------------------------------------------------------------------ #
+    #  session pump (admission → worker threads)
+    # ------------------------------------------------------------------ #
+    def _pump(self) -> None:
+        """Hand queued sessions to worker threads while slots are free."""
+        while self._active < self.max_active_sessions:
+            entry = self._scheduler.pop()
+            if entry is None:
+                return
+            request_id, handle = entry
+            self._active += 1
+            handle.running = True
+            # count the session into the all-parked gauge NOW, before its
+            # thread spins up — peers that park meanwhile will wait for it
+            self.dispatcher.session_started()
+            asyncio.get_running_loop().create_task(self._run_session(request_id, handle))
+
+    async def _run_session(self, request_id: str, handle: SessionHandle) -> None:
+        """Run one session on a pool thread and settle its result future."""
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._executor, lambda: handle.session.run(registered=True)
+            )
+        except BaseException as exc:
+            if not handle.result.done():
+                handle.result.set_exception(exc)
+        else:
+            if not handle.result.done():
+                handle.result.set_result(result)
+        finally:
+            handle.done = True
+            self._active -= 1
+            self._completed += 1
+            self._pump()

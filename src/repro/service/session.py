@@ -1,0 +1,286 @@
+"""One solve session: a private frontier driven through the shared dispatcher.
+
+A :class:`SolveSession` is the service-side unit of work for one
+``solve`` request.  It owns its own :class:`~repro.bb.frontier.BlockFrontier`
+(and trail, stats, incumbent) and runs the standard
+:class:`~repro.bb.driver.SearchDriver` single-step loop in a worker thread —
+the ONLY difference from :class:`~repro.bb.sequential.SequentialBranchAndBound`
+is the bounding backend: a :class:`~repro.service.dispatch.BatchingOffload`
+that parks each bounding batch on the shared dispatcher instead of
+evaluating it inline.
+
+Bit-identity contract: because the session replicates the sequential
+engine's recipe exactly — NEH seeding (and its ``incumbent_updates``
+credit), root bounded before the driver runs (``nodes_bounded`` credit),
+identical driver configuration, identical stats finalization — and because
+every kernel path returns bit-identical bounds, a session's
+:class:`SessionResult` carries the same makespan, permutation, optimality
+flag and full counter set as a stand-alone sequential solve of the same
+instance and parameters.  ``tests/test_service.py`` pins this against the
+golden fixture configs.
+
+Cancellation has two doors, covering both places a session thread can be:
+
+* **while selecting** — the driver's ``on_select`` hook checks the
+  session's cancel event and raises
+  :class:`~repro.service.dispatch.SessionCancelled`;
+* **while parked mid-batch** — :meth:`SolveSession.cancel` also calls the
+  dispatcher's ``cancel_pending``, which fails the parked future with the
+  same exception so the blocked ``bound_block`` call unwinds.
+
+Either way :meth:`SolveSession.run` catches the exception and reports the
+best incumbent known at that point with ``cancelled=True``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.bb.driver import SearchDriver, SearchHooks, SearchLimits
+from repro.bb.frontier import BlockFrontier, Trail, bound_block, root_block
+from repro.bb.stats import SearchStats
+from repro.flowshop.bounds import LowerBoundData
+from repro.flowshop.instance import FlowShopInstance
+from repro.flowshop.neh import neh_heuristic
+from repro.service.dispatch import BatchDispatcher, BatchingOffload, SessionCancelled
+
+__all__ = ["SessionConfig", "SessionResult", "SolveSession"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Per-session solver parameters (the server-side view of ``SolveParams``).
+
+    All fields mirror :class:`~repro.bb.sequential.SequentialBranchAndBound`
+    constructor arguments of the same name; defaults are the engine's
+    defaults, which keeps a default session bit-identical to a default
+    sequential solve.
+    """
+
+    selection: str = "best-first"
+    kernel: str = "v2"
+    initial_upper_bound: Optional[float] = None
+    include_one_machine: bool = False
+    max_nodes: Optional[int] = None
+    max_time_s: Optional[float] = None
+    max_frontier_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kernel not in ("v1", "v2"):
+            raise ValueError(
+                f"service sessions require a batched kernel ('v1'/'v2'), got {self.kernel!r}"
+            )
+        if self.selection not in ("best-first", "depth-first", "fifo"):
+            raise ValueError(f"unknown selection strategy {self.selection!r}")
+        if self.max_frontier_nodes is not None and self.max_frontier_nodes < 1:
+            raise ValueError("max_frontier_nodes must be >= 1 when given")
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one session (the service-side analogue of ``BBResult``).
+
+    ``makespan``/``order``/``proved_optimal``/``stats`` match what a
+    sequential solve would report; ``cancelled`` marks sessions that were
+    cancelled mid-search — their fields then describe the best incumbent
+    known at cancellation and ``proved_optimal`` is ``False``.
+    """
+
+    session_id: int
+    makespan: int
+    order: tuple[int, ...]
+    proved_optimal: bool
+    cancelled: bool = False
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def stats_dict(self) -> dict[str, Any]:
+        """The counters as a plain dict (what ``ResultReply.stats`` carries)."""
+        return self.stats.as_dict()
+
+
+class SolveSession:
+    """One request's search: private frontier, shared batched bounding.
+
+    Parameters
+    ----------
+    session_id:
+        Service-assigned identifier (echoed in results and stats).
+    instance / data:
+        The flow-shop instance and its precomputed bound structures.
+        ``data`` MUST be the service's shared per-instance object —
+        the dispatcher groups coalescible requests by its identity.
+    dispatcher:
+        The shared :class:`BatchDispatcher` bounding batches are parked on.
+    config:
+        Solver parameters (:class:`SessionConfig`).
+
+    :meth:`run` is synchronous and is executed on a worker thread by the
+    service; :meth:`cancel` may be called from any thread.
+    """
+
+    def __init__(
+        self,
+        session_id: int,
+        instance: FlowShopInstance,
+        data: LowerBoundData,
+        dispatcher: BatchDispatcher,
+        config: SessionConfig | None = None,
+    ):
+        self.session_id = session_id
+        self.instance = instance
+        self.data = data
+        self.dispatcher = dispatcher
+        self.config = config if config is not None else SessionConfig()
+        self._cancel = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (thread-safe, idempotent).
+
+        Sets the cancel flag (picked up at the next selection step) and
+        fails any bounding request this session has parked on the
+        dispatcher, so a session blocked mid-batch unwinds immediately
+        without stalling its peers' flush.
+        """
+        self._cancel.set()
+        self.dispatcher.cancel_pending(self)
+
+    @property
+    def cancel_requested(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancel.is_set()
+
+    # ------------------------------------------------------------------ #
+    def _initial_incumbent(self) -> tuple[float, tuple[int, ...]]:
+        """NEH-seeded (or explicit) starting incumbent — sequential recipe."""
+        if self.config.initial_upper_bound is not None:
+            return float(self.config.initial_upper_bound), ()
+        heuristic = neh_heuristic(self.instance)
+        return float(heuristic.makespan), tuple(heuristic.order)
+
+    def run(self, registered: bool = False) -> SessionResult:
+        """Solve to completion, budget exhaustion, or cancellation.
+
+        Mirrors ``SequentialBranchAndBound.solve`` step for step (seeding,
+        root bounding, driver configuration, stats finalization) so the
+        result is bit-identical to a stand-alone solve; only the bounding
+        backend differs.  Raises ``RuntimeError`` when the search ends
+        without any incumbent (explicit non-improvable upper bound).
+
+        ``registered=True`` means the caller already counted this session
+        into the dispatcher's active gauge (the service registers at
+        admission time, so sessions still seeding their incumbent hold the
+        ``all-parked`` flush for their soon-to-park batches); the gauge is
+        always released here when the loop exits.
+        """
+        config = self.config
+        instance = self.instance
+        include_one_machine = config.include_one_machine or instance.n_machines == 1
+        if not registered:
+            self.dispatcher.session_started()
+        try:
+            return self._solve(config, instance, include_one_machine)
+        finally:
+            self.dispatcher.session_finished()
+
+    def _solve(self, config, instance, include_one_machine) -> SessionResult:
+        """The sequential-recipe solve body (gauge handling lives in ``run``)."""
+        stats = SearchStats()
+
+        upper_bound, best_order = self._initial_incumbent()
+        if best_order:
+            stats.incumbent_updates += 1
+        best_makespan = upper_bound if best_order else None
+
+        def record_incumbent(makespan, supplier):
+            nonlocal best_makespan, best_order
+            best_makespan = makespan
+            best_order = supplier()
+
+        def check_cancel(_k: int) -> None:
+            if self._cancel.is_set():
+                raise SessionCancelled("session cancelled")
+
+        offload = BatchingOffload(
+            self.dispatcher,
+            self.data,
+            token=self,
+            kernel=config.kernel,
+            include_one_machine=include_one_machine,
+        )
+        driver = SearchDriver(
+            instance,
+            self.data,
+            layout="block",
+            selection=config.selection,
+            kernel=config.kernel,
+            include_one_machine=include_one_machine,
+            offload=offload,
+            limits=SearchLimits(max_nodes=config.max_nodes, max_time_s=config.max_time_s),
+            hooks=SearchHooks(
+                on_select=check_cancel, on_improve_incumbent=record_incumbent
+            ),
+        )
+
+        start = time.perf_counter()
+        trail = Trail()
+        frontier = BlockFrontier(
+            instance.n_jobs,
+            instance.n_machines,
+            trail,
+            strategy=config.selection,
+            max_pending=config.max_frontier_nodes,
+        )
+        root = root_block(instance, trail)
+        t0 = time.perf_counter()
+        # the root is a single node bounded before any peer session exists
+        # to coalesce with — evaluate it locally, as the serial engine does
+        bound_block(self.data, root, include_one_machine, kernel=config.kernel)
+        stats.time_bounding_s += time.perf_counter() - t0
+        stats.nodes_bounded += 1
+        frontier.push_block(root)
+
+        try:
+            outcome = driver.run(
+                frontier,
+                upper_bound=upper_bound,
+                best_order=best_order,
+                stats=stats,
+                trail=trail,
+                next_order=1,
+                start=start,
+            )
+        except SessionCancelled:
+            stats.time_total_s = time.perf_counter() - start
+            stats.max_pool_size = frontier.max_size_seen
+            if best_makespan is None or not best_order:
+                raise RuntimeError(
+                    "session cancelled before any incumbent was found"
+                ) from None
+            return SessionResult(
+                session_id=self.session_id,
+                makespan=int(best_makespan),
+                order=tuple(best_order),
+                proved_optimal=False,
+                cancelled=True,
+                stats=stats,
+            )
+
+        stats.time_total_s = time.perf_counter() - start
+        stats.max_pool_size = frontier.max_size_seen
+
+        if not outcome.best_order:
+            raise RuntimeError(
+                "the search terminated without an incumbent; provide a finite "
+                "initial upper bound or let NEH seed the search"
+            )
+        return SessionResult(
+            session_id=self.session_id,
+            makespan=int(outcome.upper_bound),
+            order=tuple(outcome.best_order),
+            proved_optimal=outcome.completed,
+            cancelled=False,
+            stats=stats,
+        )

@@ -1,0 +1,45 @@
+"""The documentation stays true: doctests pass, intra-repo links resolve.
+
+Mirrors the CI docs job so a stale snippet or broken link fails locally
+too, not only on the runner.
+"""
+
+from __future__ import annotations
+
+import doctest
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "docs" / "ARCHITECTURE.md", REPO_ROOT / "docs" / "SERVING.md"]
+
+
+class TestDocSnippets:
+    @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+    def test_doc_exists_and_snippets_pass(self, path):
+        assert path.exists(), f"{path.name} is missing"
+        results = doctest.testfile(
+            str(path), module_relative=False, verbose=False, report=True
+        )
+        assert results.attempted > 0, f"{path.name} carries no executable snippets"
+        assert results.failed == 0, f"{results.failed} doctest(s) failed in {path.name}"
+
+
+class TestDocLinks:
+    def test_intra_repo_markdown_links_resolve(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_doc_links.py"), str(REPO_ROOT)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestReadmeMentionsDocs:
+    def test_readme_links_both_docs(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/ARCHITECTURE.md" in readme
+        assert "docs/SERVING.md" in readme

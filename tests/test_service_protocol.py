@@ -1,0 +1,120 @@
+"""Wire-protocol contract: round-trips, schema errors, instance specs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    AcceptedReply,
+    CancelledReply,
+    CancelRequest,
+    ErrorReply,
+    InstanceSpec,
+    OverloadedReply,
+    ProtocolError,
+    ResultReply,
+    SolveParams,
+    SolveRequest,
+    StatusReply,
+    StatusRequest,
+    decode,
+    encode,
+)
+
+MESSAGES = [
+    SolveRequest(
+        request_id="r1",
+        instance=InstanceSpec.taillard(20, 5, index=3),
+        params=SolveParams(selection="depth-first", kernel="v1", max_nodes=100),
+        client_id="alice",
+    ),
+    SolveRequest(
+        request_id="r2",
+        instance=InstanceSpec.explicit([[4, 3], [2, 5], [6, 2]], name="tiny"),
+    ),
+    CancelRequest(request_id="r1"),
+    StatusRequest(request_id="s1"),
+    AcceptedReply(request_id="r1", session_id=7),
+    OverloadedReply(request_id="r9", queued=64, limit=64),
+    CancelledReply(request_id="r1", was_running=True),
+    ErrorReply(request_id="r0", message="unknown instance kind"),
+    ResultReply(
+        request_id="r1",
+        session_id=7,
+        makespan=539,
+        order=[6, 5, 0, 2, 1, 7, 4, 3],
+        proved_optimal=True,
+        stats={"nodes_bounded": 163},
+    ),
+    StatusReply(
+        request_id="s1",
+        active_sessions=2,
+        queued_sessions=0,
+        completed_sessions=5,
+        dispatcher={"n_launches": 12},
+    ),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("message", MESSAGES, ids=lambda m: m.type)
+    def test_encode_decode_identity(self, message):
+        assert decode(encode(message)) == message
+
+    @pytest.mark.parametrize("message", MESSAGES, ids=lambda m: m.type)
+    def test_wire_form_is_one_json_line(self, message):
+        line = encode(message)
+        assert "\n" not in line
+        payload = json.loads(line)
+        assert payload["type"] == message.type
+
+
+class TestDecodeErrors:
+    def test_malformed_json(self):
+        with pytest.raises(ProtocolError, match="malformed JSON"):
+            decode("{not json")
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode("[1, 2, 3]")
+
+    def test_unknown_type(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode('{"type": "frobnicate"}')
+
+    def test_missing_type(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode('{"request_id": "r1"}')
+
+    def test_solve_without_instance(self):
+        with pytest.raises(ProtocolError, match="instance"):
+            decode('{"type": "solve", "request_id": "r1"}')
+
+    def test_unknown_field(self):
+        with pytest.raises(ProtocolError, match="payload"):
+            decode('{"type": "cancel", "request_id": "r1", "bogus": 1}')
+
+
+class TestInstanceSpec:
+    def test_taillard_materializes(self):
+        instance = InstanceSpec.taillard(20, 5, index=2).to_instance()
+        assert (instance.n_jobs, instance.n_machines) == (20, 5)
+
+    def test_explicit_materializes(self):
+        instance = InstanceSpec.explicit([[4, 3], [2, 5]], name="t").to_instance()
+        assert (instance.n_jobs, instance.n_machines) == (2, 2)
+        assert instance.name == "t"
+
+    def test_taillard_requires_dimensions(self):
+        with pytest.raises(ProtocolError, match="jobs"):
+            InstanceSpec(kind="taillard").to_instance()
+
+    def test_explicit_requires_matrix(self):
+        with pytest.raises(ProtocolError, match="processing_times"):
+            InstanceSpec(kind="explicit").to_instance()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="unknown instance kind"):
+            InstanceSpec(kind="quantum").to_instance()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Check that intra-repository markdown links resolve to real files.
+
+Scans every ``*.md`` file in the repository (root, ``docs/`` and any other
+tracked directory), extracts inline links ``[text](target)``, and verifies
+each relative target exists on disk.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#section``) are skipped; a
+``path#anchor`` target is checked for the path part only.
+
+Exit code 0 when every link resolves; 1 otherwise, listing each broken
+link as ``file:line: target``.  Run by the CI docs job alongside
+``python -m doctest`` over ARCHITECTURE.md / SERVING.md::
+
+    python tools/check_doc_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links; images (``![alt](src)``) are excluded — badge
+#: sources are GitHub-relative URLs that only resolve on the forge
+LINK_PATTERN = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+#: directories never scanned (build output, caches, VCS internals)
+SKIP_DIRS = {".git", ".ruff_cache", "__pycache__", ".pytest_cache", "node_modules", ".venv"}
+
+
+def iter_markdown_files(root: Path):
+    """Yield every ``*.md`` under ``root``, skipping cache/VCS directories."""
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Return ``file:line: target`` entries for broken links in one file."""
+    broken: list[str] = []
+    in_code_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:  # pure in-page anchor
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                broken.append(f"{path.relative_to(root)}:{lineno}: {match.group(1)}")
+    return broken
+
+
+def main(argv=None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = Path(args[0]).resolve() if args else Path(__file__).resolve().parent.parent
+    broken: list[str] = []
+    checked = 0
+    for path in iter_markdown_files(root):
+        broken.extend(check_file(path, root))
+        checked += 1
+    if broken:
+        print(f"{len(broken)} broken markdown link(s) across {checked} file(s):")
+        for entry in broken:
+            print(f"  {entry}")
+        return 1
+    print(f"all markdown links resolve ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
