@@ -65,7 +65,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Protocol, Sequence, Union
 
 import numpy as np
 
@@ -96,10 +96,36 @@ __all__ = [
     "SearchLimits",
     "SearchHooks",
     "OffloadStep",
+    "OffloadBackend",
     "LocalBounding",
     "DriverResult",
     "SearchDriver",
 ]
+
+
+class OffloadBackend(Protocol):
+    """The bounding-backend contract every offload implementation satisfies.
+
+    Four implementations exist (:class:`LocalBounding`, the service's
+    ``BatchingOffload``, the cluster's ``_DistributedOffload``, the GPU
+    engine's ``_ExecutorOffload``); the driver calls them interchangeably.
+    Both methods write bounds into their argument in place and return the
+    ``(bounds, simulated_s, measured_s)`` triple; ``tools/repro_lint``'s
+    ``offload-contract`` rule re-checks the shape statically on every
+    class that defines these method names.
+    """
+
+    def bound_nodes(
+        self, nodes: Sequence[Node]
+    ) -> tuple[Optional[np.ndarray], float, float]:
+        """Bound object-layout ``nodes`` in place."""
+        ...
+
+    def bound_block(
+        self, block: NodeBlock, siblings: bool = False
+    ) -> tuple[np.ndarray, float, float]:
+        """Bound one block's rows, writing its ``lower_bound`` column."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -304,7 +330,7 @@ class SearchDriver:
         selection: str = "best-first",
         kernel: str = "v2",
         include_one_machine: bool = False,
-        offload=None,
+        offload: Optional[OffloadBackend] = None,
         batch_size: Optional[int] = None,
         limits: Optional[SearchLimits] = None,
         hooks: Optional[SearchHooks] = None,
@@ -323,7 +349,7 @@ class SearchDriver:
         self.instance = instance
         self.layout = layout
         self.selection = selection
-        self.offload = offload
+        self.offload: OffloadBackend = offload
         self.batch_size = batch_size
         self.limits = limits if limits is not None else SearchLimits()
         self.hooks = hooks if hooks is not None else SearchHooks()
@@ -334,7 +360,7 @@ class SearchDriver:
     # ------------------------------------------------------------------ #
     def run(
         self,
-        frontier,
+        frontier: Union[NodePool, BlockFrontier],
         *,
         upper_bound: float,
         stats: SearchStats,
@@ -357,6 +383,8 @@ class SearchDriver:
         if self.layout == "block":
             if trail is None:
                 raise ValueError("the block layout requires the search's Trail")
+            if not isinstance(frontier, BlockFrontier):
+                raise TypeError("the block layout requires a BlockFrontier")
             if self.batch_size is None:
                 return self._run_single_block(
                     frontier, trail, upper_bound, best_order, stats, next_order, start
@@ -364,6 +392,8 @@ class SearchDriver:
             return self._run_batch_block(
                 frontier, trail, upper_bound, best_order, stats, next_order, start
             )
+        if not isinstance(frontier, NodePool):
+            raise TypeError("the object layout requires a NodePool")
         if self.batch_size is None:
             return self._run_single_object(frontier, upper_bound, best_order, stats, start)
         return self._run_batch_object(frontier, upper_bound, best_order, stats, start)

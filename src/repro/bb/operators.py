@@ -151,7 +151,9 @@ def select_batch(
     """
     selected: list[Node] = []
     n_pruned = 0
-    while pool and len(selected) < max_nodes:
+    # Not a solve loop: this IS the selection operator SearchDriver calls
+    # from its single loop — it only pops/filters, never branches or bounds.
+    while pool and len(selected) < max_nodes:  # repro-lint: ignore[single-loop] -- selection operator invoked BY the driver loop
         node = pool.pop()
         if (
             upper_bound is not None

@@ -89,12 +89,15 @@ class SharedIncumbent:
     """
 
     def __init__(self, bound: float):
-        self._value = float(bound)
+        self._value = float(bound)  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def get(self) -> float:
         """Current shared bound (a stale read is safe: bounds only tighten)."""
-        return self._value
+        # Deliberate lock-free read: floats assign atomically under the GIL
+        # and the bound only ever tightens, so a stale value merely delays
+        # one pruning pass — it can never prune a node that must be kept.
+        return self._value  # repro-lint: ignore[guarded-by] -- documented-safe stale read, see comment above
 
     def try_update(self, candidate: float) -> bool:
         """Tighten the bound to ``candidate`` if it strictly improves it."""
@@ -110,7 +113,8 @@ class _ProcessSharedIncumbent:
     """Incumbent backed by a ``multiprocessing.Value`` in shared memory."""
 
     def __init__(self, value):
-        self._value = value
+        # The mp.Value carries its own lock; every access goes through it.
+        self._value = value  # guarded-by: _value
 
     def get(self) -> float:
         """Current shared incumbent value (lock-protected read)."""

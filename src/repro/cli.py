@@ -7,12 +7,16 @@ Four sub-commands cover the library's main workflows::
     python -m repro autotune   --jobs 200 --machines 20       # pick the pool size
     python -m repro evaluate   --output report.json           # regenerate all tables/figures
     python -m repro serve      --port 7227                    # solve-as-a-service
+    python -m repro lint       --format json                  # architecture lint (dev checkouts)
 
 ``solve`` accepts Taillard-format or JSON instance files (see
 :mod:`repro.flowshop.io`) or generates a Taillard-style instance of the
 requested size; engines: ``gpu`` (default), ``serial``, ``multicore``,
 ``cluster``.  ``serve`` runs the JSON-lines TCP solve service with
-cross-session batched bounding (see ``docs/SERVING.md``).
+cross-session batched bounding (see ``docs/SERVING.md``).  ``lint`` runs
+the repo's AST-based architecture/concurrency checks (``tools/repro_lint``
+— requires a source checkout; see "Enforced invariants" in
+``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
@@ -180,6 +184,41 @@ def _serve(args: argparse.Namespace) -> int:
         return 0
 
 
+def _find_lint_root(explicit: Optional[str]) -> Optional[Path]:
+    """The checkout holding ``tools/repro_lint`` (the suite is not shipped)."""
+    if explicit:
+        root = Path(explicit).resolve()
+        return root if (root / "tools" / "repro_lint" / "framework.py").is_file() else None
+    current = Path.cwd().resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "tools" / "repro_lint" / "framework.py").is_file():
+            return candidate
+    return None
+
+
+def _lint(args: argparse.Namespace) -> int:
+    root = _find_lint_root(args.root)
+    if root is None:
+        print(
+            "repro lint: tools/repro_lint not found — run from a source checkout "
+            "or pass --root <checkout>",
+            file=sys.stderr,
+        )
+        return 2
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from tools.repro_lint import main as lint_main
+
+    forwarded = ["--root", str(root), "--format", args.format]
+    if args.output:
+        forwarded += ["--output", args.output]
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    if args.update_baseline:
+        forwarded += ["--update-baseline"]
+    return lint_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -281,6 +320,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="dispatcher flush policy: fused-launch size cap",
     )
     serve.set_defaults(func=_serve)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST-based architecture & concurrency checks",
+    )
+    lint.add_argument("--root", help="repository checkout to lint (default: walk up from CWD)")
+    lint.add_argument(
+        "--format", choices=("human", "json"), default="human", help="stdout format"
+    )
+    lint.add_argument("--output", help="also write the JSON report to this path")
+    lint.add_argument("--baseline", help="baseline file (default: the committed one)")
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current unsuppressed findings",
+    )
+    lint.set_defaults(func=_lint)
     return parser
 
 

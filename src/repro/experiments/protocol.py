@@ -157,7 +157,10 @@ def collect_pending_pool(
 
     expansions = 0
     budget = max_expansions if max_expansions is not None else 4 * pool_size
-    while pool and len(pool) < pool_size and expansions < budget:
+    # Not a solve loop: this builds the paper's pending list L by growing a
+    # pool to a target SIZE — a stopping predicate SearchDriver does not
+    # expose — and returns it unsolved for the protocol's timed phase.
+    while pool and len(pool) < pool_size and expansions < budget:  # repro-lint: ignore[single-loop] -- pool-construction helper, terminates at pool_size, never runs the search
         node = pool.pop()
         if node.lower_bound is not None and node.lower_bound >= incumbent:
             continue

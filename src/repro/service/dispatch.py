@@ -179,10 +179,11 @@ class BatchDispatcher:
         self.stats = DispatchStats()
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
-        self._pending: list[_Pending] = []
-        self._active_sessions = 0
-        self._closed = False
-        self._thread: threading.Thread | None = None
+        # _wakeup wraps _lock, so holding either means holding the same lock.
+        self._pending: list[_Pending] = []  # guarded-by: _lock, _wakeup
+        self._active_sessions = 0  # guarded-by: _lock, _wakeup
+        self._closed = False  # guarded-by: _lock, _wakeup
+        self._thread: threading.Thread | None = None  # guarded-by: _lock, _wakeup
         if autostart:
             self.start()
 
@@ -207,12 +208,16 @@ class BatchDispatcher:
             self._closed = True
             leftovers = self._pending
             self._pending = []
+            thread = self._thread
+            self._thread = None
             self._wakeup.notify_all()
         for request in leftovers:
             request.future.set_exception(RuntimeError("dispatcher closed"))
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        # Join OUTSIDE the lock: the flush thread must acquire _wakeup to
+        # observe _closed and exit, so joining it while holding the lock
+        # would deadlock the shutdown.
+        if thread is not None:
+            thread.join(timeout=5.0)
 
     def __enter__(self) -> "BatchDispatcher":
         return self
@@ -308,7 +313,7 @@ class BatchDispatcher:
     # ------------------------------------------------------------------ #
     #  the flush half
     # ------------------------------------------------------------------ #
-    def _flush_reason(self, now: float) -> str | None:
+    def _flush_reason(self, now: float) -> str | None:  # repro-lint: ignore[guarded-by] -- caller holds the lock (only called from _run's with-self._wakeup block)
         """The policy trigger that fires right now (caller holds the lock)."""
         if not self._pending:
             return None

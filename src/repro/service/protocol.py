@@ -52,7 +52,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # annotation-only: the module stays solver-free at runtime
+    from repro.flowshop.instance import FlowShopInstance
 
 __all__ = [
     "ProtocolError",
@@ -67,6 +70,7 @@ __all__ = [
     "ErrorReply",
     "ResultReply",
     "StatusReply",
+    "Message",
     "encode",
     "decode",
 ]
@@ -108,12 +112,14 @@ class InstanceSpec:
         return cls(kind="taillard", jobs=jobs, machines=machines, index=index)
 
     @classmethod
-    def explicit(cls, processing_times, name: Optional[str] = None) -> "InstanceSpec":
+    def explicit(
+        cls, processing_times: Sequence[Sequence[int]], name: Optional[str] = None
+    ) -> "InstanceSpec":
         """Spec shipping an explicit jobs × machines processing-time matrix."""
         matrix = [[int(v) for v in row] for row in processing_times]
         return cls(kind="explicit", processing_times=matrix, name=name)
 
-    def to_instance(self):
+    def to_instance(self) -> "FlowShopInstance":
         """Materialize the :class:`~repro.flowshop.instance.FlowShopInstance`.
 
         Imports lazily so the protocol module stays importable without the
@@ -260,7 +266,20 @@ class StatusReply:
     type: str = "status_reply"
 
 
-_MESSAGE_TYPES: dict[str, type] = {
+#: Every message that can travel on the wire, in either direction.
+Message = Union[
+    SolveRequest,
+    CancelRequest,
+    StatusRequest,
+    AcceptedReply,
+    OverloadedReply,
+    CancelledReply,
+    ErrorReply,
+    ResultReply,
+    StatusReply,
+]
+
+_MESSAGE_TYPES: dict[str, type[Any]] = {
     "solve": SolveRequest,
     "cancel": CancelRequest,
     "status": StatusRequest,
@@ -273,7 +292,7 @@ _MESSAGE_TYPES: dict[str, type] = {
 }
 
 
-def encode(message) -> str:
+def encode(message: Message) -> str:
     """Encode a message dataclass as one JSON line (no trailing newline).
 
     The inverse of :func:`decode`; nested dataclasses
@@ -284,7 +303,7 @@ def encode(message) -> str:
     return json.dumps(payload, separators=(",", ":"), sort_keys=True)
 
 
-def decode(line: str):
+def decode(line: str) -> Message:
     """Decode one wire line into its message dataclass.
 
     Raises :class:`ProtocolError` for malformed JSON, an unknown or missing

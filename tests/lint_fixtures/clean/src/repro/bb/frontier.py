@@ -1,0 +1,12 @@
+"""Fixture twin: explicit documented dtypes everywhere (dtype clean)."""
+
+import numpy as np
+
+
+def build_columns(n, like):
+    depth = np.zeros(n, dtype=np.int32)
+    key = np.empty(n, dtype=np.int64)
+    mask = np.ones(n, dtype=np.bool_)
+    bounds = np.zeros(n, dtype="float64")
+    inherited = np.asarray(like, dtype=like.dtype)  # propagation: fine
+    return depth, key, mask, bounds, inherited

@@ -1,0 +1,15 @@
+"""Fixture twin: a justified pool loop and loops over non-frontier names."""
+
+
+def select_batch(pool, max_nodes):
+    selected = []
+    while pool and len(selected) < max_nodes:  # repro-lint: ignore[single-loop] -- selection operator, not a solve loop
+        selected.append(pool.pop())
+    return selected
+
+
+def widen(pool_size):
+    width = 0
+    while width < pool_size:  # 'pool_size' is not a frontier: no finding
+        width += 1
+    return width

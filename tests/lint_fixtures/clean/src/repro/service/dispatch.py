@@ -1,0 +1,30 @@
+"""Fixture twin: every guarded access under its lock (guarded-by clean)."""
+
+import threading
+
+
+class BatchDispatcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending = []  # guarded-by: _lock, _wakeup
+        self._closed = False  # guarded-by: _lock, _wakeup
+        self._unguarded = 0  # no annotation: never checked
+
+    def submit(self, request):
+        with self._lock:
+            self._pending.append(request)
+
+    def wait_and_drain(self):
+        with self._wakeup:
+            while not self._pending and not self._closed:
+                self._wakeup.wait()
+            batch = self._pending
+            self._pending = []
+        return batch
+
+    def helper(self):  # repro-lint: ignore[guarded-by] -- caller holds the lock
+        return len(self._pending)
+
+    def touch(self):
+        self._unguarded += 1

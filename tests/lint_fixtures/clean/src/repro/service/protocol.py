@@ -1,0 +1,17 @@
+"""Fixture twin: solver imports kept lazy / annotation-only (layer-dag clean)."""
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.flowshop.instance import FlowShopInstance
+
+
+def decode(line):
+    return json.loads(line)
+
+
+def to_instance(spec) -> "FlowShopInstance":
+    from repro.flowshop.instance import FlowShopInstance
+
+    return FlowShopInstance(spec)

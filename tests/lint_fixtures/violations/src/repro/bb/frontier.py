@@ -1,0 +1,10 @@
+"""Fixture: frontier columns built without (or with wrong) dtypes (dtype)."""
+
+import numpy as np
+
+
+def build_columns(n):
+    depth = np.zeros(n)  # missing dtype: finding
+    parent = np.empty(n, dtype=np.int16)  # undocumented dtype: finding
+    order = np.arange(n, dtype=np.int64)  # fine
+    return depth, parent, order

@@ -1,0 +1,8 @@
+"""Fixture: a solver-layer module importing orchestration layers (layer-dag)."""
+
+from repro.service.dispatch import BatchDispatcher
+import repro.experiments.protocol
+
+
+def run():
+    return BatchDispatcher, repro.experiments.protocol

@@ -1,0 +1,23 @@
+"""Fixture: offload backends that drift from the driver contract."""
+
+
+class TwoTupleOffload:
+    def bound_block(self, block, siblings=False):
+        return block.lower_bound, 0.0  # 2-tuple: finding
+
+
+class NoSiblingsOffload:
+    def bound_block(self, block):  # missing siblings flag: finding
+        return block.lower_bound, 0.0, 0.0
+
+
+class ExtraArgOffload:
+    def bound_nodes(self, nodes, data):  # extra required arg: finding
+        return None, 0.0, 0.0
+
+
+class BareReturnOffload:
+    def bound_nodes(self, nodes):
+        if not nodes:
+            return  # bare return: finding
+        return None, 0.0, 0.0

@@ -1,0 +1,23 @@
+"""Fixture: guarded attributes touched outside their lock (guarded-by)."""
+
+import threading
+
+
+class BatchDispatcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+
+    def submit(self, request):
+        self._pending.append(request)  # unlocked write: finding
+
+    def close(self):
+        with self._lock:
+            self._closed = True
+        if self._pending:  # unlocked read outside the with: finding
+            self._pending.clear()
+
+    def locked_ok(self):
+        with self._lock:
+            return len(self._pending)

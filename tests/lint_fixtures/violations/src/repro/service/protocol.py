@@ -1,0 +1,9 @@
+"""Fixture: the wire-format module importing the solver stack (layer-dag)."""
+
+import numpy as np
+
+from repro.flowshop.instance import FlowShopInstance
+
+
+def decode(line):
+    return np.array([1]), FlowShopInstance

@@ -1,0 +1,33 @@
+"""``repro lint`` — AST-based architecture & concurrency checks.
+
+Run as ``repro lint`` (via the package CLI) or directly::
+
+    python -m tools.repro_lint [--format json] [--root DIR]
+
+See :mod:`tools.repro_lint.framework` for the checker framework and
+:mod:`tools.repro_lint.rules` for the rule suite.
+"""
+
+from __future__ import annotations
+
+from tools.repro_lint.framework import (
+    Baseline,
+    Finding,
+    LintReport,
+    Rule,
+    SourceModule,
+    main,
+    run_lint,
+)
+from tools.repro_lint.rules import all_rules
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "SourceModule",
+    "all_rules",
+    "main",
+    "run_lint",
+]

@@ -1,0 +1,10 @@
+"""``python -m tools.repro_lint`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from tools.repro_lint.framework import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,402 @@
+"""The ``repro lint`` checker framework.
+
+The repository's load-bearing design claims — one solve loop, a layered
+import DAG, lock-guarded shared state, explicit frontier dtypes, the
+``(bounds, simulated_s, measured_s)`` offload contract — live in
+``docs/ARCHITECTURE.md`` prose.  This framework machine-checks them: it
+walks the source tree once, parses every file into an ``ast`` module plus
+its raw lines and suppression comments, runs each registered
+:class:`Rule` over the parsed modules, filters the findings through
+inline suppressions and the committed baseline, and renders what is left
+as human-readable text or JSON.
+
+Everything here is pure stdlib (``ast`` + ``tokenize``); the rules live
+in :mod:`tools.repro_lint.rules`.
+
+Suppressions
+------------
+A finding is suppressed by a comment naming its rule::
+
+    while pool:  # repro-lint: ignore[single-loop] -- selection operator, not a solve loop
+
+The comment suppresses the named rule(s) on its own line.  Placed on the
+header line of a ``def``/``class``/``while``/``with``/``for``/``if``
+statement, it covers the whole statement body — used for "caller holds
+the lock" helper functions.  Several rules may be listed:
+``ignore[guarded-by, single-loop]``.  Text after ``--`` is the rationale
+and is strongly encouraged; ``repro lint`` is the reviewer's record of
+*why* an exception is sound.
+
+Baseline
+--------
+``tools/repro_lint/baseline.json`` holds grandfathered findings as
+``{"rule", "path", "snippet"}`` fingerprints (the stripped source line,
+so entries survive unrelated line drift).  Baselined findings are
+reported as a suppressed count, not failures; ``--update-baseline``
+rewrites the file from the current findings.  The committed baseline is
+empty: every historical finding was either fixed or justified with an
+inline suppression when the suite landed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "Finding",
+    "SourceModule",
+    "Rule",
+    "Baseline",
+    "LintReport",
+    "iter_source_files",
+    "load_module",
+    "run_lint",
+    "main",
+]
+
+#: Directories (relative to the lint root) whose ``*.py`` files are checked.
+CHECKED_DIRS = ("src/repro",)
+
+#: Marker introducing a suppression comment.
+SUPPRESS_MARKER = "repro-lint:"
+
+#: Compound statements whose header-line suppression covers the whole body.
+_BLOCK_NODES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.While,
+    ast.For,
+    ast.AsyncFor,
+    ast.With,
+    ast.AsyncWith,
+    ast.If,
+    ast.Try,
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, POSIX separators
+    line: int
+    message: str
+
+    @property
+    def fingerprint_key(self) -> tuple[str, str]:
+        return (self.rule, self.path)
+
+    def fingerprint(self, snippet: str) -> dict[str, str]:
+        """The baseline entry identifying this finding across line drift."""
+        return {"rule": self.rule, "path": self.path, "snippet": snippet}
+
+
+class SourceModule:
+    """One parsed source file: AST, raw lines, and suppression ranges."""
+
+    def __init__(self, root: Path, path: Path, source: str):
+        self.root = root
+        self.path = path
+        self.relpath = path.relative_to(root).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        #: line -> set of rule names suppressed exactly on that line
+        self.line_suppressions: dict[int, set[str]] = _collect_suppressions(source)
+        #: (start, end, rules) ranges from suppressions on block header lines
+        self.range_suppressions: list[tuple[int, int, set[str]]] = []
+        self._extend_block_suppressions()
+
+    def _extend_block_suppressions(self) -> None:
+        if not self.line_suppressions:
+            return
+        for node in ast.walk(self.tree):
+            if not isinstance(node, _BLOCK_NODES):
+                continue
+            body = getattr(node, "body", None)
+            if not body:
+                continue
+            header_end = body[0].lineno - 1
+            for line in range(node.lineno, header_end + 1):
+                rules = self.line_suppressions.get(line)
+                if rules:
+                    end = getattr(node, "end_lineno", None) or node.lineno
+                    self.range_suppressions.append((node.lineno, end, set(rules)))
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether an inline comment suppresses ``rule`` at ``line``."""
+        if rule in self.line_suppressions.get(line, ()):
+            return True
+        for start, end, rules in self.range_suppressions:
+            if start <= line <= end and rule in rules:
+                return True
+        return False
+
+    def snippet(self, line: int) -> str:
+        """The stripped source text of ``line`` (baseline fingerprints)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+def _collect_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line numbers to the rule names suppressed by their comments."""
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            text = token.string.lstrip("#").strip()
+            if not text.startswith(SUPPRESS_MARKER):
+                continue
+            directive = text[len(SUPPRESS_MARKER) :].strip()
+            if not directive.startswith("ignore[") or "]" not in directive:
+                continue
+            names = directive[len("ignore[") : directive.index("]")]
+            rules = {name.strip() for name in names.split(",") if name.strip()}
+            if rules:
+                suppressions.setdefault(token.start[0], set()).update(rules)
+    except tokenize.TokenError:  # pragma: no cover - unparseable files fail earlier
+        pass
+    return suppressions
+
+
+class Rule:
+    """Base class of one architecture/concurrency check.
+
+    Subclasses set :attr:`name` (the suppression/baseline identifier) and
+    implement :meth:`check`, yielding :class:`Finding` objects.  Rules
+    never see suppressions or the baseline — the framework filters.
+    """
+
+    name = "abstract"
+    description = ""
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class Baseline:
+    """The committed ledger of grandfathered findings."""
+
+    def __init__(self, entries: list[dict[str, str]]):
+        self.entries = entries
+        self._index: dict[tuple[str, str], list[str]] = {}
+        for entry in entries:
+            key = (entry.get("rule", ""), entry.get("path", ""))
+            self._index.setdefault(key, []).append(entry.get("snippet", ""))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls([])
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = payload.get("findings", []) if isinstance(payload, dict) else payload
+        return cls(list(entries))
+
+    def matches(self, finding: Finding, snippet: str) -> bool:
+        return snippet in self._index.get(finding.fingerprint_key, ())
+
+    @staticmethod
+    def dump(findings: Iterable[tuple[Finding, str]], path: Path) -> None:
+        entries = [finding.fingerprint(snippet) for finding, snippet in findings]
+        payload = {
+            "comment": (
+                "Grandfathered repro-lint findings; remove entries as they are "
+                "fixed. Regenerate with: repro lint --update-baseline"
+            ),
+            "findings": entries,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
+        }
+
+
+def iter_source_files(root: Path) -> Iterator[Path]:
+    """Every ``*.py`` file under the checked directories, sorted."""
+    for rel in CHECKED_DIRS:
+        base = root / rel
+        if not base.is_dir():
+            continue
+        yield from sorted(base.rglob("*.py"))
+
+
+def load_module(root: Path, path: Path) -> SourceModule:
+    return SourceModule(root, path, path.read_text(encoding="utf-8"))
+
+
+def run_lint(
+    root: Path,
+    rules: Sequence[Rule],
+    baseline: Optional[Baseline] = None,
+    collect_all: bool = False,
+) -> LintReport:
+    """Run ``rules`` over the tree at ``root``; filter and report.
+
+    ``collect_all=True`` disables suppression/baseline filtering and
+    returns every raw finding (used by ``--update-baseline``).
+    """
+    baseline = baseline if baseline is not None else Baseline([])
+    report = LintReport()
+    for path in iter_source_files(root):
+        try:
+            module = load_module(root, path)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    rule="parse",
+                    path=path.relative_to(root).as_posix(),
+                    line=exc.lineno or 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        report.files_checked += 1
+        for rule in rules:
+            for finding in rule.check(module):
+                if collect_all:
+                    report.findings.append(finding)
+                    continue
+                if module.is_suppressed(finding.rule, finding.line):
+                    report.suppressed += 1
+                    continue
+                if baseline.matches(finding, module.snippet(finding.line)):
+                    report.baselined += 1
+                    continue
+                report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report
+
+
+def format_human(report: LintReport, rules: Sequence[Rule]) -> str:
+    lines = []
+    for finding in report.findings:
+        lines.append(f"{finding.path}:{finding.line}: [{finding.rule}] {finding.message}")
+    summary = (
+        f"repro lint: {len(report.findings)} finding(s) in {report.files_checked} files "
+        f"({report.suppressed} suppressed inline, {report.baselined} baselined; "
+        f"rules: {', '.join(rule.name for rule in rules)})"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _default_root() -> Optional[Path]:
+    """Walk up from the CWD to the directory holding this checker."""
+    current = Path.cwd().resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "tools" / "repro_lint" / "framework.py").is_file():
+            return candidate
+    return None
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based architecture & concurrency checks for this repository",
+    )
+    parser.add_argument(
+        "--root",
+        help="repository root to lint (default: walk up from the CWD)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="stdout format (default: human)",
+    )
+    parser.add_argument(
+        "--output",
+        help="also write the JSON report to this path (CI artifact)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline file (default: <root>/tools/repro_lint/baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current unsuppressed findings",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro lint`` / ``python -m tools.repro_lint``."""
+    from tools.repro_lint.rules import all_rules
+
+    args = build_arg_parser().parse_args(argv)
+    root = Path(args.root).resolve() if args.root else _default_root()
+    if root is None:
+        print("repro lint: cannot locate the repository root; pass --root", file=sys.stderr)
+        return 2
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / "tools" / "repro_lint" / "baseline.json"
+    )
+    rules = all_rules()
+
+    if args.update_baseline:
+        raw = run_lint(root, rules, collect_all=True)
+        keep = []
+        modules: dict[str, SourceModule] = {}
+        for finding in raw.findings:
+            module = modules.get(finding.path)
+            if module is None:
+                module = load_module(root, root / finding.path)
+                modules[finding.path] = module
+            if not module.is_suppressed(finding.rule, finding.line):
+                keep.append((finding, module.snippet(finding.line)))
+        Baseline.dump(keep, baseline_path)
+        print(f"baseline updated: {len(keep)} finding(s) -> {baseline_path}")
+        return 0
+
+    report = run_lint(root, rules, baseline=Baseline.load(baseline_path))
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report.as_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(format_human(report, rules))
+    return 0 if report.ok else 1

@@ -1,0 +1,29 @@
+"""The rule registry of ``repro lint``.
+
+Each module contributes one :class:`~tools.repro_lint.framework.Rule`
+subclass; :func:`all_rules` instantiates them in reporting order.  Adding
+a rule = adding a module here and listing it below — the framework
+handles walking, suppressions, baselining, and output.
+"""
+
+from __future__ import annotations
+
+from tools.repro_lint.framework import Rule
+from tools.repro_lint.rules.dtype import DtypeRule
+from tools.repro_lint.rules.guarded_by import GuardedByRule
+from tools.repro_lint.rules.layer_dag import LayerDagRule
+from tools.repro_lint.rules.offload_contract import OffloadContractRule
+from tools.repro_lint.rules.single_loop import SingleLoopRule
+
+__all__ = ["all_rules"]
+
+
+def all_rules() -> list[Rule]:
+    """The full rule suite, in reporting order."""
+    return [
+        SingleLoopRule(),
+        LayerDagRule(),
+        GuardedByRule(),
+        DtypeRule(),
+        OffloadContractRule(),
+    ]

@@ -1,0 +1,100 @@
+"""Rule ``dtype``: frontier columns keep their documented dtypes.
+
+The structure-of-arrays frontier (PR 3) is int32 columns plus an int64
+packed sort key ``(lb << 41 | depth << 32 | order)``; the vectorized
+kernels assume those widths.  A ``np.array([...])`` without an explicit
+dtype silently upcasts to int64 on one platform and int32 on another —
+doubling memory traffic or corrupting the packed key.  This rule demands
+that every array construction in the frontier/kernel modules name its
+dtype, and that literal dtypes come from the documented set.
+
+Non-literal dtype expressions (``dtype=arr.dtype``, ``dtype=dt``) pass:
+they are deliberate propagation, not a silent default.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from tools.repro_lint.framework import Finding, Rule, SourceModule
+
+#: Modules holding frontier-column / kernel array constructions.
+CHECKED_PATHS = frozenset(
+    {
+        "src/repro/bb/frontier.py",
+        "src/repro/core/kernels.py",
+    }
+)
+
+#: numpy constructors that take a ``dtype`` and default it silently.
+CONSTRUCTORS = frozenset(
+    {"array", "zeros", "empty", "ones", "full", "asarray", "arange", "fromiter"}
+)
+
+#: The documented dtype vocabulary: int32 columns, int64 packed keys,
+#: float32/float64 bound vectors, bool_ masks.
+ALLOWED_DTYPES = frozenset({"int32", "int64", "bool_", "float32", "float64"})
+
+
+def _np_constructor(call: ast.Call) -> Optional[str]:
+    """The constructor name if ``call`` is ``np.<constructor>(...)``."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+        and func.attr in CONSTRUCTORS
+    ):
+        return func.attr
+    return None
+
+
+def _literal_dtype_name(value: ast.expr) -> Optional[str]:
+    """The dtype's literal name when statically known, else ``None``."""
+    if isinstance(value, ast.Attribute) and isinstance(value.value, ast.Name):
+        if value.value.id in ("np", "numpy"):
+            return value.attr
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return value.value
+    return None
+
+
+class DtypeRule(Rule):
+    name = "dtype"
+    description = "frontier/kernel array constructions carry explicit documented dtypes"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.relpath not in CHECKED_PATHS:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            ctor = _np_constructor(node)
+            if ctor is None:
+                continue
+            dtype_kw = next((kw for kw in node.keywords if kw.arg == "dtype"), None)
+            if dtype_kw is None:
+                yield Finding(
+                    rule=self.name,
+                    path=module.relpath,
+                    line=node.lineno,
+                    message=(
+                        f"np.{ctor}(...) without an explicit dtype= in a "
+                        "frontier/kernel module; the columnar layout is int32 "
+                        "columns / int64 packed keys — silent platform-dependent "
+                        "defaults are how upcasts reappear"
+                    ),
+                )
+                continue
+            literal = _literal_dtype_name(dtype_kw.value)
+            if literal is not None and literal not in ALLOWED_DTYPES:
+                yield Finding(
+                    rule=self.name,
+                    path=module.relpath,
+                    line=node.lineno,
+                    message=(
+                        f"np.{ctor}(..., dtype={literal}) is outside the "
+                        f"documented set {{{', '.join(sorted(ALLOWED_DTYPES))}}}"
+                    ),
+                )

@@ -1,0 +1,156 @@
+"""Rule ``guarded-by``: a lightweight static race detector.
+
+The threaded modules (the service dispatch/session/service trio and the
+work-stealing incumbent) protect shared state with explicit locks.  The
+convention this rule enforces: an attribute that the lock protects is
+*declared* in ``__init__`` with a trailing annotation::
+
+    self._pending: list[_Pending] = []  # guarded-by: _lock, _wakeup
+
+and every later read or write of that attribute must sit lexically inside
+a ``with self._lock:`` / ``with self._wakeup:`` block naming one of its
+declared guards.  Accesses in the declaring ``__init__`` are free (no
+other thread can see the object yet).  Deliberate unlocked accesses —
+"caller holds the lock" helpers, documented-safe stale reads — carry a
+targeted ``# repro-lint: ignore[guarded-by]`` with the rationale, which
+is exactly the reviewer-visible record this rule exists to create.
+
+This is lexical, not a happens-before analysis: it catches the dominant
+bug shape (someone touches ``self._pending`` in a new method and forgets
+the lock) without false certainty about the rest.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.repro_lint.framework import Finding, Rule, SourceModule
+
+#: Modules whose classes are scanned for guarded-by declarations.
+THREADED_PATHS = frozenset(
+    {
+        "src/repro/service/dispatch.py",
+        "src/repro/service/session.py",
+        "src/repro/service/service.py",
+        "src/repro/bb/worksteal.py",
+    }
+)
+
+_ANNOTATION = re.compile(r"#\s*guarded-by:\s*(?P<guards>[A-Za-z0-9_,\s]+)")
+
+
+def _declared_guards(module: SourceModule, line: int) -> frozenset[str]:
+    """Guard names from a ``# guarded-by:`` comment on ``line`` (or empty)."""
+    if not (1 <= line <= len(module.lines)):
+        return frozenset()
+    match = _ANNOTATION.search(module.lines[line - 1])
+    if not match:
+        return frozenset()
+    return frozenset(g.strip() for g in match.group("guards").split(",") if g.strip())
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """The attribute name of a ``self.X`` expression, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _with_guard_ranges(cls: ast.ClassDef) -> list[tuple[int, int, str]]:
+    """(start, end, guard) for every ``with self.<guard>:`` block in ``cls``."""
+    ranges = []
+    for node in ast.walk(cls):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            ctx = item.context_expr
+            # "with self._lock:" and "with self._cv:" both count; so does
+            # "with self._value.get_lock():" (multiprocessing.Value).
+            if isinstance(ctx, ast.Call):
+                ctx = ctx.func
+                if isinstance(ctx, ast.Attribute):  # .get_lock() / .acquire()
+                    ctx = ctx.value
+            guard = _self_attr(ctx)
+            if guard is not None:
+                ranges.append((node.lineno, node.end_lineno or node.lineno, guard))
+    return ranges
+
+
+class GuardedByRule(Rule):
+    name = "guarded-by"
+    description = "annotated shared attributes are only touched under their declared lock"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.relpath not in THREADED_PATHS:
+            return
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: SourceModule, cls: ast.ClassDef) -> Iterator[Finding]:
+        init = next(
+            (
+                n
+                for n in cls.body
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and n.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return
+
+        # Pass 1: collect "# guarded-by:" declarations from __init__.
+        guarded: dict[str, frozenset[str]] = {}
+        for stmt in ast.walk(init):
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                guards = _declared_guards(module, stmt.lineno)
+                if guards:
+                    guarded[attr] = guards
+        if not guarded:
+            return
+
+        # Pass 2: every self.<attr> access outside __init__ must be inside
+        # a with-block holding one of the attribute's declared guards.
+        lock_ranges = _with_guard_ranges(cls)
+        init_span = (init.lineno, init.end_lineno or init.lineno)
+        for node in ast.walk(cls):
+            attr = _self_attr(node) if isinstance(node, ast.Attribute) else None
+            if attr is None or attr not in guarded:
+                continue
+            line = node.lineno
+            if init_span[0] <= line <= init_span[1]:
+                continue
+            guards = guarded[attr]
+            held = any(
+                start <= line <= end and guard in guards
+                for start, end, guard in lock_ranges
+            )
+            if held:
+                continue
+            yield Finding(
+                rule=self.name,
+                path=module.relpath,
+                line=line,
+                message=(
+                    f"'{cls.name}.{attr}' is guarded by "
+                    f"{', '.join(sorted(guards))} but accessed outside a "
+                    f"'with self.<guard>:' block; acquire the lock or document "
+                    "the safe unlocked access with "
+                    "'# repro-lint: ignore[guarded-by] -- <why>'"
+                ),
+            )

@@ -1,0 +1,186 @@
+"""Rule ``layer-dag``: imports must respect the layer DAG.
+
+The package is layered (``docs/ARCHITECTURE.md``, "Layer map")::
+
+    flowshop  ->  bb  ->  {gpu, core, perf}  ->  {service, experiments, cli}
+
+A module may import its own layer or any lower one; an upward import
+(e.g. ``bb`` importing ``service``) couples the search core to an
+orchestration layer and is flagged.  Imports inside ``if TYPE_CHECKING:``
+blocks are ignored — they never execute, so they create no runtime edge.
+``repro/__init__.py`` and ``repro/__main__.py`` are package facades and
+exempt.
+
+One module gets a stricter, additional contract: ``service/protocol.py``
+is the wire format and must stay importable on a client machine with no
+solver installed — the rule flags any module-level (executed) import of
+``numpy`` or of the solver layers (``flowshop``/``bb``/``gpu``/``core``/
+``perf``) there.  Function-local lazy imports are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from tools.repro_lint.framework import Finding, Rule, SourceModule
+
+#: Layer rank of each top-level ``repro`` subpackage/module.  A module of
+#: rank r may import ranks <= r.  Unlisted names are not ranked (skipped).
+RANKS = {
+    "flowshop": 0,
+    "bb": 1,
+    "gpu": 2,
+    "core": 2,
+    "perf": 2,
+    "service": 3,
+    "experiments": 3,
+    "cli": 3,
+}
+
+#: Package facades allowed to import from any layer.
+EXEMPT_PATHS = frozenset({"src/repro/__init__.py", "src/repro/__main__.py"})
+
+#: The wire-format module and the imports banned at its module level.
+PROTOCOL_PATH = "src/repro/service/protocol.py"
+PROTOCOL_BANNED_TOP = frozenset({"numpy", "cupy"})
+PROTOCOL_BANNED_LAYERS = frozenset({"flowshop", "bb", "gpu", "core", "perf"})
+
+
+def _module_layer(relpath: str) -> Optional[str]:
+    """The ``RANKS`` key of a checked file, or ``None`` if unranked."""
+    parts = relpath.split("/")
+    if parts[:2] != ["src", "repro"] or len(parts) < 3:
+        return None
+    top = parts[2]
+    if top.endswith(".py"):
+        top = top[: -len(".py")]
+    return top if top in RANKS else None
+
+
+def _dotted_package(relpath: str) -> str:
+    """The importing module's package, for resolving relative imports."""
+    parts = relpath.split("/")[1:]  # drop "src"
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + []
+    return ".".join(parts)
+
+
+def _resolve_import(module: SourceModule, node: ast.AST) -> list[tuple[str, int]]:
+    """Absolute dotted targets of an import node, with the node's line."""
+    targets = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            targets.append((alias.name, node.lineno))
+    elif isinstance(node, ast.ImportFrom):
+        if node.level == 0:
+            base = node.module or ""
+        else:
+            package_parts = _dotted_package(module.relpath).split(".")
+            if node.level > 1:
+                package_parts = package_parts[: -(node.level - 1)]
+            base = ".".join(package_parts)
+            if node.module:
+                base = f"{base}.{node.module}" if base else node.module
+        if base:
+            targets.append((base, node.lineno))
+        else:  # "from . import x" — each name is its own module
+            prefix = ".".join(_dotted_package(module.relpath).split("."))
+            for alias in node.names:
+                targets.append((f"{prefix}.{alias.name}", node.lineno))
+    return targets
+
+
+def _target_layer(dotted: str) -> Optional[str]:
+    parts = dotted.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1] if parts[1] in RANKS else None
+
+
+def _type_checking_ranges(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line ranges of ``if TYPE_CHECKING:`` blocks (imports there are free)."""
+    ranges = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+        if is_tc:
+            ranges.append((node.lineno, node.end_lineno or node.lineno))
+    return ranges
+
+
+def _function_ranges(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line ranges of function bodies (imports there are lazy)."""
+    return [
+        (node.lineno, node.end_lineno or node.lineno)
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _in_ranges(line: int, ranges: list[tuple[int, int]]) -> bool:
+    return any(start <= line <= end for start, end in ranges)
+
+
+class LayerDagRule(Rule):
+    name = "layer-dag"
+    description = "imports respect flowshop -> bb -> {gpu, core, perf} -> {service, experiments, cli}"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.relpath in EXEMPT_PATHS:
+            return
+        layer = _module_layer(module.relpath)
+        tc_ranges = _type_checking_ranges(module.tree)
+        fn_ranges = _function_ranges(module.tree)
+        is_protocol = module.relpath == PROTOCOL_PATH
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for dotted, line in _resolve_import(module, node):
+                if _in_ranges(line, tc_ranges):
+                    continue
+
+                # Layer ordering (runtime imports anywhere in the module,
+                # including lazy function-level ones: they still execute).
+                if layer is not None:
+                    target = _target_layer(dotted)
+                    if target is not None and RANKS[target] > RANKS[layer]:
+                        yield Finding(
+                            rule=self.name,
+                            path=module.relpath,
+                            line=line,
+                            message=(
+                                f"layer '{layer}' (rank {RANKS[layer]}) imports "
+                                f"'{dotted}' from higher layer '{target}' "
+                                f"(rank {RANKS[target]}); the DAG is "
+                                "flowshop -> bb -> {gpu, core, perf} -> "
+                                "{service, experiments, cli}"
+                            ),
+                        )
+
+                # service/protocol.py: module-level imports must be
+                # solver-free so clients can speak the wire format alone.
+                if is_protocol and not _in_ranges(line, fn_ranges):
+                    top = dotted.split(".")[0]
+                    banned = top in PROTOCOL_BANNED_TOP or (
+                        top == "repro" and _target_layer(dotted) in PROTOCOL_BANNED_LAYERS
+                    )
+                    if banned:
+                        yield Finding(
+                            rule=self.name,
+                            path=module.relpath,
+                            line=line,
+                            message=(
+                                f"service/protocol.py imports '{dotted}' at module "
+                                "level; the wire format must stay importable "
+                                "without numpy or the solver — move the import "
+                                "inside the function that needs it"
+                            ),
+                        )
