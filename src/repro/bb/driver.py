@@ -87,6 +87,7 @@ from repro.bb.operators import (
     select_batch,
 )
 from repro.bb.pool import NodePool
+from repro.bb.snapshot import CheckpointPolicy, CheckpointState
 from repro.bb.stats import SearchStats
 from repro.flowshop.bounds import LowerBoundData
 from repro.flowshop.instance import FlowShopInstance
@@ -194,6 +195,12 @@ class SearchHooks:
         Double-buffer mode only: called with the simulated seconds saved by
         overlapping host-side selection+branching of batch N+1 with the
         device bounding of batch N.
+    on_checkpoint:
+        Called with a :class:`~repro.bb.snapshot.CheckpointState` whenever
+        the driver's :class:`~repro.bb.snapshot.CheckpointPolicy` is due.
+        Fired at the top of the loop, before the step mutates anything, so
+        a snapshot written here resumes bit-identically; requires the
+        driver's ``checkpoint`` policy to be set.
     """
 
     on_select: Optional[Callable[[int], None]] = None
@@ -206,6 +213,7 @@ class SearchHooks:
     poll_interval: int = 64
     on_iteration: Optional[Callable[[OffloadStep], None]] = None
     on_overlap: Optional[Callable[[float], None]] = None
+    on_checkpoint: Optional[Callable[[CheckpointState], None]] = None
 
 
 @dataclass
@@ -223,6 +231,9 @@ class DriverResult:
     simulated_s: float
     measured_s: float
     overlap_saved_s: float
+    #: creation index of the next node (block layout; engines persist it in
+    #: snapshots so a resumed search keeps the tie-break sequence intact)
+    next_order: int = 0
     trace: list[TraceEvent] = field(default_factory=list)
 
     @property
@@ -319,6 +330,11 @@ class SearchDriver:
         ROADMAP's ``NodeBlock`` pipelining follow-on.  The credit is
         reported via :attr:`DriverResult.overlap_saved_s` and the
         ``on_overlap`` hook; explored tree and counters are unaffected.
+    checkpoint:
+        Optional :class:`~repro.bb.snapshot.CheckpointPolicy`.  Together
+        with ``hooks.on_checkpoint`` it makes the driver hand out its live
+        search state every N steps / T seconds — fired at the top of the
+        loop, where a snapshot resumes bit-identically.
     """
 
     def __init__(
@@ -337,6 +353,7 @@ class SearchDriver:
         trace: bool = False,
         tie_batching: bool = True,
         double_buffer: bool = False,
+        checkpoint: Optional[CheckpointPolicy] = None,
     ):
         if layout not in ("block", "object"):
             raise ValueError(f"layout must be 'block' or 'object', got {layout!r}")
@@ -356,6 +373,7 @@ class SearchDriver:
         self.trace_enabled = trace
         self.tie_batching = tie_batching
         self.double_buffer = double_buffer
+        self.checkpoint = checkpoint
 
     # ------------------------------------------------------------------ #
     def run(
@@ -427,11 +445,33 @@ class SearchDriver:
         trace_on = self.trace_enabled
         trace: list[TraceEvent] = []
         perf_counter = time.perf_counter
+        on_checkpoint = hooks.on_checkpoint
+        ckpt = self.checkpoint if on_checkpoint is not None else None
+        last_checkpoint = start
+        steps = 0
 
         best_value: Optional[int] = None
         completed = True
         pops = 0
         while pool:
+            if ckpt is not None and on_checkpoint is not None:
+                steps += 1
+                due = ckpt.every_steps is not None and steps % ckpt.every_steps == 0
+                if not due and ckpt.every_seconds is not None and steps % 64 == 0:
+                    due = perf_counter() - last_checkpoint >= ckpt.every_seconds
+                if due:
+                    on_checkpoint(
+                        CheckpointState(
+                            frontier=pool,
+                            trail=None,
+                            upper_bound=upper_bound,
+                            best_order_supplier=lambda order=best_order: order,
+                            next_order=0,
+                            stats=stats,
+                            steps=steps,
+                        )
+                    )
+                    last_checkpoint = perf_counter()
             if max_nodes is not None and stats.nodes_explored >= max_nodes:
                 completed = False
                 break
@@ -585,9 +625,35 @@ class SearchDriver:
             and not trace_on
             and self.selection.lower() in ("best-first", "best")
         )
+        on_checkpoint = hooks.on_checkpoint
+        ckpt = self.checkpoint if on_checkpoint is not None else None
+        last_checkpoint = start
+        steps = 0
         completed = True
         pops = 0
         while frontier:
+            if ckpt is not None and on_checkpoint is not None:
+                steps += 1
+                due = ckpt.every_steps is not None and steps % ckpt.every_steps == 0
+                if not due and ckpt.every_seconds is not None and steps % 64 == 0:
+                    due = perf_counter() - last_checkpoint >= ckpt.every_seconds
+                if due:
+                    on_checkpoint(
+                        CheckpointState(
+                            frontier=frontier,
+                            trail=trail,
+                            upper_bound=upper_bound,
+                            best_order_supplier=(
+                                lambda bt=best_trail, bo=best_order: (
+                                    trail.prefix(bt) if bt is not None else bo
+                                )
+                            ),
+                            next_order=next_order,
+                            stats=stats,
+                            steps=steps,
+                        )
+                    )
+                    last_checkpoint = perf_counter()
             if max_nodes is not None and stats.nodes_explored >= max_nodes:
                 completed = False
                 break
@@ -849,6 +915,7 @@ class SearchDriver:
             simulated_s=0.0,
             measured_s=0.0,
             overlap_saved_s=0.0,
+            next_order=next_order,
             trace=trace,
         )
 
@@ -875,9 +942,33 @@ class SearchDriver:
         measured_total = 0.0
         overlap_saved = 0.0
         prev_sim_s: Optional[float] = None
+        on_checkpoint = hooks.on_checkpoint
+        ckpt = self.checkpoint if on_checkpoint is not None else None
+        last_checkpoint = start
         iteration = 0
         completed = True
         while pool:
+            if ckpt is not None and on_checkpoint is not None:
+                due = (
+                    ckpt.every_steps is not None
+                    and iteration > 0
+                    and iteration % ckpt.every_steps == 0
+                )
+                if not due and ckpt.every_seconds is not None:
+                    due = perf_counter() - last_checkpoint >= ckpt.every_seconds
+                if due:
+                    on_checkpoint(
+                        CheckpointState(
+                            frontier=pool,
+                            trail=None,
+                            upper_bound=upper_bound,
+                            best_order_supplier=lambda order=best_order: order,
+                            next_order=0,
+                            stats=stats,
+                            steps=iteration,
+                        )
+                    )
+                    last_checkpoint = perf_counter()
             if limits.max_iterations is not None and iteration >= limits.max_iterations:
                 completed = False
                 break
@@ -1013,9 +1104,37 @@ class SearchDriver:
         measured_total = 0.0
         overlap_saved = 0.0
         prev_sim_s: Optional[float] = None
+        on_checkpoint = hooks.on_checkpoint
+        ckpt = self.checkpoint if on_checkpoint is not None else None
+        last_checkpoint = start
         iteration = 0
         completed = True
         while frontier:
+            if ckpt is not None and on_checkpoint is not None:
+                due = (
+                    ckpt.every_steps is not None
+                    and iteration > 0
+                    and iteration % ckpt.every_steps == 0
+                )
+                if not due and ckpt.every_seconds is not None:
+                    due = perf_counter() - last_checkpoint >= ckpt.every_seconds
+                if due:
+                    on_checkpoint(
+                        CheckpointState(
+                            frontier=frontier,
+                            trail=trail,
+                            upper_bound=upper_bound,
+                            best_order_supplier=(
+                                lambda bt=best_trail, bo=best_order: (
+                                    trail.prefix(bt) if bt is not None else bo
+                                )
+                            ),
+                            next_order=next_order,
+                            stats=stats,
+                            steps=iteration,
+                        )
+                    )
+                    last_checkpoint = perf_counter()
             if limits.max_iterations is not None and iteration >= limits.max_iterations:
                 completed = False
                 break
@@ -1124,4 +1243,5 @@ class SearchDriver:
             simulated_s=simulated_total,
             measured_s=measured_total,
             overlap_saved_s=overlap_saved,
+            next_order=next_order,
         )

@@ -100,6 +100,14 @@ class _SubtreeSolver:
     publishes every local improvement via compare-and-swap, and polls the
     shared bound every ``poll_interval`` pops — re-pruning its open pool
     (:meth:`~repro.bb.pool.NodePool.prune_to`) when a peer tightened it.
+
+    Rebalancing (the work-stealing engine's ``rebalance=True`` mode) uses
+    two extra knobs: ``capture_incomplete=True`` makes a node-budget-cut
+    run serialize its live frontier into ``self.resume_blob`` (an in-memory
+    snapshot, see :mod:`repro.bb.snapshot`) instead of abandoning it, and
+    ``resume_from=<blob>`` makes the solver continue such a captured
+    frontier rather than seeding from a prefix.  Deadline-cut runs never
+    capture — the global time budget stays a hard stop.
     """
 
     def __init__(
@@ -115,6 +123,8 @@ class _SubtreeSolver:
         poll_interval: int = 64,
         layout: str = "block",
         max_frontier_nodes: Optional[int] = None,
+        capture_incomplete: bool = False,
+        resume_from: Optional[bytes] = None,
     ):
         if poll_interval < 1:
             raise ValueError("poll_interval must be >= 1")
@@ -132,6 +142,11 @@ class _SubtreeSolver:
         self.poll_interval = poll_interval
         self.layout = layout
         self.max_frontier_nodes = max_frontier_nodes
+        self.capture_incomplete = capture_incomplete
+        self.resume_from = resume_from
+        #: set by a budget-cut run when ``capture_incomplete`` is on: the
+        #: serialized remainder of this chunk, ready to re-enqueue
+        self.resume_blob: Optional[bytes] = None
 
     def _root(self) -> Node:
         node = root_node(self.instance)
@@ -166,9 +181,69 @@ class _SubtreeSolver:
 
     def run(self) -> tuple[Optional[int], tuple[int, ...], SearchStats, bool]:
         """Exhaust this worker's sub-tree; return (makespan, order, stats, completed)."""
+        if self.resume_from is not None:
+            return self._run_resume()
         if self.layout == "block":
             return self._run_block()
         return self._run_object()
+
+    def _deadline_expired(self) -> bool:
+        return self.deadline is not None and time.time() >= self.deadline
+
+    def _capture(self, frontier, trail, upper_bound: float, next_order: int) -> None:
+        """Serialize the live remainder of a budget-cut chunk for re-enqueue.
+
+        The cut segment's partial statistics travel with the worker that ran
+        it (they are merged into the worker totals as usual), so the blob
+        carries a *fresh* ``SearchStats`` — the resumed segment accounts for
+        its own work and nothing is double counted.
+        """
+        from repro.bb.snapshot import dumps_snapshot  # local import to keep pickling light
+
+        self.resume_blob = dumps_snapshot(
+            self.instance,
+            layout=self.layout,
+            frontier=frontier,
+            upper_bound=upper_bound,
+            best_order=(),
+            stats=SearchStats(),
+            trail=trail,
+            next_order=next_order,
+            engine={
+                "engine": "worksteal-chunk",
+                "selection": self.selection,
+                "kernel": self.kernel,
+                "prefix": list(self.prefix),
+            },
+        )
+
+    def _run_resume(self) -> tuple[Optional[int], tuple[int, ...], SearchStats, bool]:
+        """Continue a captured chunk remainder (see :meth:`_capture`)."""
+        from repro.bb.snapshot import loads_snapshot  # local import to keep pickling light
+
+        snapshot = loads_snapshot(self.resume_from)
+        stats = SearchStats()
+        frontier = snapshot.frontier
+        start = time.perf_counter()
+
+        upper_bound = float(snapshot.upper_bound)
+        if self.incumbent is not None:
+            upper_bound = min(upper_bound, self.incumbent.get())
+
+        outcome = self._driver().run(
+            frontier,
+            upper_bound=upper_bound,
+            best_order=(),
+            stats=stats,
+            trail=snapshot.trail,
+            next_order=snapshot.next_order,
+            start=start,
+        )
+        if not outcome.completed and self.capture_incomplete and not self._deadline_expired():
+            self._capture(frontier, snapshot.trail, outcome.upper_bound, outcome.next_order)
+        stats.time_total_s = time.perf_counter() - start
+        stats.max_pool_size = frontier.max_size_seen
+        return outcome.best_value, tuple(outcome.best_order), stats, outcome.completed
 
     def _run_object(self) -> tuple[Optional[int], tuple[int, ...], SearchStats, bool]:
         from repro.bb.pool import make_pool  # local import to keep pickling light
@@ -215,6 +290,8 @@ class _SubtreeSolver:
         outcome = self._driver().run(
             pool, upper_bound=upper_bound, best_order=(), stats=stats, start=start
         )
+        if not outcome.completed and self.capture_incomplete and not self._deadline_expired():
+            self._capture(pool, None, outcome.upper_bound, outcome.next_order)
         return finish(outcome.best_value, tuple(outcome.best_order), outcome.completed)
 
     def _run_block(self) -> tuple[Optional[int], tuple[int, ...], SearchStats, bool]:
@@ -273,6 +350,8 @@ class _SubtreeSolver:
             next_order=next_order,
             start=start,
         )
+        if not outcome.completed and self.capture_incomplete and not self._deadline_expired():
+            self._capture(frontier, trail, outcome.upper_bound, outcome.next_order)
         return finish(outcome.best_value, tuple(outcome.best_order), outcome.completed)
 
 

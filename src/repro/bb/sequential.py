@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from pathlib import Path
+from typing import Callable, Optional, Union
 
 from repro.bb.driver import (
     SearchDriver,
@@ -31,7 +32,15 @@ from repro.bb.driver import (
 from repro.bb.frontier import BlockFrontier, Trail, bound_block, root_block
 from repro.bb.node import root_node
 from repro.bb.operators import bound_node
-from repro.bb.pool import make_pool
+from repro.bb.pool import NodePool, make_pool
+from repro.bb.snapshot import (
+    CheckpointPolicy,
+    CheckpointState,
+    Snapshot,
+    dumps_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.bb.stats import SearchStats
 from repro.flowshop.bounds import LowerBoundData
 from repro.flowshop.instance import FlowShopInstance
@@ -114,6 +123,15 @@ class SequentialBranchAndBound:
         :class:`~repro.bb.frontier.BlockFrontier`) so exhaustive runs
         cannot grow the pool without bound.  ``None`` (default) disables
         the cap.
+    checkpoint_path / checkpoint_every / checkpoint_seconds:
+        Fault tolerance (see :mod:`repro.bb.snapshot`).  With a path set,
+        the engine snapshots complete search state there every
+        ``checkpoint_every`` steps and/or ``checkpoint_seconds`` seconds
+        (atomic replace — a crash never destroys the previous snapshot),
+        and always writes a final snapshot when a budget interrupts the
+        run.  :meth:`resume` continues from such a file bit-identically:
+        the resumed run's makespan, permutation and all ``SearchStats``
+        counters match the uninterrupted golden run exactly.
     """
 
     def __init__(
@@ -129,6 +147,9 @@ class SequentialBranchAndBound:
         kernel: str = "v2",
         layout: str = "block",
         max_frontier_nodes: Optional[int] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_seconds: Optional[float] = None,
     ):
         self.instance = instance
         self.data = LowerBoundData(instance)
@@ -152,6 +173,15 @@ class SequentialBranchAndBound:
         if max_frontier_nodes is not None and max_frontier_nodes < 1:
             raise ValueError("max_frontier_nodes must be >= 1 when given")
         self.max_frontier_nodes = max_frontier_nodes
+        if checkpoint_path is None and (
+            checkpoint_every is not None or checkpoint_seconds is not None
+        ):
+            raise ValueError("checkpoint_every/checkpoint_seconds require checkpoint_path")
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path is not None else None
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_seconds = checkpoint_seconds
+        #: number of snapshots written by this engine instance
+        self.checkpoints_written = 0
 
     # ------------------------------------------------------------------ #
     def _initial_incumbent(self) -> tuple[float, tuple[int, ...]]:
@@ -160,11 +190,66 @@ class SequentialBranchAndBound:
         heuristic = neh_heuristic(self.instance)
         return float(heuristic.makespan), tuple(heuristic.order)
 
+    def _engine_config(self) -> dict[str, object]:
+        """Engine settings recorded in snapshot headers (see :mod:`repro.bb.snapshot`)."""
+        return {
+            "engine": "serial",
+            "selection": self.selection,
+            "kernel": self.kernel,
+            "layout": self.layout,
+            "include_one_machine": self.include_one_machine,
+            "max_frontier_nodes": self.max_frontier_nodes,
+            "trace": self.trace_enabled,
+        }
+
+    def _write_snapshot(
+        self,
+        frontier: Union[NodePool, BlockFrontier],
+        trail: Optional[Trail],
+        upper_bound: float,
+        best_order: tuple[int, ...],
+        next_order: int,
+        stats: SearchStats,
+    ) -> None:
+        assert self.checkpoint_path is not None
+        blob = dumps_snapshot(
+            self.instance,
+            layout=self.layout,
+            frontier=frontier,
+            trail=trail,
+            upper_bound=upper_bound,
+            best_order=best_order,
+            next_order=next_order,
+            stats=stats,
+            engine=self._engine_config(),
+        )
+        save_snapshot(self.checkpoint_path, blob)
+        self.checkpoints_written += 1
+
+    def _on_checkpoint(self, state: CheckpointState) -> None:
+        self._write_snapshot(
+            state.frontier,
+            state.trail,
+            state.upper_bound,
+            state.best_order_supplier(),
+            state.next_order,
+            state.stats,
+        )
+
     def _driver(self) -> SearchDriver:
         hooks = SearchHooks()
         if self.on_incumbent is not None:
             user_callback = self.on_incumbent
             hooks.on_improve_incumbent = lambda makespan, order: user_callback(makespan, order())
+        checkpoint: Optional[CheckpointPolicy] = None
+        if self.checkpoint_path is not None and (
+            self.checkpoint_every is not None or self.checkpoint_seconds is not None
+        ):
+            checkpoint = CheckpointPolicy(
+                every_steps=self.checkpoint_every,
+                every_seconds=self.checkpoint_seconds,
+            )
+            hooks.on_checkpoint = self._on_checkpoint
         return SearchDriver(
             self.instance,
             self.data,
@@ -175,6 +260,7 @@ class SequentialBranchAndBound:
             limits=SearchLimits(max_nodes=self.max_nodes, max_time_s=self.max_time_s),
             hooks=hooks,
             trace=self.trace_enabled,
+            checkpoint=checkpoint,
         )
 
     # ------------------------------------------------------------------ #
@@ -234,6 +320,18 @@ class SequentialBranchAndBound:
         stats.time_total_s = time.perf_counter() - start
         stats.max_pool_size = max_pool_size
 
+        if not outcome.completed and self.checkpoint_path is not None:
+            # budget interrupted the run: persist the live frontier so
+            # `resume` can pick up exactly where this segment stopped
+            self._write_snapshot(
+                frontier if self.layout == "block" else pool,
+                trail if self.layout == "block" else None,
+                outcome.upper_bound,
+                tuple(outcome.best_order),
+                outcome.next_order,
+                stats,
+            )
+
         if not outcome.best_order:
             raise RuntimeError(
                 "the search terminated without an incumbent; provide a finite "
@@ -247,3 +345,117 @@ class SequentialBranchAndBound:
             stats=stats,
             trace=outcome.trace,
         )
+
+    # ------------------------------------------------------------------ #
+    def _resume_solve(self, snapshot: Snapshot) -> BBResult:
+        """Continue the search captured in ``snapshot`` (see :meth:`resume`)."""
+        instance = self.instance
+        stats = snapshot.stats
+        carried_time = stats.time_total_s
+
+        driver = self._driver()
+        start = time.perf_counter()
+        if self.layout == "block":
+            frontier = snapshot.frontier
+            assert isinstance(frontier, BlockFrontier)
+            trail = snapshot.trail
+            assert trail is not None
+            outcome = driver.run(
+                frontier,
+                upper_bound=snapshot.upper_bound,
+                best_order=snapshot.best_order,
+                stats=stats,
+                trail=trail,
+                next_order=snapshot.next_order,
+                start=start,
+            )
+            live: Union[NodePool, BlockFrontier] = frontier
+        else:
+            pool = snapshot.frontier
+            assert isinstance(pool, NodePool)
+            trail = None
+            outcome = driver.run(
+                pool,
+                upper_bound=snapshot.upper_bound,
+                best_order=snapshot.best_order,
+                stats=stats,
+                start=start,
+            )
+            live = pool
+
+        stats.time_total_s = carried_time + (time.perf_counter() - start)
+        stats.max_pool_size = live.max_size_seen
+
+        if not outcome.completed and self.checkpoint_path is not None:
+            self._write_snapshot(
+                live,
+                trail,
+                outcome.upper_bound,
+                tuple(outcome.best_order),
+                outcome.next_order,
+                stats,
+            )
+
+        if not outcome.best_order:
+            raise RuntimeError(
+                "the search terminated without an incumbent; provide a finite "
+                "initial upper bound or let NEH seed the search"
+            )
+        return BBResult(
+            instance=instance,
+            best_makespan=int(outcome.upper_bound),
+            best_order=tuple(outcome.best_order),
+            proved_optimal=outcome.completed,
+            stats=stats,
+            trace=outcome.trace,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        path: Union[str, Path],
+        *,
+        max_nodes: Optional[int] = None,
+        max_time_s: Optional[float] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_seconds: Optional[float] = None,
+        on_incumbent: Optional[Callable[[int, tuple[int, ...]], None]] = None,
+    ) -> BBResult:
+        """Continue a checkpointed solve from a snapshot file.
+
+        The engine (selection, kernel, layout, bound options) is rebuilt
+        from the snapshot header, the frontier/trail/incumbent/counters are
+        restored exactly, and the search resumes without re-seeding NEH or
+        re-bounding the root.  The concatenation of the interrupted
+        segments is bit-identical (makespan, permutation, every counter,
+        and the trace) to one uninterrupted run.
+
+        Budgets are cumulative: ``max_nodes`` counts nodes explored across
+        *all* segments, so resuming with a larger budget continues where
+        the previous segment's budget cut the search.  By default the
+        resumed run keeps checkpointing to the same file; pass
+        ``checkpoint_path`` to redirect it.
+
+        Returns the :class:`BBResult` of the resumed segment; its ``trace``
+        covers only this segment.
+        """
+        snapshot = load_snapshot(path)
+        engine_conf = snapshot.engine
+        max_frontier = engine_conf.get("max_frontier_nodes")
+        engine = cls(
+            snapshot.instance,
+            selection=str(engine_conf.get("selection", "best-first")),
+            include_one_machine_bound=bool(engine_conf.get("include_one_machine", False)),
+            max_nodes=max_nodes,
+            max_time_s=max_time_s,
+            trace=bool(engine_conf.get("trace", False)),
+            on_incumbent=on_incumbent,
+            kernel=str(engine_conf.get("kernel", "v2")),
+            layout=snapshot.layout,
+            max_frontier_nodes=int(max_frontier) if max_frontier is not None else None,
+            checkpoint_path=checkpoint_path if checkpoint_path is not None else path,
+            checkpoint_every=checkpoint_every,
+            checkpoint_seconds=checkpoint_seconds,
+        )
+        return engine._resume_solve(snapshot)

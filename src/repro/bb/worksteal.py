@@ -131,26 +131,95 @@ class _ProcessSharedIncumbent:
         return False
 
 
-def _run_tasks(instance: FlowShopInstance, task_queue, incumbent, opts: dict) -> dict:
+class _TaskBoard:
+    """Task queue with outstanding-work termination (threads / serial).
+
+    The historical scheme — sentinels pre-queued *behind* the chunks — only
+    works while the task set is fixed at launch.  Rebalancing re-enqueues
+    the live remainder of budget-cut chunks, so shutdown instead keys off
+    an outstanding-task count: the worker that finishes the last task (and
+    re-enqueued nothing) broadcasts one ``None`` sentinel per worker.
+    ``put`` increments *before* the item is visible and workers re-enqueue
+    before calling :meth:`task_done`, so the count can never reach zero
+    while work remains.
+    """
+
+    def __init__(self, n_workers: int):
+        self._queue: queue_module.SimpleQueue = queue_module.SimpleQueue()
+        self._lock = threading.Lock()
+        self._outstanding = 0  # guarded-by: _lock
+        self._n_workers = n_workers
+
+    def put(self, task) -> None:
+        with self._lock:
+            self._outstanding += 1
+        self._queue.put(task)
+
+    def get(self):
+        return self._queue.get()
+
+    def task_done(self) -> None:
+        with self._lock:
+            self._outstanding -= 1
+            drained = self._outstanding == 0
+        if drained:
+            for _ in range(self._n_workers):
+                self._queue.put(None)
+
+
+class _ProcessTaskBoard:
+    """Cross-process twin of :class:`_TaskBoard` (mp.Queue + mp.Value)."""
+
+    def __init__(self, task_queue, outstanding, n_workers: int):
+        self._queue = task_queue
+        # The mp.Value carries its own lock; every access goes through it.
+        self._outstanding = outstanding  # guarded-by: _outstanding
+        self._n_workers = n_workers
+
+    def put(self, task) -> None:
+        with self._outstanding.get_lock():
+            self._outstanding.value += 1
+        self._queue.put(task)
+
+    def get(self):
+        return self._queue.get()
+
+    def task_done(self) -> None:
+        with self._outstanding.get_lock():
+            self._outstanding.value -= 1
+            drained = self._outstanding.value == 0
+        if drained:
+            for _ in range(self._n_workers):
+                self._queue.put(None)
+
+
+def _run_tasks(instance: FlowShopInstance, board, incumbent, opts: dict) -> dict:
     """One worker's lifetime: steal chunks until a sentinel arrives.
 
+    Tasks are either prefix tuples (seed a sub-tree) or ``("resume", blob)``
+    pairs (continue a captured chunk remainder, rebalancing mode only).
     Returns the worker's merged statistics and its locally best schedule;
     the coordinator merges those across workers.
     """
     from repro.bb.multicore import _SubtreeSolver  # deferred: avoids an import cycle
 
+    rebalance = bool(opts.get("rebalance"))
     stats = SearchStats()
     best_makespan: Optional[int] = None
     best_order: tuple[int, ...] = ()
     completed = True
     tasks_run = 0
+    rebalanced = 0
     while True:
-        prefix = task_queue.get()
-        if prefix is None:  # sentinel: no chunks left to steal
+        task = board.get()
+        if task is None:  # sentinel: no chunks left to steal
             break
+        if task and task[0] == "resume":
+            seed = {"prefix": (), "resume_from": task[1]}
+        else:
+            seed = {"prefix": task}
         solver = _SubtreeSolver(
             instance,
-            prefix=prefix,
             upper_bound=opts["upper_bound"],
             selection=opts["selection"],
             max_nodes=opts["max_nodes_per_task"],
@@ -160,28 +229,42 @@ def _run_tasks(instance: FlowShopInstance, task_queue, incumbent, opts: dict) ->
             poll_interval=opts["poll_interval"],
             layout=opts["layout"],
             max_frontier_nodes=opts.get("max_frontier_nodes"),
+            capture_incomplete=rebalance,
+            **seed,
         )
         makespan, order, task_stats, task_completed = solver.run()
         stats = stats.merge(task_stats)
-        completed = completed and task_completed
         tasks_run += 1
+        if rebalance and solver.resume_blob is not None:
+            # The unfinished remainder goes back on the board (before
+            # task_done, so the outstanding count cannot hit zero while it
+            # is in flight); the cut no longer truncates the search.
+            board.put(("resume", solver.resume_blob))
+            rebalanced += 1
+            task_completed = True
+        completed = completed and task_completed
         if makespan is not None and (best_makespan is None or makespan < best_makespan):
             best_makespan = makespan
             best_order = order
+        board.task_done()
     return {
         "best_makespan": best_makespan,
         "best_order": best_order,
         "stats": stats,
         "completed": completed,
         "tasks_run": tasks_run,
+        "rebalanced": rebalanced,
     }
 
 
-def _process_worker(instance_payload: dict, task_queue, result_queue, bound_value, opts: dict):
+def _process_worker(
+    instance_payload: dict, task_queue, outstanding, result_queue, bound_value, opts: dict
+):
     """Process-backend worker entry point (module level: picklable)."""
     instance = FlowShopInstance.from_dict(instance_payload)
     incumbent = _ProcessSharedIncumbent(bound_value)
-    result_queue.put(_run_tasks(instance, task_queue, incumbent, opts))
+    board = _ProcessTaskBoard(task_queue, outstanding, opts["n_workers"])
+    result_queue.put(_run_tasks(instance, board, incumbent, opts))
 
 
 def _collect_process_results(procs, result_queue) -> list[dict]:
@@ -233,6 +316,14 @@ class WorkStealingBranchAndBound:
         Pops between two reads of the shared bound inside a worker.
     max_nodes_per_task / max_time_s:
         Optional per-chunk exploration budgets.
+    rebalance:
+        When ``True``, a chunk cut by ``max_nodes_per_task`` serializes its
+        live frontier (an in-memory :mod:`repro.bb.snapshot` blob) and
+        re-enqueues it as a fresh task instead of truncating the search —
+        ``max_nodes_per_task`` then acts as a *time-slice* that keeps the
+        queue full of steal-able work rather than a hard budget, and the
+        search stays exact.  Deadline-cut chunks are never re-enqueued, so
+        ``max_time_s`` remains a hard stop.  Default ``False``.
     max_frontier_nodes:
         Block layout only: per-worker high-water frontier cap (see
         :class:`~repro.bb.frontier.BlockFrontier`); best-first workers fall
@@ -260,6 +351,7 @@ class WorkStealingBranchAndBound:
         poll_interval: int = 64,
         layout: str = "block",
         max_frontier_nodes: Optional[int] = None,
+        rebalance: bool = False,
     ):
         if backend not in ("process", "thread", "serial"):
             raise ValueError("backend must be 'process', 'thread' or 'serial'")
@@ -283,6 +375,11 @@ class WorkStealingBranchAndBound:
         self.poll_interval = poll_interval
         self.layout = layout
         self.max_frontier_nodes = max_frontier_nodes
+        self.rebalance = rebalance
+        #: observability: chunks whose remainders were re-enqueued by the
+        #: last :meth:`solve` call (0 unless ``rebalance=True`` and some
+        #: chunk hit its node budget)
+        self.rebalanced_chunks = 0
 
     # ------------------------------------------------------------------ #
     def _opts(self, upper_bound: float) -> dict:
@@ -298,25 +395,24 @@ class WorkStealingBranchAndBound:
             "poll_interval": self.poll_interval,
             "layout": self.layout,
             "max_frontier_nodes": self.max_frontier_nodes,
+            "rebalance": self.rebalance,
         }
 
     # ------------------------------------------------------------------ #
     def _solve_in_process(self, prefixes, n_workers: int, opts: dict) -> list[dict]:
-        """Thread / serial backends: plain queue, in-process incumbent."""
+        """Thread / serial backends: in-process board and incumbent."""
         incumbent = SharedIncumbent(opts["upper_bound"])
-        tasks: queue_module.SimpleQueue = queue_module.SimpleQueue()
+        board = _TaskBoard(n_workers)
         for prefix in prefixes:
-            tasks.put(prefix)
-        for _ in range(n_workers):
-            tasks.put(None)
+            board.put(prefix)
         if self.backend == "serial" or n_workers == 1:
-            return [_run_tasks(self.instance, tasks, incumbent, opts)]
+            return [_run_tasks(self.instance, board, incumbent, opts)]
         results: list[Optional[dict]] = [None] * n_workers
         errors: list[BaseException] = []
 
         def worker(slot: int) -> None:
             try:
-                results[slot] = _run_tasks(self.instance, tasks, incumbent, opts)
+                results[slot] = _run_tasks(self.instance, board, incumbent, opts)
             except BaseException as exc:  # noqa: BLE001 - re-raised in the caller
                 errors.append(exc)
 
@@ -336,18 +432,20 @@ class WorkStealingBranchAndBound:
         ctx = multiprocessing.get_context()
         bound_value = ctx.Value("d", opts["upper_bound"])
         task_queue = ctx.Queue()
+        outstanding = ctx.Value("i", 0)
         result_queue = ctx.Queue()
-        # The sentinels sit behind every chunk (FIFO), so all chunks are
-        # stolen before any worker shuts down.
+        # Shutdown keys off the shared outstanding-task count: the worker
+        # that drains the board broadcasts one sentinel per worker (see
+        # _TaskBoard).  A fixed behind-the-chunks sentinel row would lose
+        # any remainder re-enqueued by rebalancing.
+        board = _ProcessTaskBoard(task_queue, outstanding, n_workers)
         for prefix in prefixes:
-            task_queue.put(prefix)
-        for _ in range(n_workers):
-            task_queue.put(None)
+            board.put(prefix)
         payload = self.instance.to_dict()
         procs = [
             ctx.Process(
                 target=_process_worker,
-                args=(payload, task_queue, result_queue, bound_value, opts),
+                args=(payload, task_queue, outstanding, result_queue, bound_value, opts),
             )
             for _ in range(n_workers)
         ]
@@ -370,6 +468,7 @@ class WorkStealingBranchAndBound:
         prefixes = frontier_prefixes(self.instance.n_jobs, self.decomposition_depth)
         n_workers = max(1, min(self.n_workers, len(prefixes)))
         opts = self._opts(upper_bound)
+        opts["n_workers"] = n_workers
 
         if self.backend == "process" and n_workers > 1:
             outcomes = self._solve_multiprocess(prefixes, n_workers, opts)
@@ -380,6 +479,7 @@ class WorkStealingBranchAndBound:
         completed = True
         best_makespan: Optional[int] = None
         best_order: tuple[int, ...] = ()
+        self.rebalanced_chunks = sum(int(outcome.get("rebalanced", 0)) for outcome in outcomes)
         for outcome in outcomes:
             stats = stats.merge(outcome["stats"])
             completed = completed and bool(outcome["completed"])

@@ -1,9 +1,11 @@
 """Command-line interface.
 
-Four sub-commands cover the library's main workflows::
+The sub-commands cover the library's main workflows::
 
     python -m repro solve      --jobs 20 --machines 10        # solve an instance
     python -m repro solve      --file my_instance.txt --engine gpu
+    python -m repro solve      --engine serial --checkpoint run.rpbb --checkpoint-interval 1000
+    python -m repro resume     run.rpbb                       # continue a checkpointed solve
     python -m repro autotune   --jobs 200 --machines 20       # pick the pool size
     python -m repro evaluate   --output report.json           # regenerate all tables/figures
     python -m repro serve      --port 7227                    # solve-as-a-service
@@ -12,7 +14,10 @@ Four sub-commands cover the library's main workflows::
 ``solve`` accepts Taillard-format or JSON instance files (see
 :mod:`repro.flowshop.io`) or generates a Taillard-style instance of the
 requested size; engines: ``gpu`` (default), ``serial``, ``multicore``,
-``cluster``.  ``serve`` runs the JSON-lines TCP solve service with
+``cluster``.  ``solve --checkpoint`` (serial engine) writes crash-consistent
+search snapshots that ``resume`` continues bit-identically — same makespan,
+permutation, and counters as one uninterrupted run (``docs/ARCHITECTURE.md``,
+"Snapshot format").  ``serve`` runs the JSON-lines TCP solve service with
 cross-session batched bounding (see ``docs/SERVING.md``).  ``lint`` runs
 the repo's AST-based architecture/concurrency checks (``tools/repro_lint``
 — requires a source checkout; see "Enforced invariants" in
@@ -54,6 +59,15 @@ def _load_instance(args: argparse.Namespace) -> FlowShopInstance:
 def _solve(args: argparse.Namespace) -> int:
     instance = _load_instance(args)
     engine = args.engine
+    if args.checkpoint is not None and engine != "serial":
+        raise SystemExit(
+            f"--checkpoint is only supported by --engine serial (got {engine!r}); "
+            "the service engines checkpoint via `repro serve`"
+        )
+    if args.checkpoint is None and (
+        args.checkpoint_interval is not None or args.checkpoint_seconds is not None
+    ):
+        raise SystemExit("--checkpoint-interval/--checkpoint-seconds require --checkpoint")
     print(
         f"instance : {instance.name or 'unnamed'} "
         f"({instance.n_jobs} jobs x {instance.n_machines} machines)"
@@ -67,6 +81,9 @@ def _solve(args: argparse.Namespace) -> int:
             max_time_s=args.max_time,
             layout=args.node_layout,
             max_frontier_nodes=args.max_frontier_nodes,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_interval,
+            checkpoint_seconds=args.checkpoint_seconds,
         ).solve()
     elif engine == "multicore":
         result = MulticoreBranchAndBound(
@@ -99,6 +116,11 @@ def _solve(args: argparse.Namespace) -> int:
         )
         result = GpuBranchAndBound(instance, config).solve()
 
+    _print_result(result)
+    return 0
+
+
+def _print_result(result) -> None:
     print(f"makespan : {result.best_makespan}")
     print(f"order    : {' '.join(str(j) for j in result.best_order)}")
     print(f"optimal  : {result.proved_optimal}")
@@ -113,6 +135,41 @@ def _solve(args: argparse.Namespace) -> int:
         else ""
     )
     print(f"time     : {stats.time_total_s:.3f}s wall" + device_note)
+
+
+def _resume(args: argparse.Namespace) -> int:
+    from repro.bb.snapshot import SnapshotError, load_header
+
+    path = Path(args.snapshot)
+    if not path.exists():
+        raise SystemExit(f"snapshot file not found: {path}")
+    try:
+        header = load_header(path)
+    except SnapshotError as exc:
+        raise SystemExit(f"cannot resume {path}: {exc}") from exc
+    engine_conf = header.get("engine") or {}
+    print(f"snapshot : {path} (format v{header['format_version']})")
+    print(
+        f"instance : {header['instance']['name'] or 'unnamed'} "
+        f"({header['instance']['n_jobs']} jobs x "
+        f"{header['instance']['n_machines']} machines)"
+    )
+    print(
+        f"engine   : serial ({engine_conf.get('selection', 'best-first')}, "
+        f"{header['layout']} layout)"
+    )
+    try:
+        result = SequentialBranchAndBound.resume(
+            path,
+            max_nodes=args.max_nodes,
+            max_time_s=args.max_time,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_interval,
+            checkpoint_seconds=args.checkpoint_seconds,
+        )
+    except SnapshotError as exc:
+        raise SystemExit(f"cannot resume {path}: {exc}") from exc
+    _print_result(result)
     return 0
 
 
@@ -279,7 +336,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--max-nodes", type=int, default=None, help="node exploration budget")
     solve.add_argument("--max-time", type=float, default=None, help="time budget in seconds")
+
+    def add_checkpoint_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--checkpoint",
+            default=None,
+            help="write crash-consistent search snapshots to this file "
+            "(serial engine only; resume with `repro resume`)",
+        )
+        p.add_argument(
+            "--checkpoint-interval",
+            type=int,
+            default=None,
+            help="snapshot every N driver steps (requires --checkpoint)",
+        )
+        p.add_argument(
+            "--checkpoint-seconds",
+            type=float,
+            default=None,
+            help="snapshot at least every T seconds (requires --checkpoint)",
+        )
+
+    add_checkpoint_arguments(solve)
     solve.set_defaults(func=_solve)
+
+    resume = sub.add_parser(
+        "resume",
+        help="continue a checkpointed solve from a snapshot file (bit-identical)",
+    )
+    resume.add_argument("snapshot", help="snapshot file written by --checkpoint")
+    resume.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        help="cumulative node budget (counts nodes explored across all segments)",
+    )
+    resume.add_argument(
+        "--max-time", type=float, default=None, help="time budget for this segment in seconds"
+    )
+    add_checkpoint_arguments(resume)
+    resume.set_defaults(func=_resume)
 
     autotune = sub.add_parser("autotune", help="pick the off-load pool size for an instance")
     add_instance_arguments(autotune)

@@ -3,14 +3,15 @@
 :class:`ServiceClient` is the lightweight counterpart of
 :class:`~repro.service.server.SolveServer`, used by the tests and the
 example script (and usable as a template for clients in other languages —
-the whole protocol is nine JSON message shapes, see
+the whole protocol is twelve JSON message shapes, see
 :mod:`repro.service.protocol`).
 
 One background reader task demultiplexes the connection: every incoming
 reply is routed to the queue of the ``request_id`` it echoes, so any
 number of solves can be in flight concurrently over one socket.
 :meth:`ServiceClient.solve` packages the common submit → accepted →
-result round trip; the lower-level :meth:`submit` / :meth:`next_reply`
+result round trip (skipping interleaved ``checkpoint``/``degraded``
+event frames); the lower-level :meth:`submit` / :meth:`next_reply`
 pair exposes the individual messages (how the backpressure and
 cancellation tests watch ``overloaded``/``cancelled`` replies arrive).
 """
@@ -19,17 +20,24 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import logging
 from typing import Optional
+
+logger = logging.getLogger(__name__)
 
 from repro.service import protocol
 from repro.service.protocol import (
     CancelRequest,
     InstanceSpec,
+    ResumeRequest,
     SolveParams,
     SolveRequest,
     StatusReply,
     StatusRequest,
 )
+
+#: Event frames that may interleave before a request's terminal reply.
+_EVENT_TYPES = frozenset({"checkpoint", "degraded"})
 
 __all__ = ["ServiceClient"]
 
@@ -65,8 +73,12 @@ class ServiceClient:
         self._reader_task.cancel()
         try:
             await self._reader_task
-        except (asyncio.CancelledError, Exception):
+        except asyncio.CancelledError:
             pass
+        except Exception as exc:
+            # the reader died on a bad frame or broken pipe; we are
+            # closing the connection anyway, so record and move on
+            logger.debug("reader task ended with %r during close", exc)
         self._writer.close()
         try:
             await self._writer.wait_closed()
@@ -129,9 +141,17 @@ class ServiceClient:
         return request_id
 
     async def next_reply(self, request_id: str, timeout: Optional[float] = 30.0):
-        """Await the next reply echoing ``request_id`` (server order)."""
+        """Await the next reply echoing ``request_id`` (server order).
+
+        On timeout the per-request inbox is discarded — an abandoned
+        request must not keep queueing (and leaking) late replies.
+        """
         inbox = self._inbox(request_id)
-        return await asyncio.wait_for(inbox.get(), timeout=timeout)
+        try:
+            return await asyncio.wait_for(inbox.get(), timeout=timeout)
+        except asyncio.TimeoutError:
+            self._inboxes.pop(request_id, None)
+            raise
 
     async def solve(
         self,
@@ -147,10 +167,69 @@ class ServiceClient:
         (callers check ``reply.type``).
         """
         request_id = await self.submit(instance, params, client_id=client_id)
-        first = await self.next_reply(request_id, timeout=timeout)
+        return await self._await_terminal(request_id, timeout)
+
+    async def _await_terminal(self, request_id: str, timeout: Optional[float]):
+        """Await the terminal reply, skipping interleaved event frames.
+
+        Event frames may even precede the ``accepted`` reply (they are
+        posted by worker threads racing the admission reply), so they
+        are skipped on both sides of it.
+        """
+        while True:
+            first = await self.next_reply(request_id, timeout=timeout)
+            if first.type not in _EVENT_TYPES:
+                break
         if first.type != "accepted":
             return first
-        return await self.next_reply(request_id, timeout=timeout)
+        while True:
+            reply = await self.next_reply(request_id, timeout=timeout)
+            if reply.type not in _EVENT_TYPES:
+                return reply
+
+    async def submit_resume(
+        self,
+        snapshot_path: str,
+        header: Optional[dict] = None,
+        client_id: str = "anonymous",
+        request_id: Optional[str] = None,
+    ) -> str:
+        """Send one ``resume`` request; returns its ``request_id``.
+
+        ``snapshot_path`` names a snapshot file on the *server's* host;
+        ``header`` optionally carries its parsed snapshot header so the
+        server can reject unsupported format versions before touching
+        the file.
+        """
+        if request_id is None:
+            request_id = f"req-{next(self._request_ids)}"
+        self._inbox(request_id)  # register before the reply can race in
+        await self._send(
+            ResumeRequest(
+                request_id=request_id,
+                snapshot_path=snapshot_path,
+                header=header,
+                client_id=client_id,
+            )
+        )
+        return request_id
+
+    async def resume(
+        self,
+        snapshot_path: str,
+        header: Optional[dict] = None,
+        client_id: str = "anonymous",
+        timeout: Optional[float] = 60.0,
+    ):
+        """Submit a ``resume`` and await its terminal reply.
+
+        Mirrors :meth:`solve`: returns the ``result`` reply, or the
+        ``overloaded``/``error`` reply if the request was rejected.
+        """
+        request_id = await self.submit_resume(
+            snapshot_path, header=header, client_id=client_id
+        )
+        return await self._await_terminal(request_id, timeout)
 
     async def cancel(self, request_id: str, timeout: Optional[float] = 30.0):
         """Cancel ``request_id``; returns the ``cancelled`` (or error) reply."""

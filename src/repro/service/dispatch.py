@@ -46,14 +46,19 @@ launch-count reduction for 8 concurrent sessions.
 
 from __future__ import annotations
 
+import itertools
+import logging
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.flowshop.bounds import LowerBoundData, get_batch_kernel
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "SessionCancelled",
@@ -113,6 +118,11 @@ class DispatchStats:
     n_launches: int = 0
     n_flushes: int = 0
     n_cancelled: int = 0
+    #: failed fused launches retried before giving up on the batch
+    n_retries: int = 0
+    #: sessions that fell back to local (uncoalesced) bounding after a
+    #: fused launch exhausted its retries — correctness preserved
+    n_degraded: int = 0
     max_requests_coalesced: int = 1
     max_rows_coalesced: int = 0
     flush_reasons: dict[str, int] = field(default_factory=dict)
@@ -132,6 +142,8 @@ class DispatchStats:
             "n_launches": self.n_launches,
             "n_flushes": self.n_flushes,
             "n_cancelled": self.n_cancelled,
+            "n_retries": self.n_retries,
+            "n_degraded": self.n_degraded,
             "requests_per_launch": self.requests_per_launch,
             "max_requests_coalesced": self.max_requests_coalesced,
             "max_rows_coalesced": self.max_rows_coalesced,
@@ -164,6 +176,24 @@ class BatchDispatcher:
         Start the background dispatcher thread immediately (default).
         Tests pass ``False`` and drive :meth:`flush_now` by hand to pin
         flush-policy edge cases deterministically.
+    launch_timeout_s:
+        Per-launch watchdog: when set, a fused kernel launch that has not
+        returned after this many seconds counts as failed (the straggler
+        finishes on a daemon thread; ``Future.done()`` guards make its
+        late write-back a no-op).  ``None`` (default) disables the watchdog.
+    max_launch_retries:
+        How many times a failed fused launch is retried (same members, new
+        launch) before the members' futures carry the failure and their
+        sessions degrade to local bounding.  Retries are counted in
+        ``DispatchStats.n_retries``.
+    launch_hook:
+        Called with the 1-based launch index immediately before every fused
+        kernel launch (retries included).  An exception raised here fails
+        the launch — this is the deterministic fault-injection seam used by
+        :mod:`repro.testing.faults`.
+    on_degraded:
+        Called as ``on_degraded(token, reason)`` when a session falls back
+        to local bounding (see :meth:`note_degraded`).
 
     Thread contract: :meth:`submit` is called from session worker threads
     and blocks nobody (the *caller* then parks on the returned future);
@@ -174,9 +204,28 @@ class BatchDispatcher:
     against.
     """
 
-    def __init__(self, policy: FlushPolicy | None = None, autostart: bool = True):
+    def __init__(
+        self,
+        policy: FlushPolicy | None = None,
+        autostart: bool = True,
+        launch_timeout_s: float | None = None,
+        max_launch_retries: int = 1,
+        launch_hook: Optional[Callable[[int], None]] = None,
+        on_degraded: Optional[Callable[[object, str], None]] = None,
+    ):
         self.policy = policy if policy is not None else FlushPolicy()
+        if launch_timeout_s is not None and launch_timeout_s <= 0:
+            raise ValueError("launch_timeout_s must be positive when given")
+        if max_launch_retries < 0:
+            raise ValueError("max_launch_retries must be >= 0")
+        self.launch_timeout_s = launch_timeout_s
+        self.max_launch_retries = max_launch_retries
+        self.launch_hook = launch_hook
+        self.on_degraded = on_degraded
         self.stats = DispatchStats()
+        #: True when :meth:`close` gave up waiting for the flush thread
+        self.close_join_timed_out = False
+        self._launch_counter = itertools.count(1)
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         # _wakeup wraps _lock, so holding either means holding the same lock.
@@ -184,6 +233,7 @@ class BatchDispatcher:
         self._active_sessions = 0  # guarded-by: _lock, _wakeup
         self._closed = False  # guarded-by: _lock, _wakeup
         self._thread: threading.Thread | None = None  # guarded-by: _lock, _wakeup
+        self._degraded_tokens: dict[int, str] = {}  # guarded-by: _lock, _wakeup
         if autostart:
             self.start()
 
@@ -201,23 +251,40 @@ class BatchDispatcher:
             self._thread.start()
 
     def close(self) -> None:
-        """Stop the dispatcher; parked futures fail with ``RuntimeError``."""
+        """Stop the dispatcher; parked futures fail with :class:`SessionCancelled`.
+
+        Every parked request is cancelled (via :meth:`cancel_pending`, the
+        same path a per-session cancel takes) *before* the thread join, so
+        no session can wait forever on a dispatcher that is shutting down.
+        If the flush thread does not exit within 5 s the leak is logged and
+        surfaced on :attr:`close_join_timed_out` instead of being silent.
+        """
         with self._wakeup:
             if self._closed:
                 return
             self._closed = True
-            leftovers = self._pending
-            self._pending = []
             thread = self._thread
             self._thread = None
             self._wakeup.notify_all()
-        for request in leftovers:
-            request.future.set_exception(RuntimeError("dispatcher closed"))
+        # fail all parked futures first — one cancel_pending call per
+        # distinct parked session token
+        while True:
+            with self._lock:
+                if not self._pending:
+                    break
+                token = self._pending[0].token
+            self.cancel_pending(token)
         # Join OUTSIDE the lock: the flush thread must acquire _wakeup to
         # observe _closed and exit, so joining it while holding the lock
         # would deadlock the shutdown.
         if thread is not None:
             thread.join(timeout=5.0)
+            if thread.is_alive():
+                self.close_join_timed_out = True
+                logger.warning(
+                    "dispatcher flush thread still alive 5s after close(); "
+                    "a bounding launch is stuck — leaking the daemon thread"
+                )
 
     def __enter__(self) -> "BatchDispatcher":
         return self
@@ -384,16 +451,83 @@ class BatchDispatcher:
             stats.n_rows += rows
             stats.max_requests_coalesced = max(stats.max_requests_coalesced, len(members))
             stats.max_rows_coalesced = max(stats.max_rows_coalesced, rows)
+            self._launch_group(members)
+
+    def _launch_group(self, members: list[_Pending]) -> None:
+        """Launch one instance group, retrying failures up to the budget.
+
+        Each retry is a fresh launch over the same members; once the budget
+        is exhausted the members' futures carry the failure and their
+        sessions fall back to local bounding (see
+        :meth:`BatchingOffload.bound_block`).
+        """
+        attempts = 0
+        while True:
             try:
-                self._evaluate_group(members)
-            except BaseException as exc:  # pragma: no cover - kernel failure
+                self._evaluate_with_timeout(members)
+                return
+            # repro-lint: ignore[bare-except] -- recovery site: a failed fused
+            # launch is retried, then degraded to local bounding; never pass
+            except Exception as exc:
+                attempts += 1
+                if attempts <= self.max_launch_retries:
+                    with self._lock:
+                        self.stats.n_retries += 1
+                        self.stats.n_launches += 1
+                    logger.warning(
+                        "fused bounding launch failed (%s); retry %d/%d",
+                        exc,
+                        attempts,
+                        self.max_launch_retries,
+                    )
+                    continue
                 for request in members:
                     if not request.future.done():
                         request.future.set_exception(exc)
+                return
 
-    @staticmethod
-    def _evaluate_group(members: list[_Pending]) -> None:
-        """One fused kernel launch over every block of one instance group."""
+    def _evaluate_with_timeout(self, members: list[_Pending]) -> None:
+        """Run one fused launch, optionally under the per-launch watchdog.
+
+        With ``launch_timeout_s`` set, the launch runs on a helper daemon
+        thread and :class:`TimeoutError` is raised when it overruns; the
+        straggler's late write-back is value-identical (same kernel, same
+        rows) and its future updates are ``done()``-guarded no-ops.
+        """
+        if self.launch_timeout_s is None:
+            self._evaluate_group(members)
+            return
+        failure: list[BaseException] = []
+
+        def _target() -> None:
+            try:
+                self._evaluate_group(members)
+            # repro-lint: ignore[bare-except] -- recovery site: the launch
+            # error crosses back to _launch_group via the failure list
+            except Exception as exc:
+                failure.append(exc)
+
+        worker = threading.Thread(target=_target, name="bound-launch", daemon=True)
+        worker.start()
+        worker.join(timeout=self.launch_timeout_s)
+        if worker.is_alive():
+            raise TimeoutError(
+                f"bounding launch exceeded launch_timeout_s={self.launch_timeout_s}"
+            )
+        if failure:
+            raise failure[0]
+
+    def _evaluate_group(self, members: list[_Pending]) -> None:
+        """One fused kernel launch over every block of one instance group.
+
+        Future updates are ``done()``-guarded: after a watchdog timeout the
+        members may already carry a result/exception, and a straggler
+        launch finishing late must not raise ``InvalidStateError``.
+        """
+        launch_index = next(self._launch_counter)
+        hook = self.launch_hook
+        if hook is not None:
+            hook(launch_index)
         first = members[0]
         kernel = get_batch_kernel(first.kernel)
         started = time.perf_counter()
@@ -407,7 +541,8 @@ class BatchDispatcher:
             )
             wall = time.perf_counter() - started
             block.lower_bound[:] = bounds
-            first.future.set_result((block.lower_bound, 0.0, wall))
+            if not first.future.done():
+                first.future.set_result((block.lower_bound, 0.0, wall))
             return
         mask = np.concatenate([request.block.scheduled_mask for request in members])
         release = np.concatenate([request.block.release for request in members])
@@ -423,9 +558,32 @@ class BatchDispatcher:
             block.lower_bound[:] = bounds[offset : offset + count]
             offset += count
             # apportion the measured kernel wall time by row share
-            request.future.set_result(
-                (block.lower_bound, 0.0, wall * (count / total))
-            )
+            if not request.future.done():
+                request.future.set_result(
+                    (block.lower_bound, 0.0, wall * (count / total))
+                )
+
+    # ------------------------------------------------------------------ #
+    #  degradation accounting
+    # ------------------------------------------------------------------ #
+    def note_degraded(self, token: object, reason: str) -> None:
+        """Record that ``token``'s session fell back to local bounding.
+
+        Called by :class:`BatchingOffload` when a request's future carries
+        a launch failure; bumps ``DispatchStats.n_degraded``, remembers the
+        reason for :meth:`degraded_for` and fires ``on_degraded``.
+        """
+        with self._lock:
+            self.stats.n_degraded += 1
+            self._degraded_tokens[id(token)] = reason
+        callback = self.on_degraded
+        if callback is not None:
+            callback(token, reason)
+
+    def degraded_for(self, token: object) -> str | None:
+        """The degradation reason recorded for ``token`` (``None`` if none)."""
+        with self._lock:
+            return self._degraded_tokens.get(id(token))
 
 
 class BatchingOffload:
@@ -444,6 +602,16 @@ class BatchingOffload:
     * all other blocks produce bit-identical bounds via the dispatcher's
       fused launch, written into ``block.lower_bound`` in place.
 
+    **Graceful degradation**: when a parked future carries a launch failure
+    (the dispatcher exhausted its retries — see
+    ``BatchDispatcher.max_launch_retries``), the offload does not fail the
+    solve.  It evaluates the block locally with the same batched kernel a
+    stand-alone solve uses (bit-identical bounds) and stays local for the
+    rest of the session: correctness is preserved, coalescing is lost.
+    The fallback is recorded in ``DispatchStats.n_degraded`` and via the
+    dispatcher's ``on_degraded`` callback.  Pass ``allow_degraded=False``
+    to propagate launch failures instead (fail-fast).
+
     ``bound_nodes`` (the object-layout entry) is deliberately unsupported:
     service sessions run the block layout, whose arrays concatenate into a
     fused launch without re-packing.
@@ -456,12 +624,39 @@ class BatchingOffload:
         token: object,
         kernel: str = "v2",
         include_one_machine: bool = False,
+        allow_degraded: bool = True,
     ):
         self.dispatcher = dispatcher
         self.data = data
         self.token = token
         self.kernel = kernel
         self.include_one_machine = include_one_machine
+        self.allow_degraded = allow_degraded
+        self._degraded_reason: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True once this session fell back to local (uncoalesced) bounding."""
+        return self._degraded_reason is not None
+
+    @property
+    def degraded_reason(self) -> str | None:
+        """Why the session degraded (``None`` while still coalescing)."""
+        return self._degraded_reason
+
+    def _bound_locally(self, block):
+        """LocalBounding semantics: same batched kernel, no dispatcher."""
+        kernel = get_batch_kernel(self.kernel)
+        started = time.perf_counter()
+        bounds = kernel(
+            self.data,
+            block.scheduled_mask,
+            block.release,
+            include_one_machine=self.include_one_machine,
+        )
+        wall = time.perf_counter() - started
+        block.lower_bound[:] = bounds
+        return block.lower_bound, 0.0, wall
 
     def bound_nodes(self, nodes):
         """Unsupported: service sessions use the block layout only."""
@@ -482,6 +677,8 @@ class BatchingOffload:
             # complete-schedule siblings: bounds ARE the makespans, set at
             # branch time (mirror of frontier.bound_block's fast path)
             return block.lower_bound, 0.0, 0.0
+        if self._degraded_reason is not None:
+            return self._bound_locally(block)
         future = self.dispatcher.submit(
             self.token,
             self.data,
@@ -489,4 +686,19 @@ class BatchingOffload:
             kernel=self.kernel,
             include_one_machine=self.include_one_machine,
         )
-        return future.result()
+        try:
+            return future.result()
+        except SessionCancelled:
+            raise
+        # repro-lint: ignore[bare-except] -- recovery site: launch failure
+        # degrades this session to local bounding instead of failing it
+        except Exception as exc:
+            if not self.allow_degraded:
+                raise
+            reason = f"{type(exc).__name__}: {exc}"
+            self._degraded_reason = reason
+            logger.warning(
+                "session %r degrading to local bounding: %s", self.token, reason
+            )
+            self.dispatcher.note_degraded(self.token, reason)
+            return self._bound_locally(block)

@@ -26,6 +26,14 @@ Client → server:
 ``status``
     Ask for service health and dispatcher statistics
     (:class:`StatusRequest` → :class:`StatusReply`).
+``resume``
+    Continue a checkpointed solve from a snapshot file on the server's
+    host (:class:`ResumeRequest`).  The snapshot is self-describing
+    (instance + engine config travel in its header), so the request names
+    only the path; ``header`` optionally carries the client's view of the
+    snapshot header — the server rejects unsupported ``format_version``
+    values with ``error`` before touching the file.  Answered like
+    ``solve`` (``accepted``/``overloaded``/``error``, then ``result``).
 
 Server → client:
 
@@ -36,6 +44,15 @@ Server → client:
     Terminal message of one session (:class:`ResultReply`): makespan,
     permutation, optimality proof, cancellation flag and the solve
     counters.
+``checkpoint``
+    Progress event of a checkpointing session (:class:`CheckpointReply`):
+    the session wrote snapshot number ``sequence`` to ``path``.  Purely
+    informational — a client can crash and later ``resume`` from that path.
+``degraded``
+    Fault event (:class:`DegradedReply`): the session fell back from
+    coalesced batched bounding to session-local bounding after a fused
+    launch exhausted its retries.  The solve continues and stays exact;
+    only the cross-session coalescing is lost.
 
 Invariants
 ----------
@@ -59,21 +76,32 @@ if TYPE_CHECKING:  # annotation-only: the module stays solver-free at runtime
 
 __all__ = [
     "ProtocolError",
+    "SUPPORTED_SNAPSHOT_VERSIONS",
     "InstanceSpec",
     "SolveParams",
     "SolveRequest",
     "CancelRequest",
     "StatusRequest",
+    "ResumeRequest",
     "AcceptedReply",
     "OverloadedReply",
     "CancelledReply",
     "ErrorReply",
     "ResultReply",
     "StatusReply",
+    "CheckpointReply",
+    "DegradedReply",
     "Message",
     "encode",
     "decode",
 ]
+
+#: Snapshot header ``format_version`` values this protocol revision accepts
+#: in ``resume`` requests.  Kept as a local literal (NOT imported from
+#: :mod:`repro.bb.snapshot`) so the protocol module stays importable
+#: without the solver stack; ``tests/test_service_protocol.py`` pins it
+#: against ``snapshot.SNAPSHOT_FORMAT_VERSION``.
+SUPPORTED_SNAPSHOT_VERSIONS = (1,)
 
 
 class ProtocolError(ValueError):
@@ -146,10 +174,12 @@ class SolveParams:
 
     The subset of :class:`~repro.bb.sequential.SequentialBranchAndBound`'s
     configuration that makes sense per request: selection strategy, kernel
-    revision, the NEH/explicit initial bound, and the session's private
-    :class:`~repro.bb.driver.SearchLimits` budgets.  ``None`` everywhere
-    means "the engine's defaults" — which keeps service sessions
-    bit-identical to a default sequential solve.
+    revision, the NEH/explicit initial bound, the session's private
+    :class:`~repro.bb.driver.SearchLimits` budgets, and an optional
+    per-request checkpoint (``checkpoint_path`` + ``checkpoint_every``
+    driver steps — overrides the service-wide ``checkpoint_dir``).
+    ``None`` everywhere means "the engine's defaults" — which keeps
+    service sessions bit-identical to a default sequential solve.
     """
 
     selection: str = "best-first"
@@ -158,6 +188,8 @@ class SolveParams:
     max_nodes: Optional[int] = None
     max_time_s: Optional[float] = None
     max_frontier_nodes: Optional[int] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -190,6 +222,24 @@ class StatusRequest:
 
     request_id: str = "status"
     type: str = "status"
+
+
+@dataclass(frozen=True)
+class ResumeRequest:
+    """Continue a checkpointed solve from ``snapshot_path`` on the server.
+
+    ``header`` optionally carries the snapshot's JSON header as the client
+    read it; when present, :func:`decode` rejects unsupported
+    ``format_version`` values immediately (see
+    :data:`SUPPORTED_SNAPSHOT_VERSIONS`), so a stale client cannot make
+    the server load a snapshot it cannot understand.
+    """
+
+    request_id: str
+    snapshot_path: str
+    header: Optional[dict[str, Any]] = None
+    client_id: str = "anonymous"
+    type: str = "resume"
 
 
 @dataclass(frozen=True)
@@ -266,29 +316,66 @@ class StatusReply:
     type: str = "status_reply"
 
 
+@dataclass(frozen=True)
+class CheckpointReply:
+    """Progress event: the session wrote snapshot ``sequence`` to ``path``.
+
+    ``steps`` is the driver-step count at capture time.  A client that
+    loses its server can later send a ``resume`` request naming ``path``.
+    """
+
+    request_id: str
+    session_id: int
+    sequence: int
+    path: str
+    steps: int = 0
+    type: str = "checkpoint"
+
+
+@dataclass(frozen=True)
+class DegradedReply:
+    """Fault event: the session fell back to local (uncoalesced) bounding.
+
+    ``reason`` describes the launch failure that exhausted the retry
+    budget.  The solve continues bit-exactly; the event is accounting
+    (mirrored in ``DispatchStats.n_degraded``), not an error.
+    """
+
+    request_id: str
+    session_id: int
+    reason: str
+    type: str = "degraded"
+
+
 #: Every message that can travel on the wire, in either direction.
 Message = Union[
     SolveRequest,
     CancelRequest,
     StatusRequest,
+    ResumeRequest,
     AcceptedReply,
     OverloadedReply,
     CancelledReply,
     ErrorReply,
     ResultReply,
     StatusReply,
+    CheckpointReply,
+    DegradedReply,
 ]
 
 _MESSAGE_TYPES: dict[str, type[Any]] = {
     "solve": SolveRequest,
     "cancel": CancelRequest,
     "status": StatusRequest,
+    "resume": ResumeRequest,
     "accepted": AcceptedReply,
     "overloaded": OverloadedReply,
     "cancelled": CancelledReply,
     "error": ErrorReply,
     "result": ResultReply,
     "status_reply": StatusReply,
+    "checkpoint": CheckpointReply,
+    "degraded": DegradedReply,
 }
 
 
@@ -329,6 +416,17 @@ def decode(line: str) -> Message:
             payload["params"] = SolveParams(**payload.get("params") or {})
         except TypeError as exc:
             raise ProtocolError(f"bad solve payload: {exc}") from exc
+    if cls is ResumeRequest:
+        header = payload.get("header")
+        if header is not None:
+            if not isinstance(header, dict):
+                raise ProtocolError("resume 'header' must be an object when given")
+            version = header.get("format_version")
+            if version not in SUPPORTED_SNAPSHOT_VERSIONS:
+                raise ProtocolError(
+                    f"unsupported snapshot format_version {version!r} "
+                    f"(supported: {SUPPORTED_SNAPSHOT_VERSIONS})"
+                )
     try:
         return cls(**payload)
     except TypeError as exc:

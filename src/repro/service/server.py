@@ -19,17 +19,21 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Optional
+from typing import Callable, Optional
 
+from repro.bb.snapshot import SnapshotError
 from repro.service import protocol
 from repro.service.protocol import (
     AcceptedReply,
     CancelledReply,
     CancelRequest,
+    CheckpointReply,
+    DegradedReply,
     ErrorReply,
     OverloadedReply,
     ProtocolError,
     ResultReply,
+    ResumeRequest,
     SolveRequest,
     StatusReply,
     StatusRequest,
@@ -57,6 +61,11 @@ class SolveServer:
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_ids = itertools.count(1)
+        # scoped request id -> (connection send, connection-local request id);
+        # lets service events (checkpoint/degraded) flow back to their client.
+        self._event_routes: dict[str, tuple[Callable, str]] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._prior_on_event: Optional[Callable[[str, str, dict], None]] = None
 
     @property
     def port(self) -> int:
@@ -69,6 +78,9 @@ class SolveServer:
         """Bind the listener and begin accepting connections."""
         if self._server is not None:
             return
+        self._loop = asyncio.get_running_loop()
+        self._prior_on_event = self.service.on_event
+        self.service.on_event = self._forward_event
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
         )
@@ -77,6 +89,10 @@ class SolveServer:
         """Stop accepting and close the listener (service stays up)."""
         if self._server is None:
             return
+        self.service.on_event = self._prior_on_event
+        self._prior_on_event = None
+        self._loop = None
+        self._event_routes.clear()
         self._server.close()
         await self._server.wait_closed()
         self._server = None
@@ -123,6 +139,8 @@ class SolveServer:
                     continue
                 if isinstance(message, SolveRequest):
                     await self._handle_solve(conn, message, send)
+                elif isinstance(message, ResumeRequest):
+                    await self._handle_resume(conn, message, send)
                 elif isinstance(message, CancelRequest):
                     await self._handle_cancel(conn, message, send)
                 elif isinstance(message, StatusRequest):
@@ -150,6 +168,9 @@ class SolveServer:
     async def _handle_solve(self, conn: int, request: SolveRequest, send) -> None:
         """Admit a solve; follow up with its ``result`` when the session ends."""
         scoped = self._scoped(conn, request.request_id)
+        # route events before admission: a fast session may checkpoint
+        # between submit() returning and the accepted reply going out
+        self._event_routes[scoped] = (send, request.request_id)
         try:
             instance = request.instance.to_instance()
             session_id = await self.service.submit(
@@ -159,6 +180,7 @@ class SolveServer:
                 client_id=request.client_id,
             )
         except ServiceOverloaded as exc:
+            self._event_routes.pop(scoped, None)
             await send(
                 OverloadedReply(
                     request_id=request.request_id, queued=exc.queued, limit=exc.limit
@@ -166,29 +188,110 @@ class SolveServer:
             )
             return
         except (ProtocolError, ValueError, KeyError) as exc:
+            self._event_routes.pop(scoped, None)
             await send(ErrorReply(request_id=request.request_id, message=str(exc)))
             return
         await send(AcceptedReply(request_id=request.request_id, session_id=session_id))
+        self._spawn_result_delivery(scoped, request.request_id, send)
+
+    async def _handle_resume(self, conn: int, request: ResumeRequest, send) -> None:
+        """Admit a solve resumed from a snapshot file on the server's host."""
+        scoped = self._scoped(conn, request.request_id)
+        self._event_routes[scoped] = (send, request.request_id)
+        try:
+            session_id = await self.service.submit_resume(
+                scoped, request.snapshot_path, client_id=request.client_id
+            )
+        except ServiceOverloaded as exc:
+            self._event_routes.pop(scoped, None)
+            await send(
+                OverloadedReply(
+                    request_id=request.request_id, queued=exc.queued, limit=exc.limit
+                )
+            )
+            return
+        except (SnapshotError, ProtocolError, ValueError, KeyError, OSError) as exc:
+            self._event_routes.pop(scoped, None)
+            await send(ErrorReply(request_id=request.request_id, message=str(exc)))
+            return
+        await send(AcceptedReply(request_id=request.request_id, session_id=session_id))
+        self._spawn_result_delivery(scoped, request.request_id, send)
+
+    def _spawn_result_delivery(self, scoped: str, request_id: str, send) -> None:
+        """Follow up with the request's ``result`` when its session ends."""
 
         async def deliver_result() -> None:
             try:
-                result = await self.service.result(scoped)
-            except Exception as exc:
-                await send(ErrorReply(request_id=request.request_id, message=str(exc)))
-                return
-            await send(
-                ResultReply(
-                    request_id=request.request_id,
-                    session_id=result.session_id,
-                    makespan=result.makespan,
-                    order=list(result.order),
-                    proved_optimal=result.proved_optimal,
-                    cancelled=result.cancelled,
-                    stats=result.stats_dict(),
+                try:
+                    result = await self.service.result(scoped)
+                except Exception as exc:
+                    await send(ErrorReply(request_id=request_id, message=str(exc)))
+                    return
+                await send(
+                    ResultReply(
+                        request_id=request_id,
+                        session_id=result.session_id,
+                        makespan=result.makespan,
+                        order=list(result.order),
+                        proved_optimal=result.proved_optimal,
+                        cancelled=result.cancelled,
+                        stats=result.stats_dict(),
+                    )
                 )
-            )
+            finally:
+                self._event_routes.pop(scoped, None)
 
         asyncio.get_running_loop().create_task(deliver_result())
+
+    # ------------------------------------------------------------------ #
+    #  event forwarding (checkpoint / degraded frames)
+    # ------------------------------------------------------------------ #
+    def _forward_event(self, request_id: str, kind: str, payload: dict) -> None:
+        """Service observability callback — may fire on any worker thread.
+
+        Maps the scoped request id back to the owning connection and posts
+        a ``checkpoint``/``degraded`` frame onto the loop thread.  Other
+        event kinds (``restart``) stay server-side.
+        """
+        prior = self._prior_on_event
+        if prior is not None:
+            prior(request_id, kind, payload)
+        loop = self._loop
+        route = self._event_routes.get(request_id)
+        if loop is None or route is None:
+            return
+        send, local_id = route
+        if kind == "checkpoint":
+            message: object = CheckpointReply(
+                request_id=local_id,
+                session_id=int(payload.get("session_id", 0)),
+                sequence=int(payload.get("sequence", 0)),
+                path=str(payload.get("path", "")),
+                steps=int(payload.get("steps", 0)),
+            )
+        elif kind == "degraded":
+            message = DegradedReply(
+                request_id=local_id,
+                session_id=int(payload.get("session_id", 0)),
+                reason=str(payload.get("reason", "")),
+            )
+        else:
+            return
+        try:
+            loop.call_soon_threadsafe(self._post_event, send, message)
+        except RuntimeError:  # loop already closed; event is best-effort
+            return
+
+    def _post_event(self, send, message) -> None:
+        """Loop-thread trampoline: send one event frame, tolerate EOF."""
+
+        async def send_safely() -> None:
+            try:
+                await send(message)
+            except (ConnectionError, OSError):  # client went away mid-event
+                pass
+
+        asyncio.get_running_loop().create_task(send_safely())
 
     async def _handle_cancel(self, conn: int, request: CancelRequest, send) -> None:
         """Acknowledge a cancel; the session's ``result`` still follows."""

@@ -27,11 +27,15 @@ a running session from the loop thread via the session's thread-safe
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import itertools
+import logging
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
+from typing import Callable, Optional, Union
 
+from repro.bb.snapshot import load_snapshot
 from repro.flowshop.bounds import LowerBoundData
 from repro.flowshop.instance import FlowShopInstance
 from repro.service.dispatch import BatchDispatcher, DispatchStats, FlushPolicy
@@ -40,6 +44,8 @@ from repro.service.scheduler import FairShareScheduler, SchedulerFull
 from repro.service.session import SessionConfig, SessionResult, SolveSession
 
 __all__ = ["ServiceOverloaded", "SessionHandle", "SolveService"]
+
+logger = logging.getLogger(__name__)
 
 
 class ServiceOverloaded(Exception):
@@ -70,6 +76,8 @@ class SessionHandle:
     result: "asyncio.Future[SessionResult]"
     running: bool = False
     done: bool = False
+    #: how many times the service restarted this session after a crash
+    restarts: int = 0
 
 
 def _config_from_params(params: SolveParams) -> SessionConfig:
@@ -81,6 +89,8 @@ def _config_from_params(params: SolveParams) -> SessionConfig:
         max_nodes=params.max_nodes,
         max_time_s=params.max_time_s,
         max_frontier_nodes=params.max_frontier_nodes,
+        checkpoint_path=params.checkpoint_path,
+        checkpoint_every=params.checkpoint_every,
     )
 
 
@@ -130,6 +140,30 @@ class SolveService:
     flush_policy:
         Dispatcher flush policy (max-wait / max-batch); ``None`` for
         defaults.
+    checkpoint_dir / checkpoint_every:
+        Fault tolerance: with a directory set, every session checkpoints
+        its in-flight search to ``<dir>/session-<id>.rpbb`` every
+        ``checkpoint_every`` driver steps, and a session whose worker
+        thread dies is restarted from its last snapshot (see
+        ``max_session_restarts``).
+    max_session_restarts / restart_backoff_s:
+        The bounded retry budget for dead sessions: up to
+        ``max_session_restarts`` restarts per session, sleeping
+        ``restart_backoff_s * attempt`` before each.  Past the budget the
+        session's failure propagates to its result future.
+    launch_timeout_s / max_launch_retries / launch_hook:
+        Forwarded to the :class:`BatchDispatcher` (per-launch watchdog,
+        retry budget, fault-injection seam).
+    session_fault_hook:
+        Fault-injection seam: called with a ``session_id``, returns the
+        per-selection hook installed into that session (or ``None``).
+        See :mod:`repro.testing.faults`.
+    on_event:
+        Observability callback ``(request_id, kind, payload)`` — fired for
+        ``"checkpoint"`` (from session worker threads!), ``"degraded"``
+        (from the dispatcher thread) and ``"restart"`` (loop thread)
+        events.  Async consumers must trampoline via
+        ``loop.call_soon_threadsafe``.
 
     Lifecycle: ``start`` → any number of ``submit``/``result``/``cancel``/
     ``status`` → ``close`` (also usable as an async context manager).
@@ -140,18 +174,46 @@ class SolveService:
         max_active_sessions: int = 8,
         max_queued: int = 64,
         flush_policy: Optional[FlushPolicy] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
+        max_session_restarts: int = 2,
+        restart_backoff_s: float = 0.05,
+        launch_timeout_s: Optional[float] = None,
+        max_launch_retries: int = 1,
+        launch_hook: Optional[Callable[[int], None]] = None,
+        session_fault_hook: Optional[Callable[[int], Optional[Callable[[int], None]]]] = None,
+        on_event: Optional[Callable[[str, str, dict], None]] = None,
     ):
         if max_active_sessions < 1:
             raise ValueError("max_active_sessions must be >= 1")
+        if max_session_restarts < 0:
+            raise ValueError("max_session_restarts must be >= 0")
+        if restart_backoff_s < 0:
+            raise ValueError("restart_backoff_s must be >= 0")
         self.max_active_sessions = max_active_sessions
-        self.dispatcher = BatchDispatcher(flush_policy, autostart=False)
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.checkpoint_every = checkpoint_every
+        self.max_session_restarts = max_session_restarts
+        self.restart_backoff_s = restart_backoff_s
+        self.session_fault_hook = session_fault_hook
+        self.on_event = on_event
+        self.dispatcher = BatchDispatcher(
+            flush_policy,
+            autostart=False,
+            launch_timeout_s=launch_timeout_s,
+            max_launch_retries=max_launch_retries,
+            launch_hook=launch_hook,
+            on_degraded=self._on_degraded,
+        )
         self._scheduler = FairShareScheduler(max_queued=max_queued)
         self._instance_cache = _InstanceCache()
         self._executor: Optional[ThreadPoolExecutor] = None
         self._handles: dict[str, SessionHandle] = {}
+        self._request_by_session: dict[int, str] = {}
         self._session_ids = itertools.count(1)
         self._active = 0
         self._completed = 0
+        self._restarts = 0
         self._started = False
         self._closed = False
 
@@ -211,14 +273,55 @@ class SolveService:
         if request_id in self._handles:
             raise KeyError(f"duplicate request_id {request_id!r}")
         config = _config_from_params(params if params is not None else SolveParams())
-        session_id = next(self._session_ids)
-        session = SolveSession(
-            session_id,
-            instance,
-            self._instance_cache.get(instance),
-            self.dispatcher,
-            config,
+        return self._admit(request_id, instance, config, client_id)
+
+    async def submit_resume(
+        self,
+        request_id: str,
+        snapshot_path: Union[str, Path],
+        client_id: str = "anonymous",
+    ) -> int:
+        """Admit a solve that continues from a snapshot file on this host.
+
+        The snapshot (written by an earlier checkpointing session or a
+        ``repro solve --checkpoint`` run) is self-describing: the instance
+        and the engine configuration are rebuilt from its header, and the
+        session resumes the saved frontier instead of starting over.
+        Raises :class:`~repro.bb.snapshot.SnapshotError` subclasses for
+        corrupt/unsupported files — the server maps them onto ``error``
+        replies.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("service is not running")
+        if request_id in self._handles:
+            raise KeyError(f"duplicate request_id {request_id!r}")
+        snapshot = load_snapshot(snapshot_path)
+        engine = snapshot.engine
+        max_frontier = engine.get("max_frontier_nodes")
+        config = SessionConfig(
+            selection=str(engine.get("selection", "best-first")),
+            kernel=str(engine.get("kernel", "v2")),
+            include_one_machine=bool(engine.get("include_one_machine", False)),
+            max_frontier_nodes=int(max_frontier) if max_frontier is not None else None,
+            resume_from=str(snapshot_path),
         )
+        return self._admit(request_id, snapshot.instance, config, client_id)
+
+    def _admit(
+        self,
+        request_id: str,
+        instance: FlowShopInstance,
+        config: SessionConfig,
+        client_id: str,
+    ) -> int:
+        session_id = next(self._session_ids)
+        if self.checkpoint_dir is not None and config.checkpoint_path is None:
+            config = dataclasses.replace(
+                config,
+                checkpoint_path=str(self.checkpoint_dir / f"session-{session_id}.rpbb"),
+                checkpoint_every=self.checkpoint_every,
+            )
+        session = self._build_session(session_id, instance, config, request_id)
         handle = SessionHandle(
             session_id=session_id,
             session=session,
@@ -230,8 +333,49 @@ class SolveService:
         except SchedulerFull as exc:
             raise ServiceOverloaded(exc.queued, exc.limit) from None
         self._handles[request_id] = handle
+        self._request_by_session[session_id] = request_id
         self._pump()
         return session_id
+
+    def _build_session(
+        self,
+        session_id: int,
+        instance: FlowShopInstance,
+        config: SessionConfig,
+        request_id: str,
+    ) -> SolveSession:
+        fault_hook = (
+            self.session_fault_hook(session_id)
+            if self.session_fault_hook is not None
+            else None
+        )
+        return SolveSession(
+            session_id,
+            instance,
+            self._instance_cache.get(instance),
+            self.dispatcher,
+            config,
+            on_event=lambda kind, payload: self._emit(request_id, kind, payload),
+            fault_hook=fault_hook,
+        )
+
+    # ------------------------------------------------------------------ #
+    #  events
+    # ------------------------------------------------------------------ #
+    def _emit(self, request_id: str, kind: str, payload: dict) -> None:
+        """Forward one observability event (may run on any thread)."""
+        callback = self.on_event
+        if callback is not None:
+            callback(request_id, kind, payload)
+
+    def _on_degraded(self, token: object, reason: str) -> None:
+        """Dispatcher callback: map the degraded session token to its request."""
+        session_id = getattr(token, "session_id", None)
+        request_id = self._request_by_session.get(session_id)
+        if request_id is not None:
+            self._emit(
+                request_id, "degraded", {"session_id": session_id, "reason": reason}
+            )
 
     async def result(self, request_id: str) -> SessionResult:
         """Await the terminal :class:`SessionResult` of ``request_id``."""
@@ -272,6 +416,7 @@ class SolveService:
             "active_sessions": self._active,
             "queued_sessions": len(self._scheduler),
             "completed_sessions": self._completed,
+            "session_restarts": self._restarts,
             "dispatcher": self.dispatch_stats.as_dict(),
         }
 
@@ -298,18 +443,81 @@ class SolveService:
             asyncio.get_running_loop().create_task(self._run_session(request_id, handle))
 
     async def _run_session(self, request_id: str, handle: SessionHandle) -> None:
-        """Run one session on a pool thread and settle its result future."""
+        """Run one session on a pool thread and settle its result future.
+
+        Crash recovery: when the session's worker thread dies with an
+        exception (an injected fault, a kernel failure, a bug), the
+        session is rebuilt — resuming from its last snapshot when it wrote
+        one, from scratch otherwise — and re-run under the bounded
+        retry/backoff budget.  Only past the budget (or after an explicit
+        cancel / service shutdown) does the failure reach the result
+        future.
+        """
         loop = asyncio.get_running_loop()
         try:
-            result = await loop.run_in_executor(
-                self._executor, lambda: handle.session.run(registered=True)
-            )
-        except BaseException as exc:
-            if not handle.result.done():
-                handle.result.set_exception(exc)
-        else:
-            if not handle.result.done():
-                handle.result.set_result(result)
+            while True:
+                try:
+                    result = await loop.run_in_executor(
+                        self._executor, lambda: handle.session.run(registered=True)
+                    )
+                except asyncio.CancelledError:
+                    raise
+                # repro-lint: ignore[bare-except] -- recovery site: a dead
+                # session thread is restarted from its last snapshot
+                except Exception as exc:
+                    if (
+                        handle.restarts >= self.max_session_restarts
+                        or self._closed
+                        or handle.session.cancel_requested
+                    ):
+                        if not handle.result.done():
+                            handle.result.set_exception(exc)
+                        return
+                    handle.restarts += 1
+                    self._restarts += 1
+                    resume_from = handle.session.last_checkpoint_path
+                    logger.warning(
+                        "session %d died (%s); restart %d/%d from %s",
+                        handle.session_id,
+                        exc,
+                        handle.restarts,
+                        self.max_session_restarts,
+                        resume_from if resume_from is not None else "scratch",
+                    )
+                    self._emit(
+                        request_id,
+                        "restart",
+                        {
+                            "session_id": handle.session_id,
+                            "attempt": handle.restarts,
+                            "error": str(exc),
+                            "resume_from": str(resume_from) if resume_from else None,
+                        },
+                    )
+                    await asyncio.sleep(self.restart_backoff_s * handle.restarts)
+                    dead = handle.session
+                    config = dead.config
+                    if resume_from is not None:
+                        config = dataclasses.replace(
+                            config, resume_from=str(resume_from)
+                        )
+                    handle.session = self._build_session(
+                        handle.session_id,
+                        dead.instance,
+                        config,
+                        request_id,
+                    )
+                    if dead.cancel_requested:
+                        # a cancel that raced the backoff sleep carries over
+                        handle.session.cancel()
+                    # the dead incarnation released the all-parked gauge in
+                    # run()'s finally; the replacement re-registers
+                    self.dispatcher.session_started()
+                    continue
+                else:
+                    if not handle.result.done():
+                        handle.result.set_result(result)
+                    return
         finally:
             handle.done = True
             self._active -= 1

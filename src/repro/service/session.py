@@ -37,10 +37,20 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from pathlib import Path
+from typing import Any, Callable, Optional
 
 from repro.bb.driver import SearchDriver, SearchHooks, SearchLimits
 from repro.bb.frontier import BlockFrontier, Trail, bound_block, root_block
+from repro.bb.snapshot import (
+    CheckpointPolicy,
+    CheckpointState,
+    SnapshotMismatch,
+    dumps_snapshot,
+    instance_fingerprint,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.bb.stats import SearchStats
 from repro.flowshop.bounds import LowerBoundData
 from repro.flowshop.instance import FlowShopInstance
@@ -67,6 +77,13 @@ class SessionConfig:
     max_nodes: Optional[int] = None
     max_time_s: Optional[float] = None
     max_frontier_nodes: Optional[int] = None
+    #: snapshot file this session checkpoints to (fault tolerance); ``None``
+    #: disables checkpointing
+    checkpoint_path: Optional[str] = None
+    #: checkpoint every N driver steps (requires ``checkpoint_path``)
+    checkpoint_every: Optional[int] = None
+    #: snapshot file to resume from instead of starting a fresh search
+    resume_from: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kernel not in ("v1", "v2"):
@@ -77,6 +94,11 @@ class SessionConfig:
             raise ValueError(f"unknown selection strategy {self.selection!r}")
         if self.max_frontier_nodes is not None and self.max_frontier_nodes < 1:
             raise ValueError("max_frontier_nodes must be >= 1 when given")
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1 when given")
+            if self.checkpoint_path is None:
+                raise ValueError("checkpoint_every requires checkpoint_path")
 
 
 @dataclass
@@ -128,12 +150,27 @@ class SolveSession:
         data: LowerBoundData,
         dispatcher: BatchDispatcher,
         config: SessionConfig | None = None,
+        on_event: Optional[Callable[[str, dict], None]] = None,
+        fault_hook: Optional[Callable[[int], None]] = None,
     ):
         self.session_id = session_id
         self.instance = instance
         self.data = data
         self.dispatcher = dispatcher
         self.config = config if config is not None else SessionConfig()
+        #: called (from the session's worker thread) with ``(kind, payload)``
+        #: for observability events — currently ``"checkpoint"``
+        self.on_event = on_event
+        #: fault-injection seam: called with the selection-step index at
+        #: every selection, before the cancel check (see repro.testing.faults)
+        self.fault_hook = fault_hook
+        #: newest snapshot this session wrote (or resumed from) — what the
+        #: service restarts a dead session from
+        self.last_checkpoint_path: Optional[Path] = (
+            Path(self.config.resume_from) if self.config.resume_from else None
+        )
+        #: snapshots written by this session incarnation
+        self.checkpoints_written = 0
         self._cancel = threading.Event()
 
     def cancel(self) -> None:
@@ -185,13 +222,81 @@ class SolveSession:
         finally:
             self.dispatcher.session_finished()
 
+    def _engine_config(self, include_one_machine: bool) -> dict:
+        """Engine settings recorded in this session's snapshot headers."""
+        config = self.config
+        return {
+            "engine": "session",
+            "selection": config.selection,
+            "kernel": config.kernel,
+            "layout": "block",
+            "include_one_machine": include_one_machine,
+            "max_frontier_nodes": config.max_frontier_nodes,
+            "trace": False,
+        }
+
+    def _make_checkpoint_hook(self, include_one_machine: bool):
+        """The ``on_checkpoint`` callback: snapshot to the configured path."""
+        path = Path(self.config.checkpoint_path)
+        engine = self._engine_config(include_one_machine)
+
+        def write(state: CheckpointState) -> None:
+            blob = dumps_snapshot(
+                self.instance,
+                layout="block",
+                frontier=state.frontier,
+                trail=state.trail,
+                upper_bound=state.upper_bound,
+                best_order=state.best_order_supplier(),
+                next_order=state.next_order,
+                stats=state.stats,
+                engine=engine,
+            )
+            save_snapshot(path, blob)
+            self.checkpoints_written += 1
+            self.last_checkpoint_path = path
+            if self.on_event is not None:
+                self.on_event(
+                    "checkpoint",
+                    {
+                        "session_id": self.session_id,
+                        "path": str(path),
+                        "sequence": self.checkpoints_written,
+                        "steps": state.steps,
+                    },
+                )
+
+        return write
+
+    def _load_resume_state(self, instance):
+        """Materialize ``config.resume_from`` and verify it belongs to us."""
+        snapshot = load_snapshot(self.config.resume_from)
+        if snapshot.layout != "block":
+            raise SnapshotMismatch(
+                "service sessions run the block layout; cannot resume "
+                f"a {snapshot.layout!r}-layout snapshot"
+            )
+        if snapshot.header["instance"]["fingerprint"] != instance_fingerprint(instance):
+            raise SnapshotMismatch(
+                "snapshot belongs to a different instance than this session"
+            )
+        return snapshot
+
     def _solve(self, config, instance, include_one_machine) -> SessionResult:
         """The sequential-recipe solve body (gauge handling lives in ``run``)."""
-        stats = SearchStats()
-
-        upper_bound, best_order = self._initial_incumbent()
-        if best_order:
-            stats.incumbent_updates += 1
+        resumed = (
+            self._load_resume_state(instance) if config.resume_from else None
+        )
+        if resumed is not None:
+            stats = resumed.stats
+            upper_bound, best_order = resumed.upper_bound, resumed.best_order
+            carried_time_s = stats.time_total_s
+        else:
+            stats = SearchStats()
+            upper_bound, best_order = self._initial_incumbent()
+            if best_order:
+                stats.incumbent_updates += 1
+            carried_time_s = 0.0
         best_makespan = upper_bound if best_order else None
 
         def record_incumbent(makespan, supplier):
@@ -199,7 +304,11 @@ class SolveSession:
             best_makespan = makespan
             best_order = supplier()
 
-        def check_cancel(_k: int) -> None:
+        fault_hook = self.fault_hook
+
+        def check_cancel(step: int) -> None:
+            if fault_hook is not None:
+                fault_hook(step)
             if self._cancel.is_set():
                 raise SessionCancelled("session cancelled")
 
@@ -210,6 +319,11 @@ class SolveSession:
             kernel=config.kernel,
             include_one_machine=include_one_machine,
         )
+        hooks = SearchHooks(on_select=check_cancel, on_improve_incumbent=record_incumbent)
+        checkpoint: Optional[CheckpointPolicy] = None
+        if config.checkpoint_path is not None and config.checkpoint_every is not None:
+            checkpoint = CheckpointPolicy(every_steps=config.checkpoint_every)
+            hooks.on_checkpoint = self._make_checkpoint_hook(include_one_machine)
         driver = SearchDriver(
             instance,
             self.data,
@@ -219,28 +333,33 @@ class SolveSession:
             include_one_machine=include_one_machine,
             offload=offload,
             limits=SearchLimits(max_nodes=config.max_nodes, max_time_s=config.max_time_s),
-            hooks=SearchHooks(
-                on_select=check_cancel, on_improve_incumbent=record_incumbent
-            ),
+            hooks=hooks,
+            checkpoint=checkpoint,
         )
 
         start = time.perf_counter()
-        trail = Trail()
-        frontier = BlockFrontier(
-            instance.n_jobs,
-            instance.n_machines,
-            trail,
-            strategy=config.selection,
-            max_pending=config.max_frontier_nodes,
-        )
-        root = root_block(instance, trail)
-        t0 = time.perf_counter()
-        # the root is a single node bounded before any peer session exists
-        # to coalesce with — evaluate it locally, as the serial engine does
-        bound_block(self.data, root, include_one_machine, kernel=config.kernel)
-        stats.time_bounding_s += time.perf_counter() - t0
-        stats.nodes_bounded += 1
-        frontier.push_block(root)
+        if resumed is not None:
+            frontier = resumed.frontier
+            trail = resumed.trail
+            next_order = resumed.next_order
+        else:
+            trail = Trail()
+            frontier = BlockFrontier(
+                instance.n_jobs,
+                instance.n_machines,
+                trail,
+                strategy=config.selection,
+                max_pending=config.max_frontier_nodes,
+            )
+            root = root_block(instance, trail)
+            t0 = time.perf_counter()
+            # the root is a single node bounded before any peer session exists
+            # to coalesce with — evaluate it locally, as the serial engine does
+            bound_block(self.data, root, include_one_machine, kernel=config.kernel)
+            stats.time_bounding_s += time.perf_counter() - t0
+            stats.nodes_bounded += 1
+            frontier.push_block(root)
+            next_order = 1
 
         try:
             outcome = driver.run(
@@ -249,11 +368,11 @@ class SolveSession:
                 best_order=best_order,
                 stats=stats,
                 trail=trail,
-                next_order=1,
+                next_order=next_order,
                 start=start,
             )
         except SessionCancelled:
-            stats.time_total_s = time.perf_counter() - start
+            stats.time_total_s = carried_time_s + (time.perf_counter() - start)
             stats.max_pool_size = frontier.max_size_seen
             if best_makespan is None or not best_order:
                 raise RuntimeError(
@@ -268,7 +387,7 @@ class SolveSession:
                 stats=stats,
             )
 
-        stats.time_total_s = time.perf_counter() - start
+        stats.time_total_s = carried_time_s + (time.perf_counter() - start)
         stats.max_pool_size = frontier.max_size_seen
 
         if not outcome.best_order:

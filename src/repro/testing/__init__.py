@@ -1,0 +1,9 @@
+"""Test support: deterministic fault injection for the chaos suite.
+
+Unranked in the layer DAG — importable from anywhere, but only imported
+by tests and the chaos CI step, never by solver or service code paths.
+"""
+
+from repro.testing.faults import FaultInjector, SimulatedFault
+
+__all__ = ["FaultInjector", "SimulatedFault"]

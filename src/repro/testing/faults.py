@@ -1,0 +1,201 @@
+"""Deterministic fault injection for the chaos tests (``tests/test_chaos.py``).
+
+A :class:`FaultInjector` manufactures the hooks the fault-tolerant stack
+exposes as injection seams:
+
+- ``launch_failure`` / ``random_launch_failure`` / ``slow_launch`` plug
+  into :class:`~repro.service.dispatch.BatchDispatcher` (``launch_hook``,
+  called with the 1-based launch index at the top of every bounding
+  launch attempt — retries get fresh indices, so an every-Nth fault is
+  recovered by a single retry);
+- ``session_kill`` plugs into :class:`~repro.service.session.SolveSession`
+  (``fault_hook``, called with the driver step before each selection) and
+  into :class:`~repro.service.service.SolveService` via
+  ``session_fault_hook`` — the hook keeps its remaining-faults budget in
+  the injector, so a restarted session incarnation does not re-arm it;
+- :meth:`truncate_file` / :meth:`corrupt_file` damage snapshot files on
+  disk the way a crashed writer or bad sector would.
+
+Everything is driven by one seeded :class:`random.Random`, so a chaos run
+is reproducible from ``FaultInjector(seed=...)`` alone.  Injected errors
+are :class:`SimulatedFault` (a ``RuntimeError``), distinguishable from
+genuine bugs in assertions.  Hooks are thread-safe: dispatcher hooks fire
+on the flusher thread, session hooks on executor worker threads.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+__all__ = ["FaultInjector", "SimulatedFault"]
+
+
+class SimulatedFault(RuntimeError):
+    """An injected failure — never raised by production code."""
+
+
+class FaultInjector:
+    """Build deterministic fault hooks and record every fault that fired.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the private RNG used by :meth:`random_launch_failure` and
+        :meth:`corrupt_file`; two injectors with the same seed inject
+        the same fault schedule.
+
+    Attributes
+    ----------
+    fired:
+        ``(kind, where)`` tuples appended (under a lock) every time a
+        hook injects — what the chaos tests assert accounting against.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.fired: list[tuple[str, int]] = []
+
+    def _record(self, kind: str, where: int) -> None:
+        with self._lock:
+            self.fired.append((kind, where))
+
+    def count(self, kind: str) -> int:
+        """How many faults of ``kind`` have fired so far."""
+        with self._lock:
+            return sum(1 for fired_kind, _ in self.fired if fired_kind == kind)
+
+    # ------------------------------------------------------------------ #
+    #  dispatcher seams (BatchDispatcher launch_hook)
+    # ------------------------------------------------------------------ #
+    def launch_failure(
+        self, every_n: int, times: Optional[int] = None
+    ) -> Callable[[int], None]:
+        """Raise :class:`SimulatedFault` on every ``every_n``-th launch.
+
+        ``times`` caps the total number of injected failures (``None`` =
+        unlimited).  With the dispatcher's default single retry budget an
+        ``every_n >= 2`` schedule is always recovered: the retry draws a
+        fresh launch index, which cannot also be divisible.
+        """
+        if every_n < 1:
+            raise ValueError("every_n must be >= 1")
+        remaining = [times]
+
+        def hook(launch_index: int) -> None:
+            if launch_index % every_n != 0:
+                return
+            with self._lock:
+                if remaining[0] is not None:
+                    if remaining[0] <= 0:
+                        return
+                    remaining[0] -= 1
+                self.fired.append(("launch-failure", launch_index))
+            raise SimulatedFault(f"injected failure on launch {launch_index}")
+
+        return hook
+
+    def random_launch_failure(
+        self, probability: float, times: Optional[int] = None
+    ) -> Callable[[int], None]:
+        """Raise on each launch with seeded probability (reproducible)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        remaining = [times]
+
+        def hook(launch_index: int) -> None:
+            with self._lock:
+                if remaining[0] is not None and remaining[0] <= 0:
+                    return
+                if self._rng.random() >= probability:
+                    return
+                if remaining[0] is not None:
+                    remaining[0] -= 1
+                self.fired.append(("launch-failure", launch_index))
+            raise SimulatedFault(f"injected random failure on launch {launch_index}")
+
+        return hook
+
+    def slow_launch(
+        self, sleep_s: float, every_n: int = 1, times: Optional[int] = None
+    ) -> Callable[[int], None]:
+        """Stall selected launches by ``sleep_s`` (trips the launch watchdog)."""
+        if sleep_s < 0:
+            raise ValueError("sleep_s must be >= 0")
+        if every_n < 1:
+            raise ValueError("every_n must be >= 1")
+        remaining = [times]
+
+        def hook(launch_index: int) -> None:
+            if launch_index % every_n != 0:
+                return
+            with self._lock:
+                if remaining[0] is not None:
+                    if remaining[0] <= 0:
+                        return
+                    remaining[0] -= 1
+                self.fired.append(("slow-launch", launch_index))
+            time.sleep(sleep_s)
+
+        return hook
+
+    # ------------------------------------------------------------------ #
+    #  session seam (SolveSession fault_hook / SolveService session_fault_hook)
+    # ------------------------------------------------------------------ #
+    def session_kill(self, at_step: int, times: int = 1) -> Callable[[int], None]:
+        """Kill the session thread at driver step ``>= at_step``.
+
+        The remaining-faults budget lives here, not in the returned
+        closure's caller: ``SolveService`` re-invokes its
+        ``session_fault_hook`` factory for every restarted incarnation,
+        and handing back this same hook keeps the budget shared — after
+        ``times`` kills the hook goes inert and the restart can finish.
+        """
+        if times < 0:
+            raise ValueError("times must be >= 0")
+        remaining = [times]
+
+        def hook(step: int) -> None:
+            with self._lock:
+                if remaining[0] <= 0 or step < at_step:
+                    return
+                remaining[0] -= 1
+                self.fired.append(("session-kill", step))
+            raise SimulatedFault(f"injected session kill at step {step}")
+
+        return hook
+
+    # ------------------------------------------------------------------ #
+    #  snapshot damage
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def truncate_file(path: Union[str, Path], at_byte: int) -> int:
+        """Cut ``path`` to its first ``at_byte`` bytes (a crashed writer).
+
+        Returns the number of bytes removed.
+        """
+        path = Path(path)
+        data = path.read_bytes()
+        if not 0 <= at_byte < len(data):
+            raise ValueError(f"at_byte must be in [0, {len(data)}), got {at_byte}")
+        path.write_bytes(data[:at_byte])
+        return len(data) - at_byte
+
+    def corrupt_file(self, path: Union[str, Path]) -> int:
+        """Flip one seeded-random byte of ``path``; returns its offset."""
+        path = Path(path)
+        data = bytearray(path.read_bytes())
+        if not data:
+            raise ValueError(f"{path} is empty")
+        with self._lock:
+            offset = self._rng.randrange(len(data))
+            mask = self._rng.randrange(1, 256)
+        data[offset] ^= mask
+        path.write_bytes(bytes(data))
+        self._record("corrupt-byte", offset)
+        return offset

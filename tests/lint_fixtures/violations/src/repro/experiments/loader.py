@@ -1,0 +1,8 @@
+"""Fixture: broad-and-silent handler OUTSIDE service//bb/ (out of scope)."""
+
+
+def load_optional_report(path):
+    try:
+        return path.read_text()
+    except Exception:  # not flagged: experiments/ is outside the rule's scope
+        pass

@@ -1,0 +1,30 @@
+"""Fixture: silent exception swallowing in recovery code (bare-except)."""
+
+
+def run_session(session):
+    try:
+        return session.run()
+    except:  # finding: bare except catches SystemExit/KeyboardInterrupt
+        return None
+
+
+def flush_batch(batch):
+    try:
+        batch.flush()
+    except Exception:  # finding: broad and silent
+        pass
+
+
+def write_checkpoint(path, blob):
+    try:
+        path.write_bytes(blob)
+    except (OSError, BaseException):  # finding: broad-in-tuple and silent
+        ...
+
+
+def retry_launch(launcher):
+    try:
+        launcher.launch()
+    except Exception as exc:  # not flagged: the handler acts on the failure
+        launcher.record_failure(exc)
+        raise

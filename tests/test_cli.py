@@ -117,6 +117,62 @@ class TestSolveCommand:
             main(["solve", "--file", "/nonexistent/instance.txt"])
 
 
+class TestCheckpointCommands:
+    def _write_instance(self, tmp_path):
+        instance = random_instance(8, 5, seed=17)
+        path = tmp_path / "instance.json"
+        write_json_file(instance, path)
+        return path
+
+    def test_checkpoint_requires_serial_engine(self, tmp_path):
+        with pytest.raises(SystemExit, match="serial"):
+            main(["solve", "--checkpoint", str(tmp_path / "ck.rpbb")])
+
+    def test_checkpoint_interval_requires_checkpoint(self):
+        with pytest.raises(SystemExit, match="--checkpoint"):
+            main(["solve", "--engine", "serial", "--checkpoint-interval", "5"])
+
+    def test_solve_then_resume_round_trip(self, tmp_path, capsys):
+        """Budget-cut a checkpointed solve; `repro resume` finishes it."""
+        instance_file = self._write_instance(tmp_path)
+        snapshot = tmp_path / "run.rpbb"
+        code = main(
+            [
+                "solve",
+                "--engine",
+                "serial",
+                "--file",
+                str(instance_file),
+                "--max-nodes",
+                "40",
+                "--checkpoint",
+                str(snapshot),
+                "--checkpoint-interval",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimal  : False" in out
+        assert snapshot.exists()
+
+        code = main(["resume", str(snapshot)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimal  : True" in out
+        assert "makespan : 539" in out
+
+    def test_resume_missing_snapshot_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["resume", str(tmp_path / "nope.rpbb")])
+
+    def test_resume_corrupt_snapshot_errors(self, tmp_path):
+        bogus = tmp_path / "bogus.rpbb"
+        bogus.write_bytes(b"not a snapshot at all")
+        with pytest.raises(SystemExit, match="cannot resume"):
+            main(["resume", str(bogus)])
+
+
 class TestAutotuneCommand:
     def test_autotune_model_mode(self, capsys):
         code = main(["autotune", "--jobs", "20", "--machines", "20"])

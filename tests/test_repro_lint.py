@@ -114,6 +114,27 @@ class TestDtype:
         assert not findings_for(lint(CLEAN), "dtype")
 
 
+class TestBareExcept:
+    def test_violations_fire(self):
+        found = findings_for(lint(VIOLATIONS), "bare-except")
+        # recovery.py: bare except, silent `except Exception`, silent tuple
+        assert len(found) == 3
+        assert all("recovery.py" in f.path for f in found)
+        messages = " | ".join(f.message for f in found)
+        assert "SystemExit" in messages  # the bare-except variant
+        assert "restart/retry/degrade" in messages  # the silent-broad variant
+
+    def test_out_of_scope_layers_are_ignored(self):
+        # experiments/loader.py swallows broadly but lives outside
+        # service/ and bb/ — not this rule's problem
+        found = findings_for(lint(VIOLATIONS), "bare-except")
+        assert not any("experiments" in f.path for f in found)
+
+    def test_clean_twin(self):
+        # acting handlers, narrow handlers, and one justified suppression
+        assert not findings_for(lint(CLEAN), "bare-except")
+
+
 class TestOffloadContract:
     def test_violations_fire(self):
         found = findings_for(lint(VIOLATIONS), "offload-contract")

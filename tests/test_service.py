@@ -183,6 +183,24 @@ class TestConcurrentService:
         asyncio.run(run())
 
 
+class TestPerRequestCheckpoint:
+    def test_params_checkpoint_writes_snapshot(self, tmp_path):
+        """The wire-level params carry the per-request checkpoint knobs."""
+        from repro.bb.snapshot import SNAPSHOT_FORMAT_VERSION, load_header
+
+        path = tmp_path / "r1.rpbb"
+
+        async def run():
+            async with SolveService() as service:
+                params = SolveParams(checkpoint_path=str(path), checkpoint_every=2)
+                return await service.solve("r1", MEDIUM, params=params)
+
+        result = asyncio.run(run())
+        assert_matches_sequential(result, MEDIUM)
+        header = load_header(path)
+        assert header["format_version"] == SNAPSHOT_FORMAT_VERSION
+
+
 class TestSessionCancellation:
     def test_cancel_before_first_selection(self):
         """A pre-cancelled session dies at its first pop, NEH incumbent intact."""
@@ -329,5 +347,25 @@ class TestWireService:
                         client._inbox("ghost")
                         reply = await client.cancel("ghost")
                         assert reply.type == "error"
+
+        asyncio.run(run())
+
+    def test_next_reply_timeout_discards_the_inbox(self):
+        """An abandoned request must not keep queueing late replies."""
+
+        async def run():
+            async with SolveService(max_active_sessions=1) as service:
+                async with SolveServer(service) as server:
+                    client = await ServiceClient.connect("127.0.0.1", server.port)
+                    async with client:
+                        client._inbox("nobody-answers")
+                        with pytest.raises(asyncio.TimeoutError):
+                            await client.next_reply("nobody-answers", timeout=0.05)
+                        assert "nobody-answers" not in client._inboxes
+                        # a live request is unaffected by the cleanup
+                        reply = await client.solve(
+                            InstanceSpec.explicit(SMALL.processing_times.tolist())
+                        )
+                        assert reply.type == "result"
 
         asyncio.run(run())

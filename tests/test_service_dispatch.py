@@ -153,9 +153,15 @@ class TestFlushExecution:
     def test_close_fails_leftover_futures(self, instance, data):
         dispatcher = BatchDispatcher(autostart=False)
         future = dispatcher.submit("s1", data, fresh_root(instance))
+        other = dispatcher.submit("s2", data, fresh_root(instance))
         dispatcher.close()
-        with pytest.raises(RuntimeError, match="dispatcher closed"):
+        # parked futures are cancelled (not left pending) before the join
+        with pytest.raises(SessionCancelled):
             future.result(timeout=1)
+        with pytest.raises(SessionCancelled):
+            other.result(timeout=1)
+        assert dispatcher.stats.n_cancelled == 2
+        assert dispatcher.close_join_timed_out is False
         with pytest.raises(RuntimeError, match="closed"):
             dispatcher.submit("s1", data, fresh_root(instance))
 

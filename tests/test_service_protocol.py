@@ -6,15 +6,20 @@ import json
 
 import pytest
 
+from repro.bb.snapshot import SNAPSHOT_FORMAT_VERSION
 from repro.service.protocol import (
+    SUPPORTED_SNAPSHOT_VERSIONS,
     AcceptedReply,
     CancelledReply,
     CancelRequest,
+    CheckpointReply,
+    DegradedReply,
     ErrorReply,
     InstanceSpec,
     OverloadedReply,
     ProtocolError,
     ResultReply,
+    ResumeRequest,
     SolveParams,
     SolveRequest,
     StatusReply,
@@ -29,6 +34,11 @@ MESSAGES = [
         instance=InstanceSpec.taillard(20, 5, index=3),
         params=SolveParams(selection="depth-first", kernel="v1", max_nodes=100),
         client_id="alice",
+    ),
+    SolveRequest(
+        request_id="r7",
+        instance=InstanceSpec.taillard(20, 5, index=3),
+        params=SolveParams(checkpoint_path="/tmp/r7.rpbb", checkpoint_every=500),
     ),
     SolveRequest(
         request_id="r2",
@@ -55,6 +65,21 @@ MESSAGES = [
         completed_sessions=5,
         dispatcher={"n_launches": 12},
     ),
+    ResumeRequest(
+        request_id="r3",
+        snapshot_path="/tmp/session-7.rpbb",
+        header={"format_version": SNAPSHOT_FORMAT_VERSION, "layout": "block"},
+        client_id="bob",
+    ),
+    ResumeRequest(request_id="r4", snapshot_path="ckpt.rpbb"),
+    CheckpointReply(
+        request_id="r1",
+        session_id=7,
+        sequence=3,
+        path="/tmp/session-7.rpbb",
+        steps=192,
+    ),
+    DegradedReply(request_id="r1", session_id=7, reason="bounding launch timed out"),
 ]
 
 
@@ -95,6 +120,41 @@ class TestDecodeErrors:
     def test_unknown_field(self):
         with pytest.raises(ProtocolError, match="payload"):
             decode('{"type": "cancel", "request_id": "r1", "bogus": 1}')
+
+    def test_resume_without_snapshot_path(self):
+        with pytest.raises(ProtocolError):
+            decode('{"type": "resume", "request_id": "r1"}')
+
+    def test_resume_rejects_unknown_snapshot_version(self):
+        bad_version = max(SUPPORTED_SNAPSHOT_VERSIONS) + 1
+        line = json.dumps(
+            {
+                "type": "resume",
+                "request_id": "r1",
+                "snapshot_path": "ckpt.rpbb",
+                "header": {"format_version": bad_version},
+            }
+        )
+        with pytest.raises(ProtocolError, match="format_version"):
+            decode(line)
+
+    def test_resume_rejects_non_dict_header(self):
+        line = json.dumps(
+            {
+                "type": "resume",
+                "request_id": "r1",
+                "snapshot_path": "ckpt.rpbb",
+                "header": [1],
+            }
+        )
+        with pytest.raises(ProtocolError, match="header"):
+            decode(line)
+
+
+class TestSnapshotVersionPin:
+    def test_current_snapshot_version_is_supported(self):
+        """The wire allowlist must track the snapshot module's version."""
+        assert SNAPSHOT_FORMAT_VERSION in SUPPORTED_SNAPSHOT_VERSIONS
 
 
 class TestInstanceSpec:

@@ -187,6 +187,106 @@ class TestBudgetsAndFailures:
             engine.solve()
 
 
+class TestRebalancing:
+    """rebalance=True: budget-cut chunks re-enqueue their live remainder."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_tiny_node_budget_stays_exact(self, small_instance, backend):
+        # Without rebalancing, max_nodes_per_task=5 truncates nearly every
+        # chunk; with it the cuts become time-slices and the proof survives.
+        _, optimum = brute_force_optimum(small_instance)
+        engine = WorkStealingBranchAndBound(
+            small_instance,
+            n_workers=2,
+            backend=backend,
+            decomposition_depth=1,
+            max_nodes_per_task=5,
+            rebalance=True,
+        )
+        result = engine.solve()
+        assert result.best_makespan == optimum
+        assert result.proved_optimal
+        assert engine.rebalanced_chunks > 0
+
+    def test_process_backend(self, small_instance):
+        _, optimum = brute_force_optimum(small_instance)
+        engine = WorkStealingBranchAndBound(
+            small_instance,
+            n_workers=2,
+            backend="process",
+            decomposition_depth=1,
+            max_nodes_per_task=10,
+            rebalance=True,
+        )
+        result = engine.solve()
+        assert result.best_makespan == optimum
+        assert result.proved_optimal
+
+    def test_object_layout(self, small_instance):
+        _, optimum = brute_force_optimum(small_instance)
+        engine = WorkStealingBranchAndBound(
+            small_instance,
+            n_workers=2,
+            backend="thread",
+            decomposition_depth=1,
+            max_nodes_per_task=5,
+            layout="object",
+            rebalance=True,
+        )
+        result = engine.solve()
+        assert result.best_makespan == optimum
+        assert result.proved_optimal
+        assert engine.rebalanced_chunks > 0
+
+    def test_infinite_bound_completes_instead_of_raising(self, tiny_instance):
+        # The twin of test_truncated_run_with_infinite_bound_raises: the
+        # same starved configuration finds the optimum once remainders are
+        # re-enqueued instead of dropped.
+        _, optimum = brute_force_optimum(tiny_instance)
+        result = WorkStealingBranchAndBound(
+            tiny_instance,
+            n_workers=1,
+            backend="serial",
+            decomposition_depth=1,
+            initial_upper_bound=float("inf"),
+            max_nodes_per_task=1,
+            rebalance=True,
+        ).solve()
+        assert result.best_makespan == optimum
+        assert result.proved_optimal
+
+    def test_deadline_remains_a_hard_stop(self):
+        import time
+
+        instance = random_instance(12, 8, seed=5)
+        start = time.perf_counter()
+        result = WorkStealingBranchAndBound(
+            instance,
+            n_workers=2,
+            backend="thread",
+            max_time_s=0.05,
+            max_nodes_per_task=50,
+            rebalance=True,
+        ).solve()
+        wall = time.perf_counter() - start
+        assert not result.proved_optimal
+        assert wall < 5.0
+
+    def test_best_first_chunks_survive_rebalancing(self, small_instance):
+        _, optimum = brute_force_optimum(small_instance)
+        result = WorkStealingBranchAndBound(
+            small_instance,
+            n_workers=2,
+            backend="thread",
+            decomposition_depth=1,
+            selection="best-first",
+            max_nodes_per_task=5,
+            rebalance=True,
+        ).solve()
+        assert result.best_makespan == optimum
+        assert result.proved_optimal
+
+
 class TestWorkAvoidance:
     def test_fewer_nodes_than_static_split(self):
         """Acceptance: shared incumbent beats the static split at 4 workers."""

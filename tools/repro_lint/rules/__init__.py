@@ -9,6 +9,7 @@ handles walking, suppressions, baselining, and output.
 from __future__ import annotations
 
 from tools.repro_lint.framework import Rule
+from tools.repro_lint.rules.bare_except import BareExceptRule
 from tools.repro_lint.rules.dtype import DtypeRule
 from tools.repro_lint.rules.guarded_by import GuardedByRule
 from tools.repro_lint.rules.layer_dag import LayerDagRule
@@ -26,4 +27,5 @@ def all_rules() -> list[Rule]:
         GuardedByRule(),
         DtypeRule(),
         OffloadContractRule(),
+        BareExceptRule(),
     ]

@@ -1,0 +1,95 @@
+"""Rule ``bare-except``: no silent exception swallowing in recovery code.
+
+The fault-tolerance work (checkpoint/resume, session restarts, launch
+retry/degrade) hinges on failures *reaching* the recovery machinery: a
+``except: pass`` between a crash and the restart logic turns a recovered
+fault into a silent wrong answer or a hang.  Scoped to the two layers
+that own recovery — ``src/repro/service/`` and ``src/repro/bb/`` — the
+rule flags:
+
+- a bare ``except:`` handler, always (it also catches ``SystemExit`` and
+  ``KeyboardInterrupt``);
+- an ``except Exception``/``except BaseException`` handler (alone or in
+  a tuple) whose body does nothing — only ``pass``/``...`` — so the
+  failure is dropped on the floor.
+
+Handlers that catch broadly but *act* (log, retry, degrade, re-raise)
+are fine.  Deliberate recovery sites that must stay broad carry an
+inline ``# repro-lint: ignore[bare-except] -- <why>`` with the rationale,
+which doubles as the annotation ``docs/SERVING.md`` points auditors at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.framework import Finding, Rule, SourceModule
+
+#: The layers owning fault recovery; elsewhere broad handlers are out of scope.
+CHECKED_PREFIXES = ("src/repro/service/", "src/repro/bb/")
+
+#: Exception names so broad that a do-nothing handler hides real faults.
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _catches_broad(handler: ast.ExceptHandler) -> bool:
+    """Does the handler's type include Exception/BaseException?"""
+    expr = handler.type
+    elements = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+    for element in elements:
+        if isinstance(element, ast.Name) and element.id in BROAD_NAMES:
+            return True
+        if isinstance(element, ast.Attribute) and element.attr in BROAD_NAMES:
+            return True
+    return False
+
+
+def _body_does_nothing(handler: ast.ExceptHandler) -> bool:
+    """Only ``pass`` / ``...`` statements: the exception is swallowed."""
+    for statement in handler.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant):
+            if statement.value.value is Ellipsis:
+                continue
+        return False
+    return True
+
+
+class BareExceptRule(Rule):
+    name = "bare-except"
+    description = (
+        "no bare/broad-and-silent except handlers in service/ and bb/ "
+        "(fault recovery must see failures)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.relpath.startswith(CHECKED_PREFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    rule=self.name,
+                    path=module.relpath,
+                    line=node.lineno,
+                    message=(
+                        "bare 'except:' also swallows SystemExit/KeyboardInterrupt; "
+                        "name the exceptions, or justify a recovery site with "
+                        "'# repro-lint: ignore[bare-except] -- <why>'"
+                    ),
+                )
+            elif _catches_broad(node) and _body_does_nothing(node):
+                yield Finding(
+                    rule=self.name,
+                    path=module.relpath,
+                    line=node.lineno,
+                    message=(
+                        "'except Exception: pass' drops the failure before the "
+                        "recovery machinery (restart/retry/degrade) can see it; "
+                        "handle it, narrow it, or justify with "
+                        "'# repro-lint: ignore[bare-except] -- <why>'"
+                    ),
+                )
