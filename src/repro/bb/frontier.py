@@ -23,7 +23,11 @@ kernels consume — so the four B&B operators become array programs:
 * :func:`eliminate_block` — elimination as one boolean mask.
 * :class:`BlockFrontier` — the pending pool as growable arrays whose
   ``pop_batch`` / ``prune_to`` use ``argpartition``-style selection and
-  mask compaction instead of per-node heap operations.
+  mask compaction instead of per-node heap operations.  A segmented
+  min-key index (fixed 4096-row segments with cached per-segment key
+  minima, maintained incrementally and refreshed lazily) makes the
+  best-first selection scans sublinear at 10^5–10^6 pending nodes; the
+  ``frontier_index="linear"`` ablation keeps the full-scan paths.
 
 Prefixes are *not* carried per node.  Each node stores one ``trail_id``
 into a shared :class:`Trail` of ``(parent_slot, job)`` pairs, and the full
@@ -84,6 +88,23 @@ NO_BOUND = -1
 #: :func:`bound_block`; larger pools go through the chunked v2 kernel so the
 #: ``(B, n_jobs * n_couples)`` candidate tensor stays cache-sized.
 _FUSED_MAX_BATCH = 512
+
+#: Segment width of the segmented min-key index, as a shift: segments hold
+#: ``2**12 == 4096`` rows.  Small enough that the one in-segment rescan a
+#: refresh pays stays cache-resident, large enough that a million-node
+#: frontier has only ~244 segment minima to reduce over.
+_SEG_SHIFT = 12
+
+#: Cache value of a segment with no valid cached minimum.  Never consulted
+#: (dirty segments are refreshed before any query), but keeps stale reads
+#: loud: the sentinel loses every ``argmin``.
+_KEY_SENTINEL = np.iinfo(np.int64).max
+
+#: Low-water fraction of the ``max_pending`` cap hysteresis: once the cap
+#: trips, best-first selection stays in the depth-first-restricted regime
+#: until the store drains below ``0.8 * cap`` — instead of flapping between
+#: regimes one push/pop around the boundary.
+CAP_LOW_WATER_FRACTION = 0.8
 
 _ARANGE = np.arange(256, dtype=np.int64)
 
@@ -687,13 +708,29 @@ class BlockFrontier:
     because selection never depends on storage order.  Columns are stored
     int32 (the packed key stays int64), halving the scan traffic.
 
-    ``max_pending`` is an optional high-water memory cap: while the store
-    holds at least that many nodes, best-first selection switches to a
+    ``frontier_index`` selects the selection data structure.  The default
+    ``"segmented"`` partitions the store into fixed 4096-row segments and
+    caches each segment's minimum packed key + its row (plus the maximum
+    creation index, for depth-first/restricted pops).  Mutations only
+    *mark* the touched segments dirty; the next selection query refreshes
+    the dirty segments and then reduces over ~n/4096 cached minima instead
+    of scanning all n rows.  Because the packed keys are unique (the
+    creation index is), the indexed argmin is exactly the linear-scan
+    argmin — selection stays bit-identical, which the golden fixtures and
+    ``tests/test_frontier_index.py`` property tests pin.  ``"linear"`` is
+    the full-scan ablation (and the small-store fast path: stores within
+    one segment always scan directly).
+
+    ``max_pending`` is an optional high-water memory cap: once the store
+    reaches that many nodes, best-first selection switches to a
     depth-first-restricted regime — the deepest pending node is popped
     instead of the best-bound one, which plunges toward leaves and stops
     the exhaustive best-first frontier from growing without bound.  The
-    search stays exact (no node is dropped); selection re-engages
-    best-first as soon as elimination shrinks the store below the cap.
+    search stays exact (no node is dropped).  Regime switching is
+    hysteretic: selection re-engages best-first only after elimination
+    drains the store below the low-water mark
+    (:data:`CAP_LOW_WATER_FRACTION` × cap), not one pop below the cap —
+    see :attr:`restricted` and :attr:`regime_switches`.
     """
 
     _STRATEGIES = {
@@ -713,6 +750,8 @@ class BlockFrontier:
         strategy: str = "best-first",
         capacity: int = 64,
         max_pending: int | None = None,
+        frontier_index: str = "segmented",
+        segment_shift: int = _SEG_SHIFT,
     ):
         key = self._STRATEGIES.get(strategy.lower())
         if key is None:
@@ -722,9 +761,27 @@ class BlockFrontier:
             )
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 when given")
+        if frontier_index not in ("segmented", "linear"):
+            raise ValueError(
+                f"unknown frontier index {frontier_index!r}; "
+                "choose 'segmented' or 'linear'"
+            )
+        if not 1 <= segment_shift <= 24:
+            raise ValueError("segment_shift must be in [1, 24]")
         self.strategy = strategy
+        self.frontier_index = frontier_index
         self._kind = key
         self._cap = max_pending
+        #: hysteresis low-water mark: once restricted, stay restricted
+        #: until the store drains strictly below this size
+        self._low_water = (
+            None
+            if max_pending is None
+            else max(1, int(CAP_LOW_WATER_FRACTION * max_pending))
+        )
+        self._restricted_now = False
+        #: number of regime transitions (best-first <-> restricted) so far
+        self.regime_switches = 0
         self._trail = trail
         self._mask = np.zeros((capacity, n_jobs), dtype=bool)
         self._release = np.zeros((capacity, n_machines), dtype=np.int32)
@@ -737,8 +794,40 @@ class BlockFrontier:
         self._packed = n_jobs < (1 << 9)
         self._size = 0
         self._max_size = 0
+        self._segmented = frontier_index == "segmented"
+        self._seg_shift = segment_shift
+        self._seg_size = 1 << segment_shift
+        self._seg_mask = self._seg_size - 1
+        #: maintain the creation-index caches only when a depth-ordered pop
+        #: is reachable (depth strategy, or best-first under a cap whose
+        #: restricted regime pops deepest) — best-first without a cap never
+        #: consults them, and skipping them halves the refresh scans
+        self._seg_track_order = key == "depth" or (
+            key == "best" and max_pending is not None
+        )
+        if self._segmented:
+            seg_cap = max(1, (capacity + self._seg_mask) >> segment_shift)
+            #: per-segment minimum packed key (int64, like the key column)
+            self._seg_key = np.full(seg_cap, _KEY_SENTINEL, dtype=np.int64)
+            #: row holding each segment's minimum key (int32 row ids)
+            self._seg_krow = np.zeros(seg_cap, dtype=np.int32)
+            #: per-segment maximum creation index (depth/restricted pops)
+            self._seg_omax = np.zeros(seg_cap, dtype=np.int32)
+            #: row holding each segment's maximum creation index
+            self._seg_orow = np.zeros(seg_cap, dtype=np.int32)
+            #: segments whose caches must be recomputed before the next query
+            self._seg_dirty = np.ones(seg_cap, dtype=bool)
+            self._seg_any_dirty = True
+        else:
+            self._seg_key = None
+            self._seg_krow = None
+            self._seg_omax = None
+            self._seg_orow = None
+            self._seg_dirty = None
+            self._seg_any_dirty = False
 
     _ARRAYS = ("_mask", "_release", "_lb", "_depth", "_order", "_tid", "_key")
+    _SEG_ARRAYS = ("_seg_key", "_seg_krow", "_seg_omax", "_seg_orow", "_seg_dirty")
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -755,8 +844,24 @@ class BlockFrontier:
     @property
     def restricted(self) -> bool:
         """True while the ``max_pending`` cap holds best-first selection in
-        its depth-first-restricted regime."""
-        return self._cap is not None and self._kind == "best" and self._size >= self._cap
+        its depth-first-restricted regime.
+
+        The regime is hysteretic: it engages when the store reaches the
+        cap and — instead of flapping back the moment one pop dips below
+        it — stays engaged until the store drains strictly below the
+        low-water mark (:data:`CAP_LOW_WATER_FRACTION` × cap).  Each
+        transition increments :attr:`regime_switches`.
+        """
+        if self._cap is None or self._kind != "best":
+            return False
+        if self._restricted_now:
+            if self._size < self._low_water:
+                self._restricted_now = False
+                self.regime_switches += 1
+        elif self._size >= self._cap:
+            self._restricted_now = True
+            self.regime_switches += 1
+        return self._restricted_now
 
     def record_size_hint(self, size: int) -> None:
         """Raise the high-water mark to a size the pool logically reached.
@@ -778,6 +883,20 @@ class BlockFrontier:
                 new = np.zeros((capacity,) + old.shape[1:], dtype=old.dtype)
                 new[: self._size] = old[: self._size]
                 setattr(self, name, new)
+            if self._segmented:
+                seg_cap = max(1, (capacity + self._seg_mask) >> self._seg_shift)
+                old_n = self._seg_dirty.shape[0]
+                if seg_cap > old_n:
+                    for name in self._SEG_ARRAYS:
+                        old = getattr(self, name)
+                        new = np.zeros(seg_cap, dtype=old.dtype)
+                        new[:old_n] = old
+                        setattr(self, name, new)
+                    # caches of live segments stay valid across growth; the
+                    # new segments only become live via a push, which marks
+                    # them — but mark defensively anyway
+                    self._seg_dirty[old_n:] = True
+                    self._seg_any_dirty = True
 
     # ------------------------------------------------------------------ #
     def push_block(self, block: NodeBlock, keep: np.ndarray | None = None) -> None:
@@ -828,21 +947,132 @@ class BlockFrontier:
                     | (depth.astype(np.int64) << 32)
                     | order
                 )
+        if self._segmented:
+            shift = self._seg_shift
+            self._seg_dirty[lo >> shift : ((hi - 1) >> shift) + 1] = True
+            self._seg_any_dirty = True
         self._size = hi
         if hi > self._max_size:
             self._max_size = hi
+
+    # ------------------------------------------------------------------ #
+    # Segmented min-key index.  Mutations mark touched segments dirty (see
+    # push_block/discard/_remove/prune_to); queries call _seg_refresh()
+    # first and then reduce over the per-segment caches.  Key caches are
+    # only maintained while the packed key is valid; the creation-index
+    # caches are always maintained (depth/restricted pops use them).
+
+    def _n_segments(self) -> int:
+        return (self._size + self._seg_mask) >> self._seg_shift
+
+    def _seg_active(self) -> bool:
+        """True when selection should consult the segment caches.
+
+        Stores within a single segment scan directly: the cache reduces
+        nothing there, and skipping it keeps tiny searches on the exact
+        legacy code path.
+        """
+        return self._segmented and self._size > self._seg_size
+
+    def _seg_refresh(self) -> None:
+        """Recompute the caches of every dirty segment (lazy, pre-query)."""
+        if not self._seg_any_dirty:
+            return
+        size = self._size
+        n_seg = (size + self._seg_mask) >> self._seg_shift
+        dirty = self._seg_dirty[:n_seg].nonzero()[0]
+        if dirty.shape[0]:
+            if dirty.shape[0] > max(8, n_seg >> 2):
+                self._seg_rebuild(size, n_seg)
+            else:
+                shift, seg_size = self._seg_shift, self._seg_size
+                packed, key, order = self._packed, self._key, self._order
+                track = self._seg_track_order
+                seg_key, seg_krow = self._seg_key, self._seg_krow
+                seg_omax, seg_orow = self._seg_omax, self._seg_orow
+                for s in dirty.tolist():
+                    lo = s << shift
+                    hi = lo + seg_size
+                    if hi > size:
+                        hi = size
+                    if track:
+                        oseg = order[lo:hi]
+                        j = oseg.argmax()
+                        seg_omax[s] = oseg[j]
+                        seg_orow[s] = lo + j
+                    if packed:
+                        kseg = key[lo:hi]
+                        i = kseg.argmin()
+                        seg_key[s] = kseg[i]
+                        seg_krow[s] = lo + i
+            self._seg_dirty[:n_seg] = False
+        # dirty flags past n_seg stay set: those segments are not live, and
+        # the push that re-grows the store re-marks everything it touches
+        self._seg_any_dirty = False
+
+    def _seg_rebuild(self, size: int, n_seg: int) -> None:
+        """Vectorized full rebuild (cheaper than many per-segment passes)."""
+        shift, seg_size = self._seg_shift, self._seg_size
+        nf = size >> shift  # fully-populated segments
+        if nf:
+            span = nf << shift
+            idx = np.arange(nf, dtype=np.int64)
+            if self._seg_track_order:
+                oview = self._order[:span].reshape(nf, seg_size)
+                j = np.argmax(oview, axis=1)
+                self._seg_omax[:nf] = oview[idx, j]
+                self._seg_orow[:nf] = (idx << shift) + j
+            if self._packed:
+                kview = self._key[:span].reshape(nf, seg_size)
+                i = np.argmin(kview, axis=1)
+                self._seg_key[:nf] = kview[idx, i]
+                self._seg_krow[:nf] = (idx << shift) + i
+        if nf < n_seg:  # ragged tail segment
+            lo = nf << shift
+            if self._seg_track_order:
+                oseg = self._order[lo:size]
+                j = int(np.argmax(oseg))
+                self._seg_omax[nf] = oseg[j]
+                self._seg_orow[nf] = lo + j
+            if self._packed:
+                kseg = self._key[lo:size]
+                i = int(np.argmin(kseg))
+                self._seg_key[nf] = kseg[i]
+                self._seg_krow[nf] = lo + i
+
+    def _seg_rows(self, segs: np.ndarray, size: int) -> np.ndarray:
+        """Concatenated row indices of the given segments (clipped to size)."""
+        shift, seg_size = self._seg_shift, self._seg_size
+        parts = [
+            np.arange(lo, min(lo + seg_size, size), dtype=np.int64)
+            for lo in (np.asarray(segs, dtype=np.int64) << shift)
+        ]
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
 
     # ------------------------------------------------------------------ #
     def _pop_one_index(self) -> int:
         """Row index of the single next node according to the strategy."""
         size = self._size
         if self._kind == "depth" or self.restricted:
+            if self._seg_active():
+                self._seg_refresh()
+                s = int(self._seg_omax[: self._n_segments()].argmax())
+                return int(self._seg_orow[s])
             return int(np.argmax(self._order[:size]))
         if self._kind == "fifo":
             return int(np.argmin(self._order[:size]))
         if self._packed:
             # the packed key's numeric order IS the heap's lexicographic
-            # (lb, depth, order) order: one argmin scan
+            # (lb, depth, order) order: one argmin — over ~n/4096 cached
+            # segment minima when the segmented index is live (keys are
+            # unique, so the indexed argmin IS the linear argmin), over
+            # all n rows otherwise
+            if self._seg_active():
+                self._seg_refresh()
+                s = int(self._seg_key[: self._n_segments()].argmin())
+                return int(self._seg_krow[s])
             return int(np.argmin(self._key[:size]))
         lbs = self._lb[:size]
         best = lbs.min()
@@ -865,11 +1095,45 @@ class BlockFrontier:
         return np.lexsort((self._order[:size], self._depth[:size], self._lb[:size]))
 
     def _best_prefix(self, count: int) -> np.ndarray:
-        """The first ``count`` rows in best-first pop order (``argpartition``)."""
+        """The first ``count`` rows in best-first pop order.
+
+        Packed stores use ``argpartition`` over the key column; with the
+        segmented index live, only the segments that can contribute to the
+        ``count`` smallest keys are gathered: segments are drained in
+        cached-minimum order until ``count`` candidate rows are on hand,
+        the running ``count``-th smallest candidate key bounds which other
+        segments could still matter (a segment whose cached minimum
+        exceeds it cannot hold any of the ``count`` smallest), and the
+        partition runs over that candidate set only.  Keys are unique, so
+        the result is bit-identical to partitioning the whole store.
+        """
         size = self._size
         if count >= size:
             return self._pop_order()
         if self._packed:
+            if self._seg_active():
+                self._seg_refresh()
+                n_seg = self._n_segments()
+                shift = self._seg_shift
+                seg_min = self._seg_key[:n_seg]
+                by_min = np.argsort(seg_min)
+                sizes = np.full(n_seg, self._seg_size, dtype=np.int64)
+                sizes[n_seg - 1] = size - ((n_seg - 1) << shift)
+                cum = np.cumsum(sizes[by_min])
+                take = int(np.searchsorted(cum, count)) + 1
+                rows = self._seg_rows(by_min[:take], size)
+                keys = self._key[rows]
+                kth = np.partition(keys, count - 1)[count - 1]
+                # candidate kth key only shrinks as segments are added, so
+                # every segment whose minimum exceeds it is out for good
+                reach = int(np.searchsorted(seg_min[by_min], kth, side="right"))
+                if reach > take:
+                    rows = np.concatenate(
+                        [rows, self._seg_rows(by_min[take:reach], size)]
+                    )
+                    keys = self._key[rows]
+                part = np.argpartition(keys, count - 1)[:count]
+                return rows[part[np.argsort(keys[part])]]
             keys = self._key[:size]
             part = np.argpartition(keys, count - 1)[:count]
             return part[np.argsort(keys[part])]
@@ -901,11 +1165,22 @@ class BlockFrontier:
         """
         if self._kind != "best" or not self._packed or self._size == 0 or self.restricted:
             return None
-        keys = self._key[: self._size]
-        min_key = keys.min()
-        candidates = np.flatnonzero(keys < ((min_key >> 32) + 1) << 32)
+        size = self._size
+        if self._seg_active():
+            # only segments whose cached minimum sits below the tie
+            # threshold can hold tie members — gather those rows only
+            self._seg_refresh()
+            seg_min = self._seg_key[: self._n_segments()]
+            min_key = seg_min.min()
+            threshold = ((min_key >> 32) + 1) << 32
+            rows = self._seg_rows(np.flatnonzero(seg_min < threshold), size)
+            candidates = rows[self._key[rows] < threshold]
+        else:
+            keys = self._key[:size]
+            min_key = keys.min()
+            candidates = np.flatnonzero(keys < ((min_key >> 32) + 1) << 32)
         if candidates.shape[0] > 1:
-            candidates = candidates[np.argsort(keys[candidates])]
+            candidates = candidates[np.argsort(self._key[candidates])]
             if budget_remaining is not None:
                 depth = int(min_key >> 32) & 0x1FF
                 worst_per_node = 1 + self._mask.shape[1] - depth
@@ -950,6 +1225,21 @@ class BlockFrontier:
             for name in self._ARRAYS:
                 array = getattr(self, name)
                 array[row] = array[last]
+        if self._segmented:
+            shift = self._seg_shift
+            hole_seg = row >> shift
+            self._seg_dirty[hole_seg] = True
+            tail_seg = last >> shift
+            if tail_seg != hole_seg and (
+                not self._packed
+                or self._seg_krow[tail_seg] == last
+                or (self._seg_track_order and self._seg_orow[tail_seg] == last)
+            ):
+                # the tail row moved out of its segment; a fresh cache only
+                # breaks when that row WAS the cached extremum — removing
+                # any other row leaves the cached minimum/maximum attained
+                self._seg_dirty[tail_seg] = True
+            self._seg_any_dirty = True
         self._size = last
 
     def _extract(self, rows: np.ndarray) -> NodeBlock:
@@ -976,6 +1266,11 @@ class BlockFrontier:
             for name in self._ARRAYS:
                 array = getattr(self, name)
                 array[holes] = array[tail_keep]
+        if self._segmented and count:
+            shift = self._seg_shift
+            self._seg_dirty[rows >> shift] = True
+            self._seg_dirty[tail_start >> shift : ((size - 1) >> shift) + 1] = True
+            self._seg_any_dirty = True
         self._size = tail_start
 
     # ------------------------------------------------------------------ #
@@ -1011,20 +1306,34 @@ class BlockFrontier:
             # Best-first pop order is non-decreasing in lb, so the fresh
             # nodes form a prefix: either the batch fills from it (no
             # pruning), or the pool drains and every stale node is dropped.
-            if upper_bound is None:
-                popped = self._best_prefix(max_nodes)
+            # Whether the batch fills is read off the selected prefix
+            # itself — the common nothing-pruned case costs exactly one
+            # selection pass, no pre-counting scan.
+            popped = self._best_prefix(max_nodes)
+            if upper_bound is None or self._lb[popped[-1]] < upper_bound:
                 selected = popped
+            elif self._lb[popped[0]] >= upper_bound:
+                # even the best pending bound is stale: the pool drains
+                popped = np.arange(size, dtype=np.int64)
+                selected = popped[:0]
             else:
-                n_fresh = int(np.count_nonzero(self._lb[:size] < upper_bound))
-                if n_fresh >= max_nodes:
-                    popped = self._best_prefix(max_nodes)
-                    selected = popped
-                elif n_fresh == 0:
-                    popped = np.arange(size, dtype=np.int64)
-                    selected = popped[:0]
+                # the batch cannot fill: the pool drains, dropping every
+                # stale node; the fresh rows key-sorted ARE the fresh
+                # prefix of the pop order (keys are unique)
+                fresh_rows = np.flatnonzero(self._lb[:size] < upper_bound)
+                if self._packed:
+                    selected = fresh_rows[np.argsort(self._key[fresh_rows])]
                 else:
-                    popped = self._pop_order()
-                    selected = popped[self._lb[popped] < upper_bound]
+                    selected = fresh_rows[
+                        np.lexsort(
+                            (
+                                self._order[fresh_rows],
+                                self._depth[fresh_rows],
+                                self._lb[fresh_rows],
+                            )
+                        )
+                    ]
+                popped = np.arange(size, dtype=np.int64)
         else:
             order = self._pop_order()
             if upper_bound is None:
@@ -1061,12 +1370,21 @@ class BlockFrontier:
                 array = getattr(self, name)
                 array[:kept] = array[rows]
             self._size = kept
+            if self._segmented:
+                # mask compaction moves every surviving row: rebuild the
+                # caches of all surviving segments on the next query
+                self._seg_dirty[: ((size - 1) >> self._seg_shift) + 1] = True
+                self._seg_any_dirty = True
         return removed
 
     def best_lower_bound(self) -> int | None:
         """Smallest pending lower bound (``None`` when empty)."""
         if self._size == 0:
             return None
+        if self._packed and self._seg_active():
+            self._seg_refresh()
+            # lb occupies the key's top bits, so the minimal key carries it
+            return int(self._seg_key[: self._n_segments()].min() >> 41)
         return int(self._lb[: self._size].min())
 
 
@@ -1075,6 +1393,7 @@ def make_frontier(
     trail: Trail,
     strategy: str = "best-first",
     max_pending: int | None = None,
+    frontier_index: str = "segmented",
 ) -> BlockFrontier:
     """Create a :class:`BlockFrontier` sized for ``instance``."""
     return BlockFrontier(
@@ -1083,4 +1402,5 @@ def make_frontier(
         trail,
         strategy=strategy,
         max_pending=max_pending,
+        frontier_index=frontier_index,
     )

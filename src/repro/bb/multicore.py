@@ -65,6 +65,7 @@ class SubtreeTask:
     kernel: str = "v2"
     layout: str = "block"
     max_frontier_nodes: Optional[int] = None
+    frontier_index: str = "segmented"
 
 
 def _solve_subtree(task: SubtreeTask) -> dict:
@@ -80,6 +81,7 @@ def _solve_subtree(task: SubtreeTask) -> dict:
         kernel=task.kernel,
         layout=task.layout,
         max_frontier_nodes=task.max_frontier_nodes,
+        frontier_index=task.frontier_index,
     )
     best_makespan, best_order, stats, completed = solver.run()
     return {
@@ -123,6 +125,7 @@ class _SubtreeSolver:
         poll_interval: int = 64,
         layout: str = "block",
         max_frontier_nodes: Optional[int] = None,
+        frontier_index: str = "segmented",
         capture_incomplete: bool = False,
         resume_from: Optional[bytes] = None,
     ):
@@ -142,6 +145,7 @@ class _SubtreeSolver:
         self.poll_interval = poll_interval
         self.layout = layout
         self.max_frontier_nodes = max_frontier_nodes
+        self.frontier_index = frontier_index
         self.capture_incomplete = capture_incomplete
         self.resume_from = resume_from
         #: set by a budget-cut run when ``capture_incomplete`` is on: the
@@ -305,6 +309,7 @@ class _SubtreeSolver:
             trail,
             strategy=self.selection,
             max_pending=self.max_frontier_nodes,
+            frontier_index=self.frontier_index,
         )
         start = time.perf_counter()
 
@@ -395,8 +400,12 @@ class MulticoreBranchAndBound:
         (:mod:`repro.bb.frontier`); ``"object"`` keeps one ``Node`` per
         sub-problem.  Both explore the identical tree per chunk.
     max_frontier_nodes:
-        Block layout only: per-worker high-water frontier cap (see
+        Block layout only: per-worker high-water frontier cap with a
+        0.8×cap hysteresis low-water mark (see
         :class:`~repro.bb.frontier.BlockFrontier`).
+    frontier_index:
+        Block layout only: per-worker frontier selection index —
+        ``"segmented"`` (default) or ``"linear"`` (full-scan ablation).
     """
 
     def __init__(
@@ -414,6 +423,7 @@ class MulticoreBranchAndBound:
         poll_interval: int = 64,
         layout: str = "block",
         max_frontier_nodes: Optional[int] = None,
+        frontier_index: str = "segmented",
     ):
         if backend not in ("process", "thread", "serial"):
             raise ValueError("backend must be 'process', 'thread' or 'serial'")
@@ -440,6 +450,11 @@ class MulticoreBranchAndBound:
         self.poll_interval = poll_interval
         self.layout = layout
         self.max_frontier_nodes = max_frontier_nodes
+        if frontier_index not in ("segmented", "linear"):
+            raise ValueError(
+                f"frontier_index must be 'segmented' or 'linear', got {frontier_index!r}"
+            )
+        self.frontier_index = frontier_index
 
     # ------------------------------------------------------------------ #
     def _frontier_prefixes(self) -> list[tuple[int, ...]]:
@@ -466,6 +481,7 @@ class MulticoreBranchAndBound:
                 poll_interval=self.poll_interval,
                 layout=self.layout,
                 max_frontier_nodes=self.max_frontier_nodes,
+                frontier_index=self.frontier_index,
             ).solve()
         return self._solve_static()
 
@@ -486,6 +502,7 @@ class MulticoreBranchAndBound:
                 kernel=self.kernel,
                 layout=self.layout,
                 max_frontier_nodes=self.max_frontier_nodes,
+                frontier_index=self.frontier_index,
             )
             for prefix in self._frontier_prefixes()
         ]

@@ -118,11 +118,18 @@ class SequentialBranchAndBound:
         bounding-fraction experiment measures exactly that path).
     max_frontier_nodes:
         Block layout only: high-water memory cap of the pending frontier.
-        While the frontier holds at least this many nodes, best-first
-        selection switches to a depth-first-restricted regime (see
-        :class:`~repro.bb.frontier.BlockFrontier`) so exhaustive runs
-        cannot grow the pool without bound.  ``None`` (default) disables
-        the cap.
+        Once the frontier reaches this many nodes, best-first selection
+        switches to a depth-first-restricted regime and — hysteretically —
+        stays there until elimination drains the frontier below the
+        low-water mark (0.8×cap; see
+        :class:`~repro.bb.frontier.BlockFrontier`), so exhaustive runs
+        cannot grow the pool without bound and selection does not flap at
+        the cap boundary.  ``None`` (default) disables the cap.
+    frontier_index:
+        Block layout only: selection index of the pending frontier —
+        ``"segmented"`` (default, cached per-segment key minima for
+        sublinear best-first pops) or ``"linear"`` (full-scan ablation).
+        Selection is bit-identical either way.
     checkpoint_path / checkpoint_every / checkpoint_seconds:
         Fault tolerance (see :mod:`repro.bb.snapshot`).  With a path set,
         the engine snapshots complete search state there every
@@ -147,6 +154,7 @@ class SequentialBranchAndBound:
         kernel: str = "v2",
         layout: str = "block",
         max_frontier_nodes: Optional[int] = None,
+        frontier_index: str = "segmented",
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_seconds: Optional[float] = None,
@@ -173,6 +181,11 @@ class SequentialBranchAndBound:
         if max_frontier_nodes is not None and max_frontier_nodes < 1:
             raise ValueError("max_frontier_nodes must be >= 1 when given")
         self.max_frontier_nodes = max_frontier_nodes
+        if frontier_index not in ("segmented", "linear"):
+            raise ValueError(
+                f"frontier_index must be 'segmented' or 'linear', got {frontier_index!r}"
+            )
+        self.frontier_index = frontier_index
         if checkpoint_path is None and (
             checkpoint_every is not None or checkpoint_seconds is not None
         ):
@@ -199,6 +212,7 @@ class SequentialBranchAndBound:
             "layout": self.layout,
             "include_one_machine": self.include_one_machine,
             "max_frontier_nodes": self.max_frontier_nodes,
+            "frontier_index": self.frontier_index,
             "trace": self.trace_enabled,
         }
 
@@ -283,6 +297,7 @@ class SequentialBranchAndBound:
                 trail,
                 strategy=self.selection,
                 max_pending=self.max_frontier_nodes,
+                frontier_index=self.frontier_index,
             )
             root = root_block(instance, trail)
             t0 = time.perf_counter()
@@ -454,6 +469,7 @@ class SequentialBranchAndBound:
             kernel=str(engine_conf.get("kernel", "v2")),
             layout=snapshot.layout,
             max_frontier_nodes=int(max_frontier) if max_frontier is not None else None,
+            frontier_index=str(engine_conf.get("frontier_index", "segmented")),
             checkpoint_path=checkpoint_path if checkpoint_path is not None else path,
             checkpoint_every=checkpoint_every,
             checkpoint_seconds=checkpoint_seconds,

@@ -219,6 +219,11 @@ def _capture_block(
         "max_pending": frontier._cap,
         "max_size": frontier._max_size,
         "packed": bool(frontier._packed),
+        # cap-hysteresis state: a resumed capped run must re-enter the
+        # exact selection regime the interrupted run was in, or the
+        # concatenated segments stop being bit-identical to a golden run
+        "restricted": bool(frontier._restricted_now),
+        "regime_switches": int(frontier.regime_switches),
     }
 
 
@@ -422,6 +427,11 @@ def _restore_block(header: dict, arrays, instance: FlowShopInstance):
     trail._parent[:trail_size] = arrays["trail_parent"]
     trail._job[:trail_size] = arrays["trail_job"]
     trail._size = trail_size
+    # The selection index is derived state: it is rebuilt from the engine
+    # config (older snapshots default to "segmented"), never serialized —
+    # the container format is unchanged and a snapshot written under one
+    # index resumes bit-identically under the other.
+    engine = header.get("engine", {})
     frontier = BlockFrontier(
         instance.n_jobs,
         instance.n_machines,
@@ -429,6 +439,7 @@ def _restore_block(header: dict, arrays, instance: FlowShopInstance):
         strategy=meta["strategy"],
         capacity=max(size, 64),
         max_pending=meta["max_pending"],
+        frontier_index=str(engine.get("frontier_index", "segmented")),
     )
     frontier._mask[:size] = arrays["f_mask"]
     frontier._release[:size] = arrays["f_release"]
@@ -445,6 +456,17 @@ def _restore_block(header: dict, arrays, instance: FlowShopInstance):
         )
     frontier._size = size
     frontier._max_size = int(meta["max_size"])
+    if frontier._segmented:
+        # rows were written behind push_block's back: every segment is stale
+        frontier._seg_dirty[:] = True
+        frontier._seg_any_dirty = True
+    if frontier._cap is not None:
+        # pre-hysteresis snapshots carry no regime state: fall back to the
+        # stateless rule (restricted iff at/above the cap)
+        frontier._restricted_now = bool(
+            meta.get("restricted", size >= frontier._cap)
+        )
+        frontier.regime_switches = int(meta.get("regime_switches", 0))
     return frontier, trail
 
 

@@ -229,6 +229,7 @@ def _run_tasks(instance: FlowShopInstance, board, incumbent, opts: dict) -> dict
             poll_interval=opts["poll_interval"],
             layout=opts["layout"],
             max_frontier_nodes=opts.get("max_frontier_nodes"),
+            frontier_index=opts.get("frontier_index", "segmented"),
             capture_incomplete=rebalance,
             **seed,
         )
@@ -327,7 +328,11 @@ class WorkStealingBranchAndBound:
     max_frontier_nodes:
         Block layout only: per-worker high-water frontier cap (see
         :class:`~repro.bb.frontier.BlockFrontier`); best-first workers fall
-        back to a depth-first-restricted regime while over it.
+        back to a depth-first-restricted regime once over it, re-engaging
+        best-first only below the 0.8×cap hysteresis low-water mark.
+    frontier_index:
+        Block layout only: per-worker frontier selection index —
+        ``"segmented"`` (default) or ``"linear"`` (full-scan ablation).
     kernel:
         Batched bounding-kernel revision used by the workers.
     layout:
@@ -351,6 +356,7 @@ class WorkStealingBranchAndBound:
         poll_interval: int = 64,
         layout: str = "block",
         max_frontier_nodes: Optional[int] = None,
+        frontier_index: str = "segmented",
         rebalance: bool = False,
     ):
         if backend not in ("process", "thread", "serial"):
@@ -375,6 +381,11 @@ class WorkStealingBranchAndBound:
         self.poll_interval = poll_interval
         self.layout = layout
         self.max_frontier_nodes = max_frontier_nodes
+        if frontier_index not in ("segmented", "linear"):
+            raise ValueError(
+                f"frontier_index must be 'segmented' or 'linear', got {frontier_index!r}"
+            )
+        self.frontier_index = frontier_index
         self.rebalance = rebalance
         #: observability: chunks whose remainders were re-enqueued by the
         #: last :meth:`solve` call (0 unless ``rebalance=True`` and some
@@ -395,6 +406,7 @@ class WorkStealingBranchAndBound:
             "poll_interval": self.poll_interval,
             "layout": self.layout,
             "max_frontier_nodes": self.max_frontier_nodes,
+            "frontier_index": self.frontier_index,
             "rebalance": self.rebalance,
         }
 

@@ -323,6 +323,7 @@ class ClusterBranchAndBound:
                 trail,
                 strategy=config.selection,
                 max_pending=config.max_frontier_nodes,
+                frontier_index=config.frontier_index,
             )
             root = root_block(instance, trail)
             sim_s, wall_s = self._distributed_bound_block(root)

@@ -70,10 +70,17 @@ class GpuBBConfig:
         Optional exploration budgets.
     max_frontier_nodes:
         Block layout only: high-water memory cap of the pending frontier.
-        While at least this many nodes are pending, best-first selection
-        runs in a depth-first-restricted regime (see
-        :class:`~repro.bb.frontier.BlockFrontier`) so exhaustive runs
-        cannot grow the pool without bound.  ``None`` disables the cap.
+        Once that many nodes are pending, best-first selection runs in a
+        depth-first-restricted regime and — hysteretically — stays there
+        until the frontier drains below the 0.8×cap low-water mark (see
+        :class:`~repro.bb.frontier.BlockFrontier`), so exhaustive runs
+        cannot grow the pool without bound and selection does not flap at
+        the cap boundary.  ``None`` disables the cap.
+    frontier_index:
+        Block layout only: selection index of the pending frontier —
+        ``"segmented"`` (default, cached per-segment key minima for
+        sublinear best-first pops at large frontiers) or ``"linear"``
+        (full-scan ablation).  Selection is bit-identical either way.
     double_buffer:
         Model the double-buffered off-load of the ROADMAP's pipelining
         follow-on: the host selects and branches batch N+1 while the device
@@ -98,6 +105,7 @@ class GpuBBConfig:
     max_time_s: Optional[float] = None
     max_iterations: Optional[int] = None
     max_frontier_nodes: Optional[int] = None
+    frontier_index: str = "segmented"
     double_buffer: bool = False
 
     def __post_init__(self) -> None:
@@ -122,6 +130,11 @@ class GpuBBConfig:
             raise ValueError("max_iterations must be positive when given")
         if self.max_frontier_nodes is not None and self.max_frontier_nodes < 1:
             raise ValueError("max_frontier_nodes must be positive when given")
+        if self.frontier_index not in ("segmented", "linear"):
+            raise ValueError(
+                f"frontier_index must be 'segmented' or 'linear', "
+                f"got {self.frontier_index!r}"
+            )
 
     @property
     def blocks_per_pool(self) -> int:
@@ -154,5 +167,6 @@ class GpuBBConfig:
             "share_incumbent": self.share_incumbent,
             "use_neh_upper_bound": self.use_neh_upper_bound,
             "max_frontier_nodes": self.max_frontier_nodes,
+            "frontier_index": self.frontier_index,
             "double_buffer": self.double_buffer,
         }

@@ -229,6 +229,7 @@ class GpuBranchAndBound:
                 trail,
                 strategy=config.selection,
                 max_pending=config.max_frontier_nodes,
+                frontier_index=config.frontier_index,
             )
             root = root_block(instance, trail)
             _, sim_s, wall_s = self._offload_block(root)

@@ -302,6 +302,7 @@ def _solve_from_seed_block(
         trail,
         strategy=config.selection,
         max_pending=config.max_frontier_nodes,
+        frontier_index=config.frontier_index,
     )
     frontier.push_block(seed)
     next_order = int(seed.order_index[0]) + 1

@@ -188,6 +188,7 @@ class SolveParams:
     max_nodes: Optional[int] = None
     max_time_s: Optional[float] = None
     max_frontier_nodes: Optional[int] = None
+    frontier_index: str = "segmented"
     checkpoint_path: Optional[str] = None
     checkpoint_every: Optional[int] = None
 

@@ -77,6 +77,8 @@ class SessionConfig:
     max_nodes: Optional[int] = None
     max_time_s: Optional[float] = None
     max_frontier_nodes: Optional[int] = None
+    #: frontier selection index: "segmented" (default) or "linear"
+    frontier_index: str = "segmented"
     #: snapshot file this session checkpoints to (fault tolerance); ``None``
     #: disables checkpointing
     checkpoint_path: Optional[str] = None
@@ -94,6 +96,11 @@ class SessionConfig:
             raise ValueError(f"unknown selection strategy {self.selection!r}")
         if self.max_frontier_nodes is not None and self.max_frontier_nodes < 1:
             raise ValueError("max_frontier_nodes must be >= 1 when given")
+        if self.frontier_index not in ("segmented", "linear"):
+            raise ValueError(
+                f"frontier_index must be 'segmented' or 'linear', "
+                f"got {self.frontier_index!r}"
+            )
         if self.checkpoint_every is not None:
             if self.checkpoint_every < 1:
                 raise ValueError("checkpoint_every must be >= 1 when given")
@@ -232,6 +239,7 @@ class SolveSession:
             "layout": "block",
             "include_one_machine": include_one_machine,
             "max_frontier_nodes": config.max_frontier_nodes,
+            "frontier_index": config.frontier_index,
             "trace": False,
         }
 
@@ -350,6 +358,7 @@ class SolveSession:
                 trail,
                 strategy=config.selection,
                 max_pending=config.max_frontier_nodes,
+                frontier_index=config.frontier_index,
             )
             root = root_block(instance, trail)
             t0 = time.perf_counter()

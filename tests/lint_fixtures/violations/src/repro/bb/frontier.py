@@ -8,3 +8,11 @@ def build_columns(n):
     parent = np.empty(n, dtype=np.int16)  # undocumented dtype: finding
     order = np.arange(n, dtype=np.int64)  # fine
     return depth, parent, order
+
+
+class Store:
+    def __init__(self, n):
+        # documented dtype, but the wrong one for this named column: the
+        # segment row-id cache is int32 by contract — finding
+        self._seg_krow = np.zeros(n, dtype=np.int64)
+        self._seg_key = np.full(n, 0, dtype=np.int64)  # contract-exact: fine

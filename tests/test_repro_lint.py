@@ -106,9 +106,12 @@ class TestDtype:
     def test_violations_fire(self):
         found = findings_for(lint(VIOLATIONS), "dtype")
         messages = " | ".join(f.message for f in found)
-        assert len(found) == 2
+        assert len(found) == 3
         assert "without an explicit dtype" in messages
         assert "int16" in messages
+        # the segment row-id cache built as int64: a documented dtype, but
+        # the wrong one for that named column
+        assert "self._seg_krow is documented as int32" in messages
 
     def test_clean_twin(self):
         assert not findings_for(lint(CLEAN), "dtype")
