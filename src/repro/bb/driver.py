@@ -79,6 +79,7 @@ from repro.bb.frontier import (
     leaf_improvements,
 )
 from repro.bb.node import Node
+from repro.bb.offload import AsyncOffload
 from repro.bb.operators import (
     bound_children_batch,
     bound_node,
@@ -230,11 +231,23 @@ class DriverResult:
     iterations: int
     simulated_s: float
     measured_s: float
-    overlap_saved_s: float
+    #: simulated seconds credited by the ``double_buffer`` overlap model
+    #: (renamed from ``overlap_saved_s``; the old name survives as a
+    #: deprecated read-only alias)
+    overlap_saved_sim_s: float
+    #: measured wall seconds actually hidden by the ``overlap="async"``
+    #: two-slot pipeline: per iteration, the positive part of
+    #: ``(select + branch + worker bounding + apply) - elapsed``
+    overlap_saved_wall_s: float = 0.0
     #: creation index of the next node (block layout; engines persist it in
     #: snapshots so a resumed search keeps the tie-break sequence intact)
     next_order: int = 0
     trace: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def overlap_saved_s(self) -> float:
+        """Deprecated alias of :attr:`overlap_saved_sim_s`."""
+        return self.overlap_saved_sim_s
 
     @property
     def improved(self) -> bool:
@@ -250,6 +263,12 @@ class LocalBounding:
     and the simulated-time charge is zero — exactly the ``T_cpu`` baseline
     the paper's speed-ups are measured against.
     """
+
+    #: host bounding is stateless per call and charges no simulated time,
+    #: so the async driver may split one batch into micro-chunk launches
+    #: without changing any reported figure (executor-backed offloads keep
+    #: single launches: their simulated charge depends on pool contents)
+    supports_chunked_overlap = True
 
     def __init__(
         self,
@@ -328,8 +347,19 @@ class SearchDriver:
         Batch mode: credit the overlap of host-side selection+branching of
         batch N+1 with the (simulated) device bounding of batch N — the
         ROADMAP's ``NodeBlock`` pipelining follow-on.  The credit is
-        reported via :attr:`DriverResult.overlap_saved_s` and the
+        reported via :attr:`DriverResult.overlap_saved_sim_s` and the
         ``on_overlap`` hook; explored tree and counters are unaffected.
+    overlap:
+        ``"sync"`` (default) bounds on the driver thread; ``"async"``
+        runs every offload launch on a dedicated worker thread behind a
+        two-slot pipeline (:class:`~repro.bb.offload.AsyncOffload`), so
+        the driver selects and branches the next micro-batch while the
+        previous one is being bounded.  Launches are joined in submission
+        order, which keeps the explored tree bit-identical to ``"sync"``;
+        the wall seconds actually hidden are reported as
+        :attr:`DriverResult.overlap_saved_wall_s`.  Batch shape only; the
+        single-step shapes accept the knob as a validated no-op (the next
+        pop depends on the current bound, so there is nothing to overlap).
     checkpoint:
         Optional :class:`~repro.bb.snapshot.CheckpointPolicy`.  Together
         with ``hooks.on_checkpoint`` it makes the driver hand out its live
@@ -353,12 +383,15 @@ class SearchDriver:
         trace: bool = False,
         tie_batching: bool = True,
         double_buffer: bool = False,
+        overlap: str = "sync",
         checkpoint: Optional[CheckpointPolicy] = None,
     ):
         if layout not in ("block", "object"):
             raise ValueError(f"layout must be 'block' or 'object', got {layout!r}")
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be >= 1 when given")
+        if overlap not in ("sync", "async"):
+            raise ValueError(f"overlap must be 'sync' or 'async', got {overlap!r}")
         if offload is None:
             if data is None:
                 raise ValueError("either an offload backend or bound data is required")
@@ -373,6 +406,7 @@ class SearchDriver:
         self.trace_enabled = trace
         self.tie_batching = tie_batching
         self.double_buffer = double_buffer
+        self.overlap = overlap
         self.checkpoint = checkpoint
 
     # ------------------------------------------------------------------ #
@@ -407,6 +441,10 @@ class SearchDriver:
                 return self._run_single_block(
                     frontier, trail, upper_bound, best_order, stats, next_order, start
                 )
+            if self.overlap == "async":
+                return self._run_batch_block_async(
+                    frontier, trail, upper_bound, best_order, stats, next_order, start
+                )
             return self._run_batch_block(
                 frontier, trail, upper_bound, best_order, stats, next_order, start
             )
@@ -414,6 +452,8 @@ class SearchDriver:
             raise TypeError("the object layout requires a NodePool")
         if self.batch_size is None:
             return self._run_single_object(frontier, upper_bound, best_order, stats, start)
+        if self.overlap == "async":
+            return self._run_batch_object_async(frontier, upper_bound, best_order, stats, start)
         return self._run_batch_object(frontier, upper_bound, best_order, stats, start)
 
     # ------------------------------------------------------------------ #
@@ -583,7 +623,7 @@ class SearchDriver:
             iterations=0,
             simulated_s=0.0,
             measured_s=0.0,
-            overlap_saved_s=0.0,
+            overlap_saved_sim_s=0.0,
             trace=trace,
         )
 
@@ -914,7 +954,7 @@ class SearchDriver:
             iterations=0,
             simulated_s=0.0,
             measured_s=0.0,
-            overlap_saved_s=0.0,
+            overlap_saved_sim_s=0.0,
             next_order=next_order,
             trace=trace,
         )
@@ -1073,7 +1113,7 @@ class SearchDriver:
             iterations=iteration,
             simulated_s=simulated_total,
             measured_s=measured_total,
-            overlap_saved_s=overlap_saved,
+            overlap_saved_sim_s=overlap_saved,
         )
 
     # ------------------------------------------------------------------ #
@@ -1242,6 +1282,486 @@ class SearchDriver:
             iterations=iteration,
             simulated_s=simulated_total,
             measured_s=measured_total,
-            overlap_saved_s=overlap_saved,
+            overlap_saved_sim_s=overlap_saved,
+            next_order=next_order,
+        )
+
+    # ------------------------------------------------------------------ #
+    #  Batch shape, async two-slot pipeline (overlap="async")
+    # ------------------------------------------------------------------ #
+    #
+    # Both async variants replay the synchronous batch iteration with one
+    # mechanical change: every offload launch runs on the AsyncOffload
+    # worker thread, and — when the backend allows it — one batch-size
+    # selection is split into a few deterministic micro-chunks so the
+    # driver selects/branches chunk i+1 while the worker bounds chunk i.
+    # Determinism is preserved because (a) chunk sizes are a pure function
+    # of batch_size, (b) every pop of an iteration happens before any push
+    # (chunked pops therefore concatenate to exactly the one big pop),
+    # (c) launches are joined in submission order with incumbent updates
+    # applied in row order, and (d) a chunk's elimination is deferred
+    # until no later chunk still carries complete schedules that could
+    # tighten the incumbent.  The explored tree, all counters and the
+    # result are bit-identical to overlap="sync" (pinned by the golden
+    # fixtures and tests/test_overlap.py).
+
+    #: micro-chunks one batch selection is split into (pure config constant)
+    OVERLAP_CHUNKS = 4
+
+    def _chunk_sizes(self, chunked: bool) -> list[int]:
+        """Deterministic micro-chunk split of one batch-shape selection."""
+        batch_size = self.batch_size
+        assert batch_size is not None
+        if not chunked:
+            return [batch_size]
+        parts = min(self.OVERLAP_CHUNKS, batch_size)
+        base, extra = divmod(batch_size, parts)
+        return [base + (1 if i < extra else 0) for i in range(parts)]
+
+    def _run_batch_object_async(
+        self,
+        pool: NodePool,
+        upper_bound: float,
+        best_order: tuple[int, ...],
+        stats: SearchStats,
+        start: float,
+    ) -> DriverResult:
+        instance = self.instance
+        offload = self.offload
+        hooks = self.hooks
+        limits = self.limits
+        perf_counter = time.perf_counter
+
+        chunk_sizes = self._chunk_sizes(
+            getattr(offload, "supports_chunked_overlap", False)
+        )
+
+        best_value: Optional[int] = None
+        simulated_total = 0.0
+        measured_total = 0.0
+        overlap_sim_saved = 0.0
+        overlap_wall_saved = 0.0
+        prev_sim_s: Optional[float] = None
+        on_checkpoint = hooks.on_checkpoint
+        ckpt = self.checkpoint if on_checkpoint is not None else None
+        last_checkpoint = start
+        iteration = 0
+        completed = True
+        aoff = AsyncOffload(offload)
+        try:
+            while pool:
+                if ckpt is not None and on_checkpoint is not None:
+                    due = (
+                        ckpt.every_steps is not None
+                        and iteration > 0
+                        and iteration % ckpt.every_steps == 0
+                    )
+                    if not due and ckpt.every_seconds is not None:
+                        due = perf_counter() - last_checkpoint >= ckpt.every_seconds
+                    if due:
+                        # batch boundary: every launch of the previous
+                        # iteration has been joined, so the snapshot can
+                        # never race the worker thread
+                        assert aoff.idle, "checkpoint with an offload launch in flight"
+                        on_checkpoint(
+                            CheckpointState(
+                                frontier=pool,
+                                trail=None,
+                                upper_bound=upper_bound,
+                                best_order_supplier=lambda order=best_order: order,
+                                next_order=0,
+                                stats=stats,
+                                steps=iteration,
+                            )
+                        )
+                        last_checkpoint = perf_counter()
+                if limits.max_iterations is not None and iteration >= limits.max_iterations:
+                    completed = False
+                    break
+                if limits.max_nodes is not None and stats.nodes_explored >= limits.max_nodes:
+                    completed = False
+                    break
+                if limits.max_time_s is not None and perf_counter() - start > limits.max_time_s:
+                    completed = False
+                    break
+                if limits.deadline is not None and time.time() > limits.deadline:
+                    completed = False
+                    break
+                iteration += 1
+                iter_t0 = perf_counter()
+
+                # --- selection + branching + submission (all pops precede
+                # any push, so chunked pops equal the one synchronous pop)
+                select_s = 0.0
+                branch_s = 0.0
+                total_selected = 0
+                launches = []  # (children, ticket, has_leaves) in pop order
+                for size in chunk_sizes:
+                    t0 = perf_counter()
+                    parents, lazily_pruned = select_batch(pool, size, upper_bound)
+                    select_s += perf_counter() - t0
+                    stats.nodes_pruned += lazily_pruned
+                    if not parents:
+                        break  # pool drained mid-plan
+                    total_selected += len(parents)
+                    t0 = perf_counter()
+                    children: list[Node] = []
+                    for parent in parents:
+                        offspring = branch(parent, instance)
+                        stats.nodes_branched += 1
+                        children.extend(offspring)
+                    branch_s += perf_counter() - t0
+                    if not children:
+                        continue
+                    has_leaves = any(child.is_leaf for child in children)
+                    launches.append(
+                        (children, aoff.submit_nodes(children), has_leaves)
+                    )
+                stats.time_pool_s += select_s
+                stats.time_branching_s += branch_s
+                if total_selected == 0:
+                    break
+                if hooks.on_select is not None:
+                    hooks.on_select(total_selected)
+                if not launches:
+                    continue
+
+                # --- join in submission order ---------------------------
+                last_leaf_idx = -1
+                for chunk_idx, (_, _, has_leaves) in enumerate(launches):
+                    if has_leaves:
+                        last_leaf_idx = chunk_idx
+                sim_iter = 0.0
+                wall_iter = 0.0
+                worker_s = 0.0
+                apply_s = 0.0
+                total_offloaded = 0
+                total_pruned = 0
+                total_kept = 0
+                deferred: list[list[Node]] = []
+                for chunk_idx, (children, ticket, has_leaves) in enumerate(launches):
+                    t0 = perf_counter()
+                    _, sim_s, wall_s = ticket.result()
+                    stats.time_bounding_s += perf_counter() - t0
+                    worker_s += ticket.worker_wall_s
+                    sim_iter += sim_s
+                    wall_iter += wall_s
+                    stats.nodes_bounded += len(children)
+                    total_offloaded += len(children)
+
+                    # incumbent updates from complete schedules, row order
+                    open_children: list[Node] = []
+                    for child in children:
+                        if child.is_leaf:
+                            stats.leaves_evaluated += 1
+                            makespan = int(child.release[-1])
+                            if makespan < upper_bound:
+                                upper_bound = float(makespan)
+                                best_order = child.prefix
+                                best_value = makespan
+                                stats.incumbent_updates += 1
+                                self._notify(
+                                    makespan, lambda prefix=child.prefix: prefix
+                                )
+                                if hooks.incumbent_charge_s is not None:
+                                    simulated_total += hooks.incumbent_charge_s()
+                        else:
+                            open_children.append(child)
+
+                    if chunk_idx < last_leaf_idx:
+                        # a later chunk still carries complete schedules
+                        # that may tighten the bound: defer elimination
+                        deferred.append(open_children)
+                        continue
+                    t0 = perf_counter()
+                    deferred.append(open_children)
+                    for chunk_open in deferred:
+                        survivors, pruned = eliminate(chunk_open, upper_bound)
+                        stats.nodes_pruned += pruned
+                        total_pruned += pruned
+                        total_kept += len(survivors)
+                        pool.push_many(survivors)
+                    deferred.clear()
+                    apply_s += perf_counter() - t0
+                stats.time_pool_s += apply_s
+                if hooks.on_eliminate is not None:
+                    hooks.on_eliminate(total_pruned)
+
+                simulated_total += sim_iter
+                measured_total += wall_iter
+                stats.pools_evaluated += 1
+
+                if self.double_buffer and prev_sim_s is not None:
+                    credit = min(prev_sim_s, select_s + branch_s)
+                    overlap_sim_saved += credit
+                    if hooks.on_overlap is not None:
+                        hooks.on_overlap(credit)
+                prev_sim_s = sim_iter
+
+                # measured overlap: host work + worker bounding minus the
+                # wall time the iteration actually took
+                serial_s = select_s + branch_s + worker_s + apply_s
+                elapsed = perf_counter() - iter_t0
+                if serial_s > elapsed:
+                    overlap_wall_saved += serial_s - elapsed
+
+                if hooks.on_iteration is not None:
+                    hooks.on_iteration(
+                        OffloadStep(
+                            iteration=iteration,
+                            nodes_offloaded=total_offloaded,
+                            nodes_pruned=total_pruned,
+                            nodes_kept=total_kept,
+                            incumbent=upper_bound,
+                            simulated_s=sim_iter,
+                            measured_s=wall_iter,
+                        )
+                    )
+        finally:
+            aoff.close()
+
+        return DriverResult(
+            upper_bound=upper_bound,
+            best_order=best_order,
+            best_value=best_value,
+            completed=completed,
+            iterations=iteration,
+            simulated_s=simulated_total,
+            measured_s=measured_total,
+            overlap_saved_sim_s=overlap_sim_saved,
+            overlap_saved_wall_s=overlap_wall_saved,
+        )
+
+    def _run_batch_block_async(
+        self,
+        frontier: BlockFrontier,
+        trail: Trail,
+        upper_bound: float,
+        best_order: tuple[int, ...],
+        stats: SearchStats,
+        next_order: int,
+        start: float,
+    ) -> DriverResult:
+        instance = self.instance
+        offload = self.offload
+        hooks = self.hooks
+        limits = self.limits
+        n_jobs = instance.n_jobs
+        pt = instance.processing_times
+        perf_counter = time.perf_counter
+
+        # No chunking while a frontier memory cap holds selection in its
+        # hysteretic restricted regime: the regime transition is itself
+        # stateful per pop, so micro-chunked pops could diverge from the
+        # synchronous pop sequence.  A capped frontier keeps single
+        # full-batch launches (still bounded on the worker thread).
+        chunk_sizes = self._chunk_sizes(
+            getattr(offload, "supports_chunked_overlap", False)
+            and not frontier.capped
+        )
+
+        best_value: Optional[int] = None
+        best_trail: Optional[int] = None
+        simulated_total = 0.0
+        measured_total = 0.0
+        overlap_sim_saved = 0.0
+        overlap_wall_saved = 0.0
+        prev_sim_s: Optional[float] = None
+        on_checkpoint = hooks.on_checkpoint
+        ckpt = self.checkpoint if on_checkpoint is not None else None
+        last_checkpoint = start
+        iteration = 0
+        completed = True
+        aoff = AsyncOffload(offload)
+        try:
+            while frontier:
+                if ckpt is not None and on_checkpoint is not None:
+                    due = (
+                        ckpt.every_steps is not None
+                        and iteration > 0
+                        and iteration % ckpt.every_steps == 0
+                    )
+                    if not due and ckpt.every_seconds is not None:
+                        due = perf_counter() - last_checkpoint >= ckpt.every_seconds
+                    if due:
+                        # batch boundary: no launch in flight, the snapshot
+                        # cannot race the worker thread
+                        assert aoff.idle, "checkpoint with an offload launch in flight"
+                        on_checkpoint(
+                            CheckpointState(
+                                frontier=frontier,
+                                trail=trail,
+                                upper_bound=upper_bound,
+                                best_order_supplier=(
+                                    lambda bt=best_trail, bo=best_order: (
+                                        trail.prefix(bt) if bt is not None else bo
+                                    )
+                                ),
+                                next_order=next_order,
+                                stats=stats,
+                                steps=iteration,
+                            )
+                        )
+                        last_checkpoint = perf_counter()
+                if limits.max_iterations is not None and iteration >= limits.max_iterations:
+                    completed = False
+                    break
+                if limits.max_nodes is not None and stats.nodes_explored >= limits.max_nodes:
+                    completed = False
+                    break
+                if limits.max_time_s is not None and perf_counter() - start > limits.max_time_s:
+                    completed = False
+                    break
+                if limits.deadline is not None and time.time() > limits.deadline:
+                    completed = False
+                    break
+                iteration += 1
+                iter_t0 = perf_counter()
+
+                # --- selection + branching + submission (all pops precede
+                # any push, so chunked pops equal the one synchronous pop)
+                select_s = 0.0
+                branch_s = 0.0
+                total_selected = 0
+                launches = []  # (children, ticket, has_leaves) in pop order
+                for size in chunk_sizes:
+                    t0 = perf_counter()
+                    parents, lazily_pruned = frontier.pop_batch(size, upper_bound)
+                    select_s += perf_counter() - t0
+                    stats.nodes_pruned += lazily_pruned
+                    if not len(parents):
+                        break  # frontier drained mid-plan
+                    total_selected += len(parents)
+                    t0 = perf_counter()
+                    children = branch_block(parents, pt, next_order)
+                    branch_s += perf_counter() - t0
+                    next_order += len(children)
+                    stats.nodes_branched += len(parents)
+                    if not len(children):
+                        continue
+                    has_leaves = bool(np.any(children.depth == n_jobs))
+                    launches.append(
+                        (children, aoff.submit_block(children, siblings=False), has_leaves)
+                    )
+                stats.time_pool_s += select_s
+                stats.time_branching_s += branch_s
+                if total_selected == 0:
+                    break
+                if hooks.on_select is not None:
+                    hooks.on_select(total_selected)
+                if not launches:
+                    continue
+
+                # --- join in submission order ---------------------------
+                last_leaf_idx = -1
+                for chunk_idx, (_, _, has_leaves) in enumerate(launches):
+                    if has_leaves:
+                        last_leaf_idx = chunk_idx
+                sim_iter = 0.0
+                wall_iter = 0.0
+                worker_s = 0.0
+                apply_s = 0.0
+                total_offloaded = 0
+                total_pruned = 0
+                total_kept = 0
+                deferred: list[tuple[NodeBlock, np.ndarray, int]] = []
+                for chunk_idx, (children, ticket, has_leaves) in enumerate(launches):
+                    t0 = perf_counter()
+                    _, sim_s, wall_s = ticket.result()
+                    stats.time_bounding_s += perf_counter() - t0
+                    worker_s += ticket.worker_wall_s
+                    sim_iter += sim_s
+                    wall_iter += wall_s
+                    stats.nodes_bounded += len(children)
+                    total_offloaded += len(children)
+
+                    # incumbent updates from complete schedules, row order
+                    leaf_mask = children.depth == n_jobs
+                    n_leaves = int(np.count_nonzero(leaf_mask))
+                    if n_leaves:
+                        leaf_rows = np.flatnonzero(leaf_mask)
+                        stats.leaves_evaluated += n_leaves
+                        makespans = children.release[leaf_rows, -1]
+                        improving, _ = leaf_improvements(upper_bound, makespans)
+                        for i in improving:
+                            makespan = int(makespans[i])
+                            upper_bound = float(makespan)
+                            best_trail = int(children.trail_id[leaf_rows[i]])
+                            best_value = makespan
+                            stats.incumbent_updates += 1
+                            self._notify(
+                                makespan, lambda tid=best_trail: trail.prefix(tid)
+                            )
+                            if hooks.incumbent_charge_s is not None:
+                                simulated_total += hooks.incumbent_charge_s()
+
+                    if chunk_idx < last_leaf_idx:
+                        # a later chunk still carries complete schedules
+                        # that may tighten the bound: defer elimination
+                        deferred.append((children, leaf_mask, n_leaves))
+                        continue
+                    t0 = perf_counter()
+                    deferred.append((children, leaf_mask, n_leaves))
+                    for d_children, d_mask, d_leaves in deferred:
+                        keep = d_children.lower_bound < upper_bound
+                        if d_leaves:
+                            keep &= ~d_mask
+                        kept = int(np.count_nonzero(keep))
+                        pruned = len(d_children) - d_leaves - kept
+                        stats.nodes_pruned += pruned
+                        total_pruned += pruned
+                        total_kept += kept
+                        frontier.push_block(d_children, keep)
+                    deferred.clear()
+                    apply_s += perf_counter() - t0
+                stats.time_pool_s += apply_s
+                if hooks.on_eliminate is not None:
+                    hooks.on_eliminate(total_pruned)
+
+                simulated_total += sim_iter
+                measured_total += wall_iter
+                stats.pools_evaluated += 1
+
+                if self.double_buffer and prev_sim_s is not None:
+                    credit = min(prev_sim_s, select_s + branch_s)
+                    overlap_sim_saved += credit
+                    if hooks.on_overlap is not None:
+                        hooks.on_overlap(credit)
+                prev_sim_s = sim_iter
+
+                # measured overlap: host work + worker bounding minus the
+                # wall time the iteration actually took
+                serial_s = select_s + branch_s + worker_s + apply_s
+                elapsed = perf_counter() - iter_t0
+                if serial_s > elapsed:
+                    overlap_wall_saved += serial_s - elapsed
+
+                if hooks.on_iteration is not None:
+                    hooks.on_iteration(
+                        OffloadStep(
+                            iteration=iteration,
+                            nodes_offloaded=total_offloaded,
+                            nodes_pruned=total_pruned,
+                            nodes_kept=total_kept,
+                            incumbent=upper_bound,
+                            simulated_s=sim_iter,
+                            measured_s=wall_iter,
+                        )
+                    )
+        finally:
+            aoff.close()
+
+        if best_trail is not None:
+            best_order = trail.prefix(best_trail)
+        return DriverResult(
+            upper_bound=upper_bound,
+            best_order=best_order,
+            best_value=best_value,
+            completed=completed,
+            iterations=iteration,
+            simulated_s=simulated_total,
+            measured_s=measured_total,
+            overlap_saved_sim_s=overlap_sim_saved,
+            overlap_saved_wall_s=overlap_wall_saved,
             next_order=next_order,
         )

@@ -130,6 +130,12 @@ class SequentialBranchAndBound:
         ``"segmented"`` (default, cached per-segment key minima for
         sublinear best-first pops) or ``"linear"`` (full-scan ablation).
         Selection is bit-identical either way.
+    overlap:
+        ``"sync"`` or ``"async"`` — validated, recorded in snapshot
+        headers and restored by :meth:`resume`, but a no-op for this
+        engine's single-step shape (each pop depends on the bound of the
+        previous step, so there is nothing to overlap; the batch-shaped
+        GPU/cluster/hybrid engines give the knob its effect).
     checkpoint_path / checkpoint_every / checkpoint_seconds:
         Fault tolerance (see :mod:`repro.bb.snapshot`).  With a path set,
         the engine snapshots complete search state there every
@@ -155,6 +161,7 @@ class SequentialBranchAndBound:
         layout: str = "block",
         max_frontier_nodes: Optional[int] = None,
         frontier_index: str = "segmented",
+        overlap: str = "sync",
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_seconds: Optional[float] = None,
@@ -186,6 +193,12 @@ class SequentialBranchAndBound:
                 f"frontier_index must be 'segmented' or 'linear', got {frontier_index!r}"
             )
         self.frontier_index = frontier_index
+        if overlap not in ("sync", "async"):
+            raise ValueError(f"overlap must be 'sync' or 'async', got {overlap!r}")
+        # single-step shape: accepted (and recorded in snapshot headers so a
+        # resume restores it) but a no-op — the next pop depends on the
+        # current bound, so there is nothing to overlap
+        self.overlap = overlap
         if checkpoint_path is None and (
             checkpoint_every is not None or checkpoint_seconds is not None
         ):
@@ -213,6 +226,7 @@ class SequentialBranchAndBound:
             "include_one_machine": self.include_one_machine,
             "max_frontier_nodes": self.max_frontier_nodes,
             "frontier_index": self.frontier_index,
+            "overlap": self.overlap,
             "trace": self.trace_enabled,
         }
 
@@ -274,6 +288,7 @@ class SequentialBranchAndBound:
             limits=SearchLimits(max_nodes=self.max_nodes, max_time_s=self.max_time_s),
             hooks=hooks,
             trace=self.trace_enabled,
+            overlap=self.overlap,
             checkpoint=checkpoint,
         )
 
@@ -470,6 +485,7 @@ class SequentialBranchAndBound:
             layout=snapshot.layout,
             max_frontier_nodes=int(max_frontier) if max_frontier is not None else None,
             frontier_index=str(engine_conf.get("frontier_index", "segmented")),
+            overlap=str(engine_conf.get("overlap", "sync")),
             checkpoint_path=checkpoint_path if checkpoint_path is not None else path,
             checkpoint_every=checkpoint_every,
             checkpoint_seconds=checkpoint_seconds,

@@ -82,11 +82,17 @@ def _solve(args: argparse.Namespace) -> int:
             layout=args.node_layout,
             max_frontier_nodes=args.max_frontier_nodes,
             frontier_index=args.frontier_index,
+            overlap=args.overlap,
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_interval,
             checkpoint_seconds=args.checkpoint_seconds,
         ).solve()
     elif engine == "multicore":
+        if args.overlap == "async":
+            raise SystemExit(
+                "--overlap async applies to the batch-shaped engines "
+                "(gpu/cluster) and serial; the multicore engine does not take it"
+            )
         result = MulticoreBranchAndBound(
             instance,
             n_workers=args.workers,
@@ -107,6 +113,7 @@ def _solve(args: argparse.Namespace) -> int:
             layout=args.node_layout,
             max_frontier_nodes=args.max_frontier_nodes,
             frontier_index=args.frontier_index,
+            overlap=args.overlap,
         )
         result = ClusterBranchAndBound(instance, ClusterSpec(n_nodes=args.nodes), config).solve()
     else:  # gpu
@@ -117,6 +124,7 @@ def _solve(args: argparse.Namespace) -> int:
             layout=args.node_layout,
             max_frontier_nodes=args.max_frontier_nodes,
             frontier_index=args.frontier_index,
+            overlap=args.overlap,
         )
         result = GpuBranchAndBound(instance, config).solve()
 
@@ -225,6 +233,7 @@ def _serve(args: argparse.Namespace) -> int:
                 max_wait_s=args.max_wait_ms / 1000.0,
                 max_batch_nodes=args.max_batch_nodes,
             ),
+            overlap=args.overlap,
         )
         async with service:
             server = SolveServer(service, host=args.host, port=args.port)
@@ -349,6 +358,16 @@ def build_parser() -> argparse.ArgumentParser:
         "frontiers; 'linear' is the full-scan ablation (selection is bit-identical "
         "either way)",
     )
+    solve.add_argument(
+        "--overlap",
+        choices=("sync", "async"),
+        default="sync",
+        help="offload execution: 'sync' bounds on the driver thread; 'async' runs "
+        "each launch on a dedicated worker thread behind a two-slot pipeline so "
+        "selection/branching of the next batch overlaps bounding of the current "
+        "one (batch engines; results are bit-identical; the serial engine accepts "
+        "the knob as a no-op)",
+    )
     solve.add_argument("--max-nodes", type=int, default=None, help="node exploration budget")
     solve.add_argument("--max-time", type=float, default=None, help="time budget in seconds")
 
@@ -423,6 +442,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="dispatcher flush policy: longest a parked bounding batch waits for peers",
+    )
+    serve.add_argument(
+        "--overlap",
+        choices=("sync", "async"),
+        default="sync",
+        help="dispatcher execution: 'async' hands each fused launch to a dedicated "
+        "worker thread so the pump keeps collecting while the kernel runs "
+        "(per-session results are bit-identical)",
     )
     serve.add_argument(
         "--max-batch-nodes",

@@ -87,7 +87,16 @@ class GpuBBConfig:
         is still bounding batch N, so the overlapped host time is credited
         against the simulated device total.  The explored tree, results and
         counters are unaffected — only the simulated timing changes (the
-        credit is reported as ``overlap_saved_s`` on the result).
+        credit is reported as ``overlap_saved_sim_s`` on the result).
+    overlap:
+        ``"sync"`` (default) bounds on the driver thread; ``"async"``
+        runs every offload launch on a dedicated worker thread behind the
+        driver's two-slot pipeline, overlapping host-side selection and
+        branching with bounding for real.  The explored tree, results and
+        counters are bit-identical either way — only wall-clock changes;
+        the hidden wall seconds are reported as ``overlap_saved_wall_s``
+        on the result.  Orthogonal to ``double_buffer`` (which models the
+        overlap in simulated time).
     """
 
     pool_size: int = 8192
@@ -107,6 +116,7 @@ class GpuBBConfig:
     max_frontier_nodes: Optional[int] = None
     frontier_index: str = "segmented"
     double_buffer: bool = False
+    overlap: str = "sync"
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -134,6 +144,10 @@ class GpuBBConfig:
             raise ValueError(
                 f"frontier_index must be 'segmented' or 'linear', "
                 f"got {self.frontier_index!r}"
+            )
+        if self.overlap not in ("sync", "async"):
+            raise ValueError(
+                f"overlap must be 'sync' or 'async', got {self.overlap!r}"
             )
 
     @property
@@ -169,4 +183,5 @@ class GpuBBConfig:
             "max_frontier_nodes": self.max_frontier_nodes,
             "frontier_index": self.frontier_index,
             "double_buffer": self.double_buffer,
+            "overlap": self.overlap,
         }

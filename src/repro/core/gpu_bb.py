@@ -74,10 +74,19 @@ class GpuBBResult(BBResult):
     iterations: list[IterationRecord] = field(default_factory=list)
     simulated_device_time_s: float = 0.0
     measured_kernel_time_s: float = 0.0
-    #: simulated seconds saved by the double-buffered off-load (0 unless
-    #: ``config.double_buffer`` was enabled)
-    overlap_saved_s: float = 0.0
+    #: simulated seconds saved by the double-buffered off-load model
+    #: (0 unless ``config.double_buffer`` was enabled; renamed from
+    #: ``overlap_saved_s``, which survives as a deprecated alias)
+    overlap_saved_sim_s: float = 0.0
+    #: measured wall seconds hidden by the ``overlap="async"`` two-slot
+    #: pipeline (0 in synchronous mode)
+    overlap_saved_wall_s: float = 0.0
     config: Optional[GpuBBConfig] = None
+
+    @property
+    def overlap_saved_s(self) -> float:
+        """Deprecated alias of :attr:`overlap_saved_sim_s`."""
+        return self.overlap_saved_sim_s
 
     def simulated_speedup(self, serial_seconds: float) -> float:
         """Speed-up of the simulated device time over a serial reference."""
@@ -203,6 +212,7 @@ class GpuBranchAndBound:
             ),
             hooks=hooks,
             double_buffer=config.double_buffer,
+            overlap=config.overlap,
         )
 
     # ------------------------------------------------------------------ #
@@ -260,7 +270,7 @@ class GpuBranchAndBound:
             start=start,
             **run_kwargs,
         )
-        simulated_total = sim_s + outcome.simulated_s - outcome.overlap_saved_s
+        simulated_total = sim_s + outcome.simulated_s - outcome.overlap_saved_sim_s
         measured_kernel = wall_s + outcome.measured_s
 
         stats.time_total_s = time.perf_counter() - start
@@ -281,6 +291,7 @@ class GpuBranchAndBound:
             iterations=iterations,
             simulated_device_time_s=simulated_total,
             measured_kernel_time_s=measured_kernel,
-            overlap_saved_s=outcome.overlap_saved_s,
+            overlap_saved_sim_s=outcome.overlap_saved_sim_s,
+            overlap_saved_wall_s=outcome.overlap_saved_wall_s,
             config=config,
         )

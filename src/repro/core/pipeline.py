@@ -116,7 +116,8 @@ class HybridBranchAndBound:
         stats = SearchStats()
         simulated_total = 0.0
         measured_total = 0.0
-        overlap_total = 0.0
+        overlap_sim_total = 0.0
+        overlap_wall_total = 0.0
         proved = True
         all_iterations = []
 
@@ -130,7 +131,8 @@ class HybridBranchAndBound:
                 stats = stats.merge(sub_result.stats)
                 simulated_total += sub_result.simulated_device_time_s
                 measured_total += sub_result.measured_kernel_time_s
-                overlap_total += sub_result.overlap_saved_s
+                overlap_sim_total += sub_result.overlap_saved_sim_s
+                overlap_wall_total += sub_result.overlap_saved_wall_s
                 proved = proved and sub_result.proved_optimal
                 all_iterations.extend(sub_result.iterations)
                 if sub_result.best_order and sub_result.best_makespan < best_makespan:
@@ -148,7 +150,8 @@ class HybridBranchAndBound:
             iterations=all_iterations,
             simulated_device_time_s=simulated_total,
             measured_kernel_time_s=measured_total,
-            overlap_saved_s=overlap_total,
+            overlap_saved_sim_s=overlap_sim_total,
+            overlap_saved_wall_s=overlap_wall_total,
             config=self.config.gpu,
         )
 
@@ -249,6 +252,7 @@ def _seed_search(
             on_iteration=iteration_recorder(iterations, config.threads_per_block)
         ),
         double_buffer=config.double_buffer,
+        overlap=config.overlap,
     )
     run_kwargs: dict[str, object] = {}
     if trail is not None:
@@ -261,7 +265,7 @@ def _seed_search(
         start=start,
         **run_kwargs,
     )
-    simulated_total = outcome.simulated_s - outcome.overlap_saved_s
+    simulated_total = outcome.simulated_s - outcome.overlap_saved_sim_s
     stats.time_total_s = time.perf_counter() - start
     stats.max_pool_size = store.max_size_seen
     stats.simulated_device_time_s = simulated_total
@@ -274,7 +278,8 @@ def _seed_search(
         iterations=iterations,
         simulated_device_time_s=simulated_total,
         measured_kernel_time_s=outcome.measured_s,
-        overlap_saved_s=outcome.overlap_saved_s,
+        overlap_saved_sim_s=outcome.overlap_saved_sim_s,
+        overlap_saved_wall_s=outcome.overlap_saved_wall_s,
         config=config,
     )
 

@@ -89,9 +89,9 @@ class TestLayerDag:
 class TestGuardedBy:
     def test_unlocked_accesses_fire(self):
         found = findings_for(lint(VIOLATIONS), "guarded-by")
+        dispatch = [f for f in found if "dispatch.py" in f.path]
         # submit()'s unlocked write + close()'s two post-with accesses
-        assert len(found) == 3
-        assert all("dispatch.py" in f.path for f in found)
+        assert len(dispatch) == 3
 
     def test_clean_twin(self):
         assert not findings_for(lint(CLEAN), "guarded-by")
@@ -100,6 +100,23 @@ class TestGuardedBy:
         # clean twin guards via `with self._wakeup:` for attributes declared
         # `guarded-by: _lock, _wakeup` — no finding
         assert not findings_for(lint(CLEAN), "guarded-by")
+
+    def test_offload_pipeline_violations_fire(self):
+        found = findings_for(lint(VIOLATIONS), "guarded-by")
+        offload = [f for f in found if "bb/offload.py" in f.path]
+        assert len(offload) == 2
+        messages = " | ".join(f.message for f in offload)
+        # submit()'s unlocked slot-counter write (guarded-by)
+        assert "'SlotWorker._inflight' is guarded by _lock" in messages
+        # peek()'s payload read outside the declared hand-off pair
+        assert "'SlotWorker._value' is confined to _finish, result" in messages
+        assert "thread-confinement hand-off" in messages
+
+    def test_offload_clean_twin(self):
+        # locked counter, payload touched only from _finish/result, a
+        # justified ignore-comment read, and an unannotated attr: silent
+        report = lint(CLEAN)
+        assert not any("bb/offload.py" in f.path for f in report.findings)
 
 
 class TestDtype:
@@ -226,6 +243,9 @@ class TestLiveTree:
         assert dispatch.count("# guarded-by:") >= 4
         worksteal = (REPO_ROOT / "src" / "repro" / "bb" / "worksteal.py").read_text()
         assert worksteal.count("# guarded-by:") >= 1
+        offload = (REPO_ROOT / "src" / "repro" / "bb" / "offload.py").read_text()
+        assert offload.count("# guarded-by:") >= 2
+        assert offload.count("# confined-to:") >= 3
 
     def test_cli_subcommand(self):
         proc = subprocess.run(

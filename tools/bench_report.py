@@ -5,8 +5,8 @@ Each benchmark under ``benchmarks/`` that takes ``--json`` writes a
 self-describing result file (``bench_frontier.json``,
 ``bench_frontier_index.json``, ...).  CI uploads them individually, which
 is fine for archaeology but makes the perf trajectory across PRs hard to
-eyeball.  This tool folds any number of those files into a single
-top-level report (``BENCH_frontier.json`` in CI) keyed by bench name:
+eyeball.  This tool folds **all** per-bench JSONs into a single
+top-level report (``BENCH_report.json`` in CI) keyed by bench name:
 
 * every input's full result dict is preserved under ``benches.<name>``,
 * the headline figures (any key matching ``speedup*`` or ``*_per_s``,
@@ -17,8 +17,8 @@ top-level report (``BENCH_frontier.json`` in CI) keyed by bench name:
 
 Usage (mirrors the CI bench-smoke job)::
 
-    python tools/bench_report.py --output BENCH_frontier.json \
-        bench_frontier.json bench_frontier_index.json
+    python tools/bench_report.py --output BENCH_report.json \
+        bench_frontier.json bench_overlap.json ...
 
 Exit code 0 when at least one input was aggregated; 1 when none were.
 """
@@ -83,7 +83,7 @@ def main(argv=None) -> int:
     parser.add_argument("inputs", nargs="+", help="per-bench JSON result files")
     parser.add_argument(
         "--output",
-        default="BENCH_frontier.json",
+        default="BENCH_report.json",
         help="aggregated report path (default: %(default)s)",
     )
     args = parser.parse_args(argv)
